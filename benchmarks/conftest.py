@@ -1,0 +1,189 @@
+"""Shared configuration for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper.
+Because a faithful full-scale rerun (50 clients x 60-160 epochs x 4 datasets)
+takes hours on a laptop, the harness has two profiles:
+
+* ``quick`` (default) — reduced grids, the fast MLP stand-in model, and short
+  round budgets.  The structure of every table/figure (rows, columns, series)
+  is identical to the paper; absolute numbers are compressed.
+* ``full`` — the paper-style models (SimpleCNN / ResNetLite / TextRNN), all
+  attacks and defenses, and longer training.  Select it with
+  ``REPRO_BENCH_PROFILE=full pytest benchmarks/ --benchmark-only -s``.
+
+Each benchmark prints its table/figure in the same row/series layout as the
+paper and stores the numbers in ``benchmark.extra_info`` so they can be
+post-processed from the pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+)
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Experiment sizing for one benchmark profile."""
+
+    name: str
+    num_clients: int
+    num_train: int
+    num_test: int
+    rounds: int
+    batch_size: int
+    eval_every: int
+    model_by_dataset: Dict[str, str]
+    learning_rate_by_model: Dict[str, float]
+    datasets: Sequence[str]
+    attacks: Sequence[str]
+    defenses: Sequence[str]
+
+    def model_for(self, dataset: str) -> str:
+        return self.model_by_dataset.get(dataset, "mlp")
+
+    def learning_rate_for(self, model: str) -> float:
+        return self.learning_rate_by_model.get(model, 0.1)
+
+
+QUICK_PROFILE = BenchProfile(
+    name="quick",
+    num_clients=15,
+    num_train=600,
+    num_test=200,
+    rounds=12,
+    batch_size=16,
+    eval_every=3,
+    model_by_dataset={
+        "mnist_like": "mlp",
+        "fashion_like": "mlp",
+        "cifar_like": "mlp",
+        "agnews_like": "textrnn",
+    },
+    learning_rate_by_model={"mlp": 0.1, "textrnn": 0.5, "simple_cnn": 0.05, "resnet_lite": 0.05},
+    datasets=("mnist_like",),
+    attacks=("no_attack", "byzmean", "sign_flip", "lie", "min_max", "min_sum"),
+    defenses=("mean", "median", "trimmed_mean", "multi_krum", "dnc", "signguard", "signguard_sim"),
+)
+
+FULL_PROFILE = BenchProfile(
+    name="full",
+    num_clients=50,
+    num_train=2000,
+    num_test=500,
+    rounds=40,
+    batch_size=32,
+    eval_every=4,
+    model_by_dataset={
+        "mnist_like": "simple_cnn",
+        "fashion_like": "simple_cnn",
+        "cifar_like": "resnet_lite",
+        "agnews_like": "textrnn",
+    },
+    learning_rate_by_model={"mlp": 0.1, "textrnn": 0.5, "simple_cnn": 0.05, "resnet_lite": 0.05},
+    datasets=("mnist_like", "fashion_like", "cifar_like", "agnews_like"),
+    attacks=(
+        "no_attack",
+        "random",
+        "noise",
+        "label_flip",
+        "byzmean",
+        "sign_flip",
+        "lie",
+        "min_max",
+        "min_sum",
+    ),
+    defenses=(
+        "mean",
+        "trimmed_mean",
+        "median",
+        "geomed",
+        "multi_krum",
+        "bulyan",
+        "dnc",
+        "signguard",
+        "signguard_sim",
+        "signguard_dist",
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    """The active benchmark profile (quick unless REPRO_BENCH_PROFILE=full)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
+    return FULL_PROFILE if name == "full" else QUICK_PROFILE
+
+
+def make_config(
+    profile: BenchProfile,
+    *,
+    dataset: str = "mnist_like",
+    attack: str = "no_attack",
+    defense: str = "mean",
+    byzantine_fraction: float = 0.2,
+    partition: str = "iid",
+    iid_fraction: float = 1.0,
+    attack_params: dict = None,
+    defense_params: dict = None,
+    rounds: int = None,
+    seed: int = 42,
+) -> ExperimentConfig:
+    """Build an experiment config sized for the active benchmark profile."""
+    model = profile.model_for(dataset)
+    return ExperimentConfig(
+        num_clients=profile.num_clients,
+        seed=seed,
+        data=DataConfig(
+            dataset=dataset,
+            num_train=profile.num_train,
+            num_test=profile.num_test,
+            partition=partition,
+            iid_fraction=iid_fraction,
+        ),
+        training=TrainingConfig(
+            model=model,
+            rounds=rounds if rounds is not None else profile.rounds,
+            batch_size=profile.batch_size,
+            learning_rate=profile.learning_rate_for(model),
+            eval_every=profile.eval_every,
+        ),
+        attack=AttackConfig(
+            name=attack,
+            byzantine_fraction=byzantine_fraction,
+            params=dict(attack_params or {}),
+        ),
+        defense=DefenseConfig(name=defense, params=dict(defense_params or {})),
+    ).validate()
+
+
+def print_accuracy_matrix(title: str, rows: Dict[str, Dict[str, float]]) -> None:
+    """Print a defense x attack accuracy matrix in the paper's Table I layout."""
+    attacks: List[str] = sorted({a for row in rows.values() for a in row})
+    print(f"\n=== {title} ===")
+    header = f"{'GAR':18s}" + "".join(f"{a:>12s}" for a in attacks)
+    print(header)
+    for defense, row in rows.items():
+        cells = "".join(
+            f"{100 * row.get(a, float('nan')):>11.2f}%" for a in attacks
+        )
+        print(f"{defense:18s}{cells}")
+
+
+def print_series(title: str, series: Dict[str, Dict], x_label: str) -> None:
+    """Print one line per series (a figure's curves) as x -> value pairs."""
+    print(f"\n=== {title} ===")
+    for name, points in series.items():
+        rendered = ", ".join(f"{x_label}={x}: {value:.3f}" for x, value in points.items())
+        print(f"{name:24s} {rendered}")

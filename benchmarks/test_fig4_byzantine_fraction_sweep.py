@@ -1,0 +1,88 @@
+"""Figure 4: attack impact vs the percentage of Byzantine clients.
+
+The paper keeps 50 clients and sweeps the Byzantine fraction from 10% to 40%
+under the five strongest attacks, comparing Median, TrMean, Multi-Krum, DnC,
+and SignGuard-Sim.  Attack impact (Definition 3) is the accuracy drop versus
+the undefended no-attack baseline.  The expected shape: baselines' impact
+grows sharply with the Byzantine fraction while SignGuard-Sim stays flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import make_config, print_series
+from repro.fl import run_experiment
+from repro.fl.metrics import attack_impact
+
+FRACTIONS = (0.1, 0.2, 0.3, 0.4)
+
+
+def sweep_attacks_and_defenses(profile):
+    if profile.name == "full":
+        attacks = ("byzmean", "sign_flip", "lie", "min_max", "min_sum")
+        defenses = ("median", "trimmed_mean", "multi_krum", "dnc", "signguard_sim")
+    else:
+        attacks = ("byzmean", "lie", "sign_flip")
+        defenses = ("median", "multi_krum", "signguard_sim")
+    return attacks, defenses
+
+
+def run_fig4(profile) -> Dict[str, Dict[str, Dict[float, float]]]:
+    dataset = profile.datasets[0]
+    attacks, defenses = sweep_attacks_and_defenses(profile)
+    baseline = run_experiment(
+        make_config(profile, dataset=dataset, attack="no_attack", defense="mean")
+    ).best_accuracy()
+
+    impact: Dict[str, Dict[str, Dict[float, float]]] = {"baseline_accuracy": baseline}
+    for defense in defenses:
+        impact[defense] = {}
+        for attack in attacks:
+            impact[defense][attack] = {}
+            for fraction in FRACTIONS:
+                recorder = run_experiment(
+                    make_config(
+                        profile,
+                        dataset=dataset,
+                        attack=attack,
+                        defense=defense,
+                        byzantine_fraction=fraction,
+                    )
+                )
+                impact[defense][attack][fraction] = attack_impact(
+                    baseline, recorder.best_accuracy()
+                )
+    return impact
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_byzantine_fraction_sweep(benchmark, profile):
+    impact = benchmark.pedantic(run_fig4, args=(profile,), rounds=1, iterations=1)
+    baseline = impact.pop("baseline_accuracy")
+    attacks, defenses = sweep_attacks_and_defenses(profile)
+
+    print(f"\n=== Fig. 4: attack impact vs Byzantine fraction (baseline accuracy {100 * baseline:.2f}%) ===")
+    for defense in defenses:
+        print_series(
+            f"{defense}", {a: impact[defense][a] for a in attacks}, x_label="beta"
+        )
+    benchmark.extra_info["baseline_accuracy"] = baseline
+    benchmark.extra_info["impact"] = {
+        d: {a: {str(k): v for k, v in points.items()} for a, points in impact[d].items()}
+        for d in defenses
+    }
+
+    # Paper shape: SignGuard-Sim's worst-case impact across attacks and
+    # fractions stays no worse than the weakest baseline's worst case.
+    signguard_worst = max(
+        impact["signguard_sim"][a][f] for a in attacks for f in FRACTIONS
+    )
+    baseline_worsts = [
+        max(impact[d][a][f] for a in attacks for f in FRACTIONS)
+        for d in defenses
+        if d != "signguard_sim"
+    ]
+    assert signguard_worst <= max(baseline_worsts) + 0.05

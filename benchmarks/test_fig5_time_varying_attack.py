@@ -1,0 +1,48 @@
+"""Figure 5: test-accuracy curves under the time-varying attack strategy.
+
+The attacker switches its attack randomly every epoch (including rounds with
+no attack at all).  The paper compares Multi-Krum, Bulyan, DnC, and SignGuard
+against the no-attack / no-defense baseline curve: the baselines fluctuate or
+collapse, SignGuard tracks the baseline closely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.conftest import make_config
+from repro.fl import run_experiment
+
+DEFENSES = ("multi_krum", "bulyan", "dnc", "signguard")
+
+
+def run_fig5(profile) -> Dict[str, List[float]]:
+    dataset = profile.datasets[0]
+    curves: Dict[str, List[float]] = {}
+    baseline_config = make_config(profile, dataset=dataset, attack="no_attack", defense="mean")
+    curves["baseline"] = run_experiment(baseline_config).accuracies
+    for defense in DEFENSES:
+        config = make_config(profile, dataset=dataset, attack="time_varying", defense=defense)
+        curves[defense] = run_experiment(config).accuracies
+    return curves
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_time_varying_attack(benchmark, profile):
+    curves = benchmark.pedantic(run_fig5, args=(profile,), rounds=1, iterations=1)
+
+    print("\n=== Fig. 5: accuracy curves under the time-varying attack ===")
+    for name, curve in curves.items():
+        rendered = " ".join(f"{100 * value:5.1f}" for value in curve)
+        print(f"{name:12s} {rendered}")
+    benchmark.extra_info["curves"] = curves
+
+    # Paper shape: SignGuard's final accuracy stays close to the baseline and
+    # is not the worst among the compared defenses.
+    baseline_final = curves["baseline"][-1]
+    signguard_final = curves["signguard"][-1]
+    other_finals = [curves[d][-1] for d in DEFENSES if d != "signguard"]
+    assert signguard_final >= baseline_final - 0.25
+    assert signguard_final >= min(other_finals) - 0.05

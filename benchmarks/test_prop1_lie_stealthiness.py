@@ -1,0 +1,82 @@
+"""Section III / Proposition 1: stealthiness of the LIE attack, empirically.
+
+Not a numbered table in the paper, but the analysis that motivates SignGuard:
+for gradients collected from a real federated round, the LIE-crafted gradient
+is (a) closer to the averaged gradient than some honest gradients, (b) more
+cosine-similar than some honest gradients, yet (c) clearly separated in sign
+statistics.  This benchmark regenerates those three quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_config
+from repro.analysis import lie_stealthiness_report
+from repro.core.features import sign_statistics
+from repro.data import build_dataset, partition_dataset
+from repro.fl.simulation import build_clients
+from repro.nn.models import build_model
+from repro.utils.rng import RngFactory
+
+
+def collect_honest_gradients(profile) -> np.ndarray:
+    """One round of honest gradients at the initial global model."""
+    config = make_config(profile)
+    rng_factory = RngFactory(config.seed)
+    split = build_dataset(
+        config.data.dataset,
+        num_train=config.data.num_train,
+        num_test=config.data.num_test,
+        rng=rng_factory.make("data"),
+    )
+    partitions = partition_dataset(
+        split.train, config.num_clients, scheme="iid", rng=rng_factory.make("partition")
+    )
+    clients = build_clients(
+        split.train,
+        partitions,
+        byzantine_indices=[],
+        batch_size=config.training.batch_size,
+        rng_factory=rng_factory,
+    )
+    model = build_model(config.training.model, split.spec, rng=rng_factory.make("model"))
+    return np.vstack([client.compute_gradient(model) for client in clients])
+
+
+@pytest.mark.benchmark(group="prop1")
+def test_prop1_lie_stealthiness(benchmark, profile):
+    gradients = benchmark.pedantic(
+        collect_honest_gradients, args=(profile,), rounds=1, iterations=1
+    )
+    report = lie_stealthiness_report(gradients, z=0.3)
+
+    mean = gradients.mean(axis=0)
+    crafted = mean - 0.3 * gradients.std(axis=0)
+    honest_stats = sign_statistics(np.atleast_2d(mean))[0]
+    crafted_stats = sign_statistics(np.atleast_2d(crafted))[0]
+
+    print("\n=== Proposition 1: LIE stealthiness on real federated gradients (z = 0.3) ===")
+    print(f"malicious distance to mean      : {report.malicious_distance:.4f}")
+    print(f"honest distance range           : [{report.honest_distances.min():.4f}, {report.honest_distances.max():.4f}]")
+    print(f"fraction of honest farther away : {report.closer_than_fraction:.2f}")
+    print(f"malicious cosine to mean        : {report.malicious_cosine:.4f}")
+    print(f"fraction of honest less similar : {report.more_similar_than_fraction:.2f}")
+    print(f"sign disagreement with mean     : {report.sign_disagreement:.3f}")
+    print(f"honest sign stats (pos/zero/neg): {honest_stats.round(3)}")
+    print(f"LIE sign stats (pos/zero/neg)   : {crafted_stats.round(3)}")
+    benchmark.extra_info.update(
+        {
+            "closer_than_fraction": report.closer_than_fraction,
+            "more_similar_than_fraction": report.more_similar_than_fraction,
+            "sign_disagreement": report.sign_disagreement,
+        }
+    )
+
+    # Eq. (6) and (7): the crafted gradient hides inside the honest population
+    # by distance and by cosine similarity...
+    assert report.satisfies_distance_claim
+    assert report.satisfies_cosine_claim
+    # ...but shifts the sign distribution, which is what SignGuard detects.
+    assert crafted_stats[2] > honest_stats[2]

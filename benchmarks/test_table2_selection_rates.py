@@ -1,0 +1,61 @@
+"""Table II: selected rate of honest (H) and malicious (M) gradients.
+
+For each SignGuard variant and each of five attacks, the paper reports the
+average fraction of honest gradients kept and malicious gradients kept by the
+filter over the whole training run.  The qualitative shape: M is ~0 for the
+stealthy attacks (ByzMean, LIE, Min-Max, Min-Sum); sign-flip is the hard case
+where plain SignGuard admits a noticeable fraction of malicious gradients and
+the similarity variants admit fewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from benchmarks.conftest import make_config
+from repro.fl import run_experiment
+
+ATTACKS = ("byzmean", "sign_flip", "lie", "min_max", "min_sum")
+VARIANTS = ("signguard", "signguard_sim", "signguard_dist")
+
+
+def run_table2(profile) -> Dict[Tuple[str, str], Dict[str, float]]:
+    results: Dict[Tuple[str, str], Dict[str, float]] = {}
+    dataset = profile.datasets[-1] if "cifar_like" not in profile.datasets else "cifar_like"
+    for attack in ATTACKS:
+        for variant in VARIANTS:
+            config = make_config(profile, dataset=dataset, attack=attack, defense=variant)
+            recorder = run_experiment(config)
+            results[(attack, variant)] = {
+                "H": recorder.mean_benign_selection_rate(),
+                "M": recorder.mean_byzantine_selection_rate(),
+                "accuracy": recorder.best_accuracy(),
+            }
+    return results
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_selection_rates(benchmark, profile):
+    results = benchmark.pedantic(run_table2, args=(profile,), rounds=1, iterations=1)
+
+    print("\n=== Table II: selected rate of honest (H) and malicious (M) gradients ===")
+    header = f"{'Attack':12s}" + "".join(f"{v + ' H':>16s}{v + ' M':>16s}" for v in VARIANTS)
+    print(header)
+    for attack in ATTACKS:
+        cells = ""
+        for variant in VARIANTS:
+            entry = results[(attack, variant)]
+            cells += f"{entry['H']:>16.4f}{entry['M']:>16.4f}"
+        print(f"{attack:12s}{cells}")
+    benchmark.extra_info["selection_rates"] = {
+        f"{attack}|{variant}": value for (attack, variant), value in results.items()
+    }
+
+    # Paper shape: stealthy attacks are excluded almost completely while most
+    # honest gradients are kept.
+    for attack in ("byzmean", "lie", "min_max", "min_sum"):
+        for variant in VARIANTS:
+            assert results[(attack, variant)]["M"] < 0.35
+            assert results[(attack, variant)]["H"] > 0.5

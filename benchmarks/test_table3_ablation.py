@@ -1,0 +1,89 @@
+"""Table III: ablation of SignGuard-Sim's defensive components.
+
+The paper toggles the three components — norm thresholding, sign clustering,
+and norm clipping — and evaluates the resulting defense under the Random,
+Reverse (sign-flip scaled by r), and LIE attacks.  The finding: no single
+component handles every attack, but clustering combined with either
+thresholding or clipping does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from benchmarks.conftest import make_config
+from repro.fl import run_experiment
+
+# (thresholding, clustering, norm-clip) combinations from Table III.
+COMPONENT_ROWS = (
+    (True, False, False),
+    (False, True, False),
+    (False, False, True),
+    (True, True, False),
+    (False, True, True),
+    (True, True, True),
+)
+ATTACKS = ("random", "reverse_scaling", "lie")
+
+
+def _defense_params(thresholding: bool, clustering: bool, clipping: bool) -> dict:
+    return {
+        "use_norm_threshold": thresholding,
+        "use_sign_clustering": clustering,
+        "use_norm_clipping": clipping,
+    }
+
+
+def _attack_params(attack: str, thresholding: bool, clipping: bool) -> dict:
+    if attack != "reverse_scaling":
+        return {}
+    # The paper's adaptive scaling: r = R (the norm upper bound) when any
+    # norm-based component is active, r = 100 otherwise.
+    return {"scale": 3.0 if (thresholding or clipping) else 100.0}
+
+
+def run_table3(profile) -> Dict[Tuple[bool, bool, bool], Dict[str, float]]:
+    results: Dict[Tuple[bool, bool, bool], Dict[str, float]] = {}
+    dataset = profile.datasets[0]
+    for row in COMPONENT_ROWS:
+        thresholding, clustering, clipping = row
+        row_result: Dict[str, float] = {}
+        for attack in ATTACKS:
+            config = make_config(
+                profile,
+                dataset=dataset,
+                attack=attack,
+                defense="signguard_sim",
+                attack_params=_attack_params(attack, thresholding, clipping),
+                defense_params=_defense_params(thresholding, clustering, clipping),
+            )
+            row_result[attack] = run_experiment(config).best_accuracy()
+        results[row] = row_result
+    return results
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_component_ablation(benchmark, profile):
+    results = benchmark.pedantic(run_table3, args=(profile,), rounds=1, iterations=1)
+
+    print("\n=== Table III: SignGuard-Sim component ablation (best accuracy %) ===")
+    print(f"{'Thresh':>7s}{'Cluster':>9s}{'NormClip':>10s}" + "".join(f"{a:>18s}" for a in ATTACKS))
+    for (thresholding, clustering, clipping), row in results.items():
+        flags = f"{'yes' if thresholding else '-':>7s}{'yes' if clustering else '-':>9s}{'yes' if clipping else '-':>10s}"
+        print(flags + "".join(f"{100 * row[a]:>17.2f}%" for a in ATTACKS))
+    benchmark.extra_info["ablation"] = {
+        str(row): values for row, values in results.items()
+    }
+
+    # Paper shape: the full pipeline (or clustering + one norm component) is at
+    # least as robust as the weakest single component on every attack.
+    full = results[(True, True, True)]
+    for attack in ATTACKS:
+        weakest_single = min(
+            results[(True, False, False)][attack],
+            results[(False, True, False)][attack],
+            results[(False, False, True)][attack],
+        )
+        assert full[attack] >= weakest_single - 0.05

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Non-IID robustness: SignGuard-Sim under label-skewed client data (Fig. 6).
+
+Partitions the synthetic Fashion-MNIST-like task with the paper's
+sort-and-partition scheme at three skew levels (s = 0.3, 0.5, 0.8; smaller s
+is more skewed) and compares SignGuard-Sim with trimmed mean and Multi-Krum
+under the LIE and ByzMean attacks.
+
+Run with:  python examples/noniid_robustness.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+    run_experiment,
+)
+
+SKEW_LEVELS = (0.3, 0.5, 0.8)
+ATTACKS = ("lie", "byzmean")
+DEFENSES = ("trimmed_mean", "multi_krum", "signguard_sim")
+
+
+def make_config(attack: str, defense: str, iid_fraction: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_clients=15,
+        seed=5,
+        data=DataConfig(
+            dataset="fashion_like",
+            num_train=900,
+            num_test=300,
+            partition="sort_and_partition",
+            iid_fraction=iid_fraction,
+        ),
+        training=TrainingConfig(
+            model="mlp", rounds=18, batch_size=16, learning_rate=0.1, eval_every=6
+        ),
+        attack=AttackConfig(name=attack, byzantine_fraction=0.2),
+        defense=DefenseConfig(name=defense),
+    )
+
+
+def main() -> None:
+    total = len(SKEW_LEVELS) * len(ATTACKS) * len(DEFENSES)
+    print(f"Running {total} non-IID experiments (three skew levels)...")
+    for attack in ATTACKS:
+        print(f"\n== attack: {attack} ==")
+        print(f"{'defense':16s}" + "".join(f"{'s=' + str(s):>10s}" for s in SKEW_LEVELS))
+        for defense in DEFENSES:
+            accuracies = []
+            for skew in SKEW_LEVELS:
+                recorder = run_experiment(make_config(attack, defense, skew))
+                accuracies.append(recorder.best_accuracy())
+            print(f"{defense:16s}" + "".join(f"{100 * a:>9.1f}%" for a in accuracies))
+
+    print(
+        "\nPaper shape (Fig. 6): defenses degrade as s shrinks (more skew) and "
+        "SignGuard-Sim sits at or near the top of each column. At this reduced "
+        "example scale the attacks only partially bite, so the defenses end up "
+        "close together; run the Fig. 6 benchmark (REPRO_BENCH_PROFILE=full "
+        "pytest benchmarks/test_fig6_noniid_defense_comparison.py --benchmark-only -s) "
+        "for the paper-scale separation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""SignGuard reproduction: Byzantine-robust federated learning through
+collaborative malicious gradient filtering (ICDCS 2022).
+
+Public entry points:
+
+* :func:`repro.fl.run_experiment` — run a full federated experiment from an
+  :class:`repro.utils.ExperimentConfig`.
+* :class:`repro.core.SignGuard` (and ``SignGuardSim`` / ``SignGuardDist``) —
+  the paper's defense, usable as a standalone gradient aggregation rule.
+* :mod:`repro.attacks` / :mod:`repro.aggregators` — every attack and baseline
+  defense evaluated in the paper.
+* :mod:`repro.analysis` — executable forms of the paper's theory (LIE
+  stealthiness, sign statistics, convergence bounds).
+"""
+
+from repro.utils.config import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+    default_paper_config,
+)
+from repro.core import SignGuard, SignGuardDist, SignGuardSim
+from repro.fl import run_experiment, run_grid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "DataConfig",
+    "TrainingConfig",
+    "AttackConfig",
+    "DefenseConfig",
+    "default_paper_config",
+    "SignGuard",
+    "SignGuardSim",
+    "SignGuardDist",
+    "run_experiment",
+    "run_grid",
+    "__version__",
+]

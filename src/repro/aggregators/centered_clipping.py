@@ -1,0 +1,55 @@
+"""Centered clipping aggregation (Karimireddy et al., ICML 2021).
+
+Iteratively refines an estimate ``v`` by adding the clipped residuals of the
+client gradients around it:
+
+    v <- v + (1/n) * sum_i clip(g_i - v, tau)
+
+Starting from the previous round's aggregate makes the rule history-aware,
+which is the property the original paper exploits against time-coupled
+attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+
+
+class CenteredClippingAggregator(Aggregator):
+    """Iterative clipped-residual aggregation around a moving center."""
+
+    name = "centered_clipping"
+
+    def __init__(self, clip_threshold: float = 1.0, *, num_iterations: int = 3):
+        if clip_threshold <= 0:
+            raise ValueError(f"clip_threshold must be positive, got {clip_threshold}")
+        if num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        self.clip_threshold = clip_threshold
+        self.num_iterations = num_iterations
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        if context.previous_gradient is not None and len(
+            context.previous_gradient
+        ) == gradients.shape[1]:
+            center = np.asarray(context.previous_gradient, dtype=np.float64).copy()
+        else:
+            center = np.median(gradients, axis=0)
+        for _ in range(self.num_iterations):
+            residuals = gradients - center
+            norms = np.linalg.norm(residuals, axis=1)
+            scales = np.ones_like(norms)
+            positive = norms > 0
+            scales[positive] = np.minimum(1.0, self.clip_threshold / norms[positive])
+            center = center + (residuals * scales[:, None]).mean(axis=0)
+        return AggregationResult(
+            gradient=center,
+            selected_indices=all_indices(gradients),
+            info={"rule": self.name, "clip_threshold": self.clip_threshold},
+        )

@@ -1,0 +1,79 @@
+"""Divide-and-Conquer (DnC) aggregation (Shejwalkar & Houmansadr, NDSS 2021).
+
+DnC repeatedly (1) subsamples coordinates, (2) centres the subsampled
+gradients, (3) computes outlier scores as the squared projection onto the top
+singular vector, and (4) removes the ``c * f`` highest-scoring clients.  The
+final aggregate is the mean of the clients that survive every iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
+
+
+class DivideAndConquerAggregator(Aggregator):
+    """Spectral outlier filtering via projections onto the top singular vector."""
+
+    name = "dnc"
+    requires_byzantine_count = True
+
+    def __init__(
+        self,
+        num_byzantine: Optional[int] = None,
+        *,
+        num_iterations: int = 3,
+        subsample_dim: int = 512,
+        filter_fraction: float = 1.0,
+    ):
+        if num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        if subsample_dim < 1:
+            raise ValueError(f"subsample_dim must be >= 1, got {subsample_dim}")
+        if filter_fraction <= 0:
+            raise ValueError(f"filter_fraction must be > 0, got {filter_fraction}")
+        self.num_byzantine = num_byzantine
+        self.num_iterations = num_iterations
+        self.subsample_dim = subsample_dim
+        self.filter_fraction = filter_fraction
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        n, dim = gradients.shape
+        f = (
+            self.num_byzantine
+            if self.num_byzantine is not None
+            else self._byzantine_count(gradients, context)
+        )
+        f = int(min(f, (n - 1) // 2))
+        num_removed = int(round(self.filter_fraction * f))
+        good = np.arange(n)
+
+        for _ in range(self.num_iterations):
+            if num_removed == 0 or len(good) <= max(n - num_removed, 1):
+                pass  # still run the scoring so ties are broken consistently
+            subset_dim = min(self.subsample_dim, dim)
+            coords = context.rng.choice(dim, size=subset_dim, replace=False)
+            sampled = gradients[good][:, coords]
+            centered = sampled - sampled.mean(axis=0)
+            # Top right-singular vector of the centered matrix.
+            try:
+                _, _, vt = np.linalg.svd(centered, full_matrices=False)
+                top_direction = vt[0]
+            except np.linalg.LinAlgError:  # pragma: no cover - degenerate input
+                top_direction = np.ones(subset_dim) / np.sqrt(subset_dim)
+            scores = (centered @ top_direction) ** 2
+            keep = max(len(good) - num_removed, 1)
+            order = np.argsort(scores)
+            good = good[order[:keep]]
+
+        good = np.sort(good)
+        return AggregationResult(
+            gradient=gradients[good].mean(axis=0),
+            selected_indices=good,
+            info={"rule": self.name, "num_byzantine": f},
+        )

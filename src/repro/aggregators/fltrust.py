@@ -1,0 +1,60 @@
+"""FLTrust-style aggregation (Cao et al., NDSS 2021).
+
+FLTrust represents the *auxiliary-data* family of defenses the paper
+contrasts with: the server computes a reference gradient on a small trusted
+root dataset and weights every client gradient by the ReLU-clipped cosine
+similarity to that reference, after rescaling each client gradient to the
+reference norm.  It is included for completeness (and as a baseline for the
+"auxiliary data may not be available" argument); when no reference gradient
+is supplied the rule degrades to using the coordinate-wise median of the
+received gradients as a proxy reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+
+
+class FLTrustAggregator(Aggregator):
+    """Trust-bootstrapped cosine re-weighting against a server reference gradient."""
+
+    name = "fltrust"
+
+    def __init__(self, epsilon: float = 1e-9):
+        self.epsilon = epsilon
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        if context.reference_gradient is not None:
+            reference = np.asarray(context.reference_gradient, dtype=np.float64)
+        else:
+            reference = np.median(gradients, axis=0)
+        reference_norm = np.linalg.norm(reference)
+        if reference_norm <= self.epsilon:
+            # Degenerate reference: fall back to plain mean.
+            return AggregationResult(
+                gradient=gradients.mean(axis=0),
+                selected_indices=all_indices(gradients),
+                info={"rule": self.name, "degenerate_reference": True},
+            )
+        norms = np.linalg.norm(gradients, axis=1)
+        cosines = (gradients @ reference) / (np.maximum(norms, self.epsilon) * reference_norm)
+        trust_scores = np.maximum(cosines, 0.0)  # ReLU clipping
+        if trust_scores.sum() <= self.epsilon:
+            aggregated = np.zeros_like(reference)
+            selected = np.array([], dtype=int)
+        else:
+            # Rescale every client gradient to the reference norm, then take
+            # the trust-weighted average.
+            rescaled = gradients * (reference_norm / np.maximum(norms, self.epsilon))[:, None]
+            weights = trust_scores / trust_scores.sum()
+            aggregated = (weights[:, None] * rescaled).sum(axis=0)
+            selected = np.flatnonzero(trust_scores > 0)
+        return AggregationResult(
+            gradient=aggregated,
+            selected_indices=selected,
+            info={"rule": self.name, "trust_scores": trust_scores},
+        )

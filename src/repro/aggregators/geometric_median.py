@@ -1,0 +1,54 @@
+"""Geometric median aggregation via Weiszfeld's algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+
+
+def geometric_median(
+    points: np.ndarray,
+    *,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+    epsilon: float = 1e-10,
+) -> np.ndarray:
+    """Weiszfeld iteration for the point minimizing the sum of Euclidean distances.
+
+    The iteration is started from the coordinate-wise mean and smoothed with
+    ``epsilon`` to remain well-defined when the estimate coincides with one
+    of the input points.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    estimate = points.mean(axis=0)
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(points - estimate, axis=1)
+        weights = 1.0 / np.maximum(distances, epsilon)
+        new_estimate = (weights[:, None] * points).sum(axis=0) / weights.sum()
+        if np.linalg.norm(new_estimate - estimate) <= tolerance:
+            return new_estimate
+        estimate = new_estimate
+    return estimate
+
+
+class GeometricMedianAggregator(Aggregator):
+    """Aggregate with the geometric median of the received gradients (GeoMed)."""
+
+    name = "geomed"
+
+    def __init__(self, *, max_iterations: int = 100, tolerance: float = 1e-7):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        aggregated = geometric_median(
+            gradients, max_iterations=self.max_iterations, tolerance=self.tolerance
+        )
+        return AggregationResult(
+            gradient=aggregated,
+            selected_indices=all_indices(gradients),
+            info={"rule": self.name},
+        )

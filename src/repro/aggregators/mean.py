@@ -1,0 +1,26 @@
+"""Plain mean aggregation (FedAvg without any defense)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+
+
+class MeanAggregator(Aggregator):
+    """Coordinate-wise mean of all received gradients.
+
+    This is the undefended baseline whose accuracy under *no attack* the
+    paper uses as the benchmark for every dataset.
+    """
+
+    name = "mean"
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        return AggregationResult(
+            gradient=gradients.mean(axis=0),
+            selected_indices=all_indices(gradients),
+            info={"rule": self.name},
+        )

@@ -1,0 +1,22 @@
+"""Coordinate-wise median aggregation (Yin et al., ICML 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+
+
+class CoordinateMedianAggregator(Aggregator):
+    """Take the median of every coordinate independently."""
+
+    name = "median"
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        return AggregationResult(
+            gradient=np.median(gradients, axis=0),
+            selected_indices=all_indices(gradients),
+            info={"rule": self.name},
+        )

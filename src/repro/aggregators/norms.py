@@ -1,0 +1,43 @@
+"""Norm utilities: median reference norm and norm clipping.
+
+SignGuard aggregates the trusted set with mean-plus-norm-clipping, where the
+clipping bound is the median of the received gradient norms (Algorithm 2,
+step 3); the same helpers are reused by the centered-clipping baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def gradient_norms(gradients: np.ndarray) -> np.ndarray:
+    """l2 norm of every row."""
+    return np.linalg.norm(np.atleast_2d(gradients), axis=1)
+
+
+def median_norm(gradients: np.ndarray) -> float:
+    """Median of the row norms — the paper's reference norm ``M``."""
+    return float(np.median(gradient_norms(gradients)))
+
+
+def clip_gradients_to_norm(gradients: np.ndarray, bound: float) -> np.ndarray:
+    """Scale every row with norm above ``bound`` down to exactly ``bound``.
+
+    Rows with norm at or below the bound are returned unchanged (the
+    ``min(1, M/||g||)`` factor in Algorithm 2, line 14).
+    """
+    if bound < 0:
+        raise ValueError(f"bound must be >= 0, got {bound}")
+    gradients = np.atleast_2d(np.asarray(gradients, dtype=np.float64))
+    norms = gradient_norms(gradients)
+    scales = np.ones_like(norms)
+    positive = norms > 0
+    scales[positive] = np.minimum(1.0, bound / norms[positive])
+    return gradients * scales[:, None]
+
+
+def clipped_mean(gradients: np.ndarray, bound: float) -> np.ndarray:
+    """Mean of the rows after clipping each to ``bound``."""
+    return clip_gradients_to_norm(gradients, bound).mean(axis=0)

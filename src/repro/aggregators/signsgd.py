@@ -1,0 +1,43 @@
+"""signSGD with majority vote (Bernstein et al., ICML 2018).
+
+The server aggregates only the signs of the received gradients and takes the
+coordinate-wise majority.  The result is scaled by a configurable step size
+(by default the median gradient norm divided by sqrt(d)) so its magnitude is
+commensurate with the other rules in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+from repro.aggregators.norms import median_norm
+
+
+class SignSGDMajorityAggregator(Aggregator):
+    """Coordinate-wise majority vote over gradient signs."""
+
+    name = "signsgd"
+
+    def __init__(self, scale: Optional[float] = None):
+        if scale is not None and scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        votes = np.sign(gradients).sum(axis=0)
+        majority = np.sign(votes)
+        if self.scale is not None:
+            magnitude = self.scale
+        else:
+            dim = gradients.shape[1]
+            magnitude = median_norm(gradients) / np.sqrt(dim)
+        return AggregationResult(
+            gradient=majority * magnitude,
+            selected_indices=all_indices(gradients),
+            info={"rule": self.name, "magnitude": magnitude},
+        )

@@ -1,0 +1,44 @@
+"""Coordinate-wise trimmed mean (Yin et al., ICML 2018)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+
+
+class TrimmedMeanAggregator(Aggregator):
+    """Discard the ``trim`` largest and smallest values per coordinate, then average.
+
+    Args:
+        trim: number of values trimmed from each side of every coordinate.
+            When ``None`` the rule uses the server's Byzantine-count hint
+            (the paper gives the baselines this knowledge).
+    """
+
+    name = "trimmed_mean"
+    requires_byzantine_count = True
+
+    def __init__(self, trim: Optional[int] = None):
+        if trim is not None and trim < 0:
+            raise ValueError(f"trim must be >= 0, got {trim}")
+        self.trim = trim
+
+    def aggregate(
+        self, gradients: np.ndarray, context: ServerContext
+    ) -> AggregationResult:
+        n = len(gradients)
+        trim = self.trim if self.trim is not None else self._byzantine_count(gradients, context)
+        trim = int(min(trim, (n - 1) // 2))
+        if trim == 0:
+            aggregated = gradients.mean(axis=0)
+        else:
+            ordered = np.sort(gradients, axis=0)
+            aggregated = ordered[trim : n - trim].mean(axis=0)
+        return AggregationResult(
+            gradient=aggregated,
+            selected_indices=all_indices(gradients),
+            info={"rule": self.name, "trim": trim},
+        )

@@ -1,0 +1,37 @@
+"""Theoretical-analysis utilities for the SignGuard paper.
+
+* :mod:`repro.analysis.lie_theory` — the Section III analysis of the
+  Little-Is-Enough attack (Eq. 2's maximal attack factor, Proposition 1's
+  distance/cosine stealthiness comparison, sign-reversal conditions).
+* :mod:`repro.analysis.sign_stats` — the Fig. 2 experiment: sign statistics
+  of honest vs LIE-crafted gradients over training.
+* :mod:`repro.analysis.convergence` — Lemma 1's deviation bound and
+  Theorem 1's convergence error terms and learning-rate condition.
+"""
+
+from repro.analysis.lie_theory import (
+    LieStealthReport,
+    lie_sign_reversal_threshold,
+    lie_stealthiness_report,
+    lie_z_max,
+)
+from repro.analysis.sign_stats import SignStatisticsTrace, sign_statistics_of_vector
+from repro.analysis.convergence import (
+    ConvergenceBound,
+    lemma1_deviation_bound,
+    max_stable_learning_rate,
+    theorem1_bound,
+)
+
+__all__ = [
+    "lie_z_max",
+    "lie_sign_reversal_threshold",
+    "lie_stealthiness_report",
+    "LieStealthReport",
+    "SignStatisticsTrace",
+    "sign_statistics_of_vector",
+    "lemma1_deviation_bound",
+    "max_stable_learning_rate",
+    "theorem1_bound",
+    "ConvergenceBound",
+]

@@ -1,0 +1,126 @@
+"""Convergence analysis: Lemma 1 and Theorem 1 of the paper, in executable form.
+
+These helpers evaluate the closed-form error bounds so experiments (and
+tests) can check qualitative claims such as "Byzantine clients inevitably
+affect the convergence error in non-IID settings even when every malicious
+gradient is removed" (Remark 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_positive
+
+
+def lemma1_deviation_bound(
+    *, beta: float, kappa: float, sigma: float, num_clients: int
+) -> float:
+    """Lemma 1: bound on ``E||g_bar - grad F||^2`` when only benign clients average.
+
+    ``beta^2 kappa^2 / (1-beta)^2 + sigma^2 / ((1-beta) n)``.
+    """
+    check_fraction(beta, "beta")
+    if beta >= 1.0:
+        raise ValueError("beta must be < 1")
+    check_positive(kappa, "kappa", strict=False)
+    check_positive(sigma, "sigma", strict=False)
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    return (beta**2 * kappa**2) / (1 - beta) ** 2 + sigma**2 / ((1 - beta) * num_clients)
+
+
+def max_stable_learning_rate(*, delta: float, beta: float, smoothness: float) -> float:
+    """Theorem 1's learning-rate condition ``eta <= (2 - sqrt(delta) - 2 beta) / (4 L)``."""
+    check_fraction(delta, "delta")
+    check_fraction(beta, "beta")
+    check_positive(smoothness, "smoothness")
+    numerator = 2.0 - np.sqrt(delta) - 2.0 * beta
+    if numerator <= 0:
+        raise ValueError(
+            f"no stable learning rate exists for delta={delta}, beta={beta} "
+            "(the Byzantine fraction is too large for the bound)"
+        )
+    return float(numerator / (4.0 * smoothness))
+
+
+@dataclass
+class ConvergenceBound:
+    """Theorem 1's bound on the average squared gradient norm.
+
+    Attributes:
+        optimality_term: ``2 (F(x0) - F*) / (eta T)`` — vanishes as T grows.
+        delta1: the ``2 L eta Delta_1`` variance-driven term.
+        delta2: the ``Delta_2`` bias floor (nonzero whenever beta > 0 on
+            non-IID data, per Remark 2).
+    """
+
+    optimality_term: float
+    delta1: float
+    delta2: float
+
+    @property
+    def total(self) -> float:
+        """The full right-hand side of Theorem 1."""
+        return self.optimality_term + self.delta1 + self.delta2
+
+
+def theorem1_bound(
+    *,
+    initial_gap: float,
+    learning_rate: float,
+    rounds: int,
+    smoothness: float,
+    sigma: float,
+    kappa: float,
+    beta: float,
+    delta: float,
+    c: float = 1.0,
+    b: float = 0.0,
+    num_clients: int = 50,
+) -> ConvergenceBound:
+    """Evaluate Theorem 1's bound for concrete constants.
+
+    Args:
+        initial_gap: ``F(x0) - F*``.
+        learning_rate: step size ``eta`` (must satisfy the Theorem 1 condition).
+        rounds: number of iterations ``T``.
+        smoothness: Lipschitz constant ``L``.
+        sigma: local gradient-variance bound.
+        kappa: local-to-global gradient deviation bound (0 in IID settings).
+        beta: Byzantine fraction.
+        delta: fraction of Byzantine clients that circumvent the defense.
+        c, b: the Assumption 2 constants (bias coefficient and residual
+            standard deviation of the aggregation output).
+        num_clients: total number of clients ``n``.
+    """
+    check_positive(initial_gap, "initial_gap", strict=False)
+    check_positive(learning_rate, "learning_rate")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    check_positive(smoothness, "smoothness")
+    check_fraction(beta, "beta")
+    check_fraction(delta, "delta")
+    if delta > beta:
+        raise ValueError(f"delta ({delta}) cannot exceed beta ({beta})")
+    eta_max = max_stable_learning_rate(delta=delta, beta=beta, smoothness=smoothness)
+    if learning_rate > eta_max + 1e-12:
+        raise ValueError(
+            f"learning_rate={learning_rate} violates Theorem 1's condition "
+            f"(maximum {eta_max:.6f} for delta={delta}, beta={beta}, L={smoothness})"
+        )
+    variance_sum = sigma**2 + kappa**2
+    delta1 = (
+        4 * c * delta * variance_sum
+        + 2 * b**2
+        + 2 * beta**2 * kappa**2 / (1 - beta) ** 2
+        + 2 * sigma**2 / ((1 - beta) * num_clients)
+    )
+    delta2 = 4 * c * np.sqrt(delta) * variance_sum + beta * kappa**2 / (1 - beta) ** 2
+    return ConvergenceBound(
+        optimality_term=2 * initial_gap / (learning_rate * rounds),
+        delta1=2 * smoothness * learning_rate * delta1,
+        delta2=float(delta2),
+    )

@@ -1,0 +1,127 @@
+"""Section III analysis of the Little-Is-Enough attack.
+
+This module provides executable forms of the paper's theoretical claims:
+
+* Eq. (2): the maximal stealthy attack factor ``z_max`` (re-exported from the
+  attack implementation so the analysis and the attack always agree).
+* Eq. (3)/(5): how large ``z`` must be to reverse a coordinate's sign under
+  median and mean aggregation.
+* Proposition 1: with a small enough ``z`` the malicious gradient can be
+  *closer* to the true average and *more cosine-similar* to it than some
+  honest gradient — i.e. distance- and similarity-based defenses cannot
+  separate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.lie import lie_z_max  # noqa: F401  (re-exported)
+from repro.utils.validation import check_gradient_matrix
+
+
+def lie_sign_reversal_threshold(
+    mu_j: float, sigma_j: float, *, rule: str = "median", n: int = 50, m: int = 10
+) -> float:
+    """Minimal ``z`` that flips the sign of coordinate ``j`` (Eqs. 3 and 5).
+
+    Args:
+        mu_j: coordinate mean over honest gradients (assumed positive in the
+            paper's exposition; the absolute value is used).
+        sigma_j: coordinate standard deviation (must be positive).
+        rule: ``"median"`` (Eq. 3, the aggregate equals the malicious value)
+            or ``"mean"`` (Eq. 5, the malicious value is diluted by benign
+            clients).
+        n, m: total and Byzantine client counts (mean rule only).
+    """
+    if sigma_j <= 0:
+        raise ValueError(f"sigma_j must be positive, got {sigma_j}")
+    mu = abs(float(mu_j))
+    if rule == "median":
+        return mu / sigma_j
+    if rule == "mean":
+        if not 0 < m < n:
+            raise ValueError(f"need 0 < m < n, got n={n}, m={m}")
+        return n * mu / (m * sigma_j)
+    raise ValueError(f"rule must be 'median' or 'mean', got {rule!r}")
+
+
+@dataclass
+class LieStealthReport:
+    """Empirical check of Proposition 1 on a population of honest gradients.
+
+    Attributes:
+        malicious_distance: ``||g_m - g_bar||`` of the LIE gradient.
+        honest_distances: per-client distances ``||g_i - g_bar||``.
+        malicious_cosine: cosine similarity of the LIE gradient to the mean.
+        honest_cosines: per-client cosine similarities.
+        closer_than_fraction: fraction of honest clients *farther* from the
+            mean than the malicious gradient (Prop. 1, Eq. 6 asks for > 0).
+        more_similar_than_fraction: fraction of honest clients *less similar*
+            to the mean than the malicious gradient (Prop. 1, Eq. 7).
+        sign_disagreement: fraction of coordinates where the malicious
+            gradient's sign differs from the mean gradient's — the quantity
+            SignGuard exploits.
+    """
+
+    malicious_distance: float
+    honest_distances: np.ndarray
+    malicious_cosine: float
+    honest_cosines: np.ndarray
+    closer_than_fraction: float
+    more_similar_than_fraction: float
+    sign_disagreement: float
+
+    @property
+    def satisfies_distance_claim(self) -> bool:
+        """Eq. (6): some honest gradient is farther from the mean."""
+        return bool(self.closer_than_fraction > 0)
+
+    @property
+    def satisfies_cosine_claim(self) -> bool:
+        """Eq. (7): some honest gradient is less similar to the mean."""
+        return bool(self.more_similar_than_fraction > 0)
+
+
+def _cosine(a: np.ndarray, b: np.ndarray, epsilon: float = 1e-12) -> float:
+    return float(a @ b / (max(np.linalg.norm(a), epsilon) * max(np.linalg.norm(b), epsilon)))
+
+
+def lie_stealthiness_report(
+    honest_gradients: np.ndarray, *, z: float = 0.3
+) -> LieStealthReport:
+    """Evaluate Proposition 1's quantities for a concrete honest population.
+
+    Args:
+        honest_gradients: stacked honest gradients ``(n, d)``.
+        z: the LIE attack factor.
+    """
+    gradients = check_gradient_matrix(honest_gradients)
+    mean = gradients.mean(axis=0)
+    std = gradients.std(axis=0)
+    malicious = mean - z * std
+
+    honest_distances = np.linalg.norm(gradients - mean, axis=1)
+    malicious_distance = float(np.linalg.norm(malicious - mean))
+    honest_cosines = np.array([_cosine(g, mean) for g in gradients])
+    malicious_cosine = _cosine(malicious, mean)
+
+    mean_signs = np.sign(mean)
+    malicious_signs = np.sign(malicious)
+    relevant = mean_signs != 0
+    if relevant.any():
+        sign_disagreement = float(np.mean(malicious_signs[relevant] != mean_signs[relevant]))
+    else:
+        sign_disagreement = 0.0
+
+    return LieStealthReport(
+        malicious_distance=malicious_distance,
+        honest_distances=honest_distances,
+        malicious_cosine=malicious_cosine,
+        honest_cosines=honest_cosines,
+        closer_than_fraction=float(np.mean(honest_distances > malicious_distance)),
+        more_similar_than_fraction=float(np.mean(honest_cosines < malicious_cosine)),
+        sign_disagreement=sign_disagreement,
+    )

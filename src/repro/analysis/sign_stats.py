@@ -1,0 +1,65 @@
+"""Sign-statistics traces over training (the Fig. 2 experiment).
+
+The paper plots, over training iterations, the fractions of positive / zero /
+negative elements of (a) the averaged honest gradient and (b) a virtual
+malicious gradient crafted with the LIE rule.  The honest trace stays roughly
+balanced while the LIE trace collapses toward the negative side — the visual
+motivation for SignGuard's sign features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.features import sign_statistics
+from repro.utils.validation import check_gradient_matrix
+
+
+def sign_statistics_of_vector(vector: np.ndarray, *, zero_tolerance: float = 0.0) -> Dict[str, float]:
+    """Positive/zero/negative fractions of a single gradient vector."""
+    stats = sign_statistics(np.atleast_2d(vector), zero_tolerance=zero_tolerance)[0]
+    return {"positive": float(stats[0]), "zero": float(stats[1]), "negative": float(stats[2])}
+
+
+@dataclass
+class SignStatisticsTrace:
+    """Accumulates per-iteration sign statistics of honest and LIE gradients."""
+
+    z: float = 0.3
+    honest: List[Dict[str, float]] = field(default_factory=list)
+    malicious: List[Dict[str, float]] = field(default_factory=list)
+
+    def record(self, honest_gradients: np.ndarray) -> None:
+        """Record one iteration given the stacked honest gradients."""
+        gradients = check_gradient_matrix(honest_gradients)
+        mean = gradients.mean(axis=0)
+        std = gradients.std(axis=0)
+        crafted = mean - self.z * std
+        self.honest.append(sign_statistics_of_vector(mean))
+        self.malicious.append(sign_statistics_of_vector(crafted))
+
+    def __len__(self) -> int:
+        return len(self.honest)
+
+    def series(self, which: str, component: str) -> np.ndarray:
+        """Return one component series (e.g. ``series("malicious", "negative")``)."""
+        if which not in {"honest", "malicious"}:
+            raise ValueError(f"which must be 'honest' or 'malicious', got {which!r}")
+        if component not in {"positive", "zero", "negative"}:
+            raise ValueError(
+                f"component must be 'positive', 'zero', or 'negative', got {component!r}"
+            )
+        rows = self.honest if which == "honest" else self.malicious
+        return np.array([row[component] for row in rows])
+
+    def summary(self) -> Dict[str, float]:
+        """Mean fractions across the recorded iterations (both traces)."""
+        result: Dict[str, float] = {}
+        for which in ("honest", "malicious"):
+            for component in ("positive", "zero", "negative"):
+                series = self.series(which, component)
+                result[f"{which}_{component}"] = float(series.mean()) if len(series) else float("nan")
+        return result

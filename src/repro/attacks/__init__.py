@@ -1,0 +1,43 @@
+"""Model- and data-poisoning attacks evaluated in the paper.
+
+Every attack implements :class:`~repro.attacks.base.Attack`: given the full
+matrix of honestly computed gradients (the paper's omniscient threat model)
+and the set of Byzantine client indices, it returns the malicious gradients
+those clients submit instead.  The label-flipping attack is the exception —
+it poisons the clients' *data*, so its gradient transform is the identity and
+the federated clients apply :func:`repro.data.poisoning.flip_labels` locally.
+"""
+
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.simple import (
+    NoAttack,
+    NoiseAttack,
+    RandomAttack,
+    ReverseScalingAttack,
+    SignFlipAttack,
+)
+from repro.attacks.labelflip import LabelFlipAttack
+from repro.attacks.lie import LittleIsEnoughAttack, lie_z_max
+from repro.attacks.byzmean import ByzMeanAttack
+from repro.attacks.minmax_minsum import MinMaxAttack, MinSumAttack
+from repro.attacks.time_varying import TimeVaryingAttack
+from repro.attacks.factory import ATTACK_REGISTRY, build_attack
+
+__all__ = [
+    "Attack",
+    "AttackContext",
+    "NoAttack",
+    "RandomAttack",
+    "NoiseAttack",
+    "SignFlipAttack",
+    "ReverseScalingAttack",
+    "LabelFlipAttack",
+    "LittleIsEnoughAttack",
+    "lie_z_max",
+    "ByzMeanAttack",
+    "MinMaxAttack",
+    "MinSumAttack",
+    "TimeVaryingAttack",
+    "ATTACK_REGISTRY",
+    "build_attack",
+]

@@ -1,0 +1,113 @@
+"""Attack interface and the per-round context handed to attacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_gradient_matrix
+
+
+@dataclass
+class AttackContext:
+    """Everything an (omniscient) attacker can see in one round.
+
+    Attributes:
+        round_index: current federated round (0-based).
+        num_clients: total number of clients ``n``.
+        byzantine_indices: indices of the clients controlled by the attacker.
+        rng: the attacker's random generator.
+        global_gradient: previous round's aggregated gradient, if any.
+        extra: free-form channel for attack-specific knowledge.
+    """
+
+    round_index: int
+    num_clients: int
+    byzantine_indices: np.ndarray
+    rng: np.random.Generator
+    global_gradient: Optional[np.ndarray] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_byzantine(self) -> int:
+        return len(self.byzantine_indices)
+
+    @classmethod
+    def make(
+        cls,
+        *,
+        round_index: int = 0,
+        num_clients: int,
+        byzantine_indices,
+        rng: RngLike = None,
+        global_gradient: Optional[np.ndarray] = None,
+    ) -> "AttackContext":
+        """Convenience constructor used by tests and the simulator."""
+        return cls(
+            round_index=round_index,
+            num_clients=num_clients,
+            byzantine_indices=np.asarray(byzantine_indices, dtype=int),
+            rng=as_rng(rng),
+            global_gradient=global_gradient,
+        )
+
+
+class Attack:
+    """Base class for model-poisoning attacks.
+
+    Subclasses override :meth:`craft`, which receives the *honest* gradients
+    of every client (the omniscient threat model of the paper: the attacker
+    knows all benign gradients and the Byzantine clients can collude) and
+    returns the malicious gradients the Byzantine clients will submit.
+    """
+
+    name: str = "attack"
+    #: True when the attack corrupts the local training data (label flipping)
+    #: rather than the submitted gradient.
+    poisons_data: bool = False
+
+    def craft(
+        self, honest_gradients: np.ndarray, context: AttackContext
+    ) -> np.ndarray:
+        """Return malicious gradients of shape ``(num_byzantine, dim)``."""
+        raise NotImplementedError
+
+    def apply(
+        self, honest_gradients: np.ndarray, context: AttackContext
+    ) -> np.ndarray:
+        """Return the full gradient matrix after replacing Byzantine rows.
+
+        This is the entry point used by the federated server simulation; it
+        validates shapes and leaves benign rows untouched.
+        """
+        gradients = check_gradient_matrix(honest_gradients).copy()
+        byzantine = np.asarray(context.byzantine_indices, dtype=int)
+        if len(byzantine) == 0:
+            return gradients
+        if byzantine.min() < 0 or byzantine.max() >= len(gradients):
+            raise ValueError(
+                f"byzantine indices {byzantine} out of range for "
+                f"{len(gradients)} clients"
+            )
+        malicious = np.atleast_2d(self.craft(gradients, context))
+        if malicious.shape != (len(byzantine), gradients.shape[1]):
+            raise ValueError(
+                f"{self.name} produced malicious gradients of shape "
+                f"{malicious.shape}, expected {(len(byzantine), gradients.shape[1])}"
+            )
+        gradients[byzantine] = malicious
+        return gradients
+
+    def benign_rows(
+        self, honest_gradients: np.ndarray, context: AttackContext
+    ) -> np.ndarray:
+        """Honest gradients of the clients *not* controlled by the attacker."""
+        mask = np.ones(len(honest_gradients), dtype=bool)
+        mask[np.asarray(context.byzantine_indices, dtype=int)] = False
+        return honest_gradients[mask]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"

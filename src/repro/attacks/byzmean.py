@@ -1,0 +1,72 @@
+"""The ByzMean hybrid attack proposed in Section III of the SignGuard paper.
+
+The Byzantine clients split into two groups: ``m1`` clients submit an
+arbitrary target gradient ``g_m1`` (by default the LIE-crafted gradient),
+and the remaining ``m2 = m - m1`` clients submit
+
+    g_m2 = ((n - m1) * g_m1 - sum_{benign} g_i) / m2          (Eq. 8)
+
+so that the *mean* of all submitted gradients equals ``g_m1`` exactly.  Any
+defense that trusts the sample mean (or a mildly trimmed version of it) is
+therefore steered to the attacker's chosen vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.lie import LittleIsEnoughAttack
+from repro.attacks.simple import RandomAttack
+
+
+class ByzMeanAttack(Attack):
+    """Hybrid attack that forces the gradient mean to an arbitrary vector.
+
+    Args:
+        inner: the attack used to produce the target gradient ``g_m1``.
+            Defaults to the LIE attack (the paper's strongest configuration);
+            any other :class:`Attack` can be plugged in, e.g.
+            :class:`RandomAttack` for a noise target.
+        m1_fraction: fraction of Byzantine clients in the first group; the
+            paper uses ``m1 = floor(0.5 m)``.
+    """
+
+    name = "byzmean"
+
+    def __init__(self, inner: Optional[Attack] = None, *, m1_fraction: float = 0.5):
+        if not 0.0 <= m1_fraction <= 1.0:
+            raise ValueError(f"m1_fraction must be in [0, 1], got {m1_fraction}")
+        self.inner = inner if inner is not None else LittleIsEnoughAttack(z=0.3)
+        self.m1_fraction = m1_fraction
+
+    def _target_gradient(
+        self, honest_gradients: np.ndarray, context: AttackContext
+    ) -> np.ndarray:
+        """The arbitrary gradient ``g_m1`` the attacker wants the mean to become."""
+        if isinstance(self.inner, LittleIsEnoughAttack):
+            return self.inner.malicious_gradient(honest_gradients, context)
+        crafted = np.atleast_2d(self.inner.craft(honest_gradients, context))
+        return crafted[0]
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        num_byzantine = context.num_byzantine
+        num_clients = context.num_clients
+        m1 = int(np.floor(self.m1_fraction * num_byzantine))
+        m2 = num_byzantine - m1
+        target = self._target_gradient(honest_gradients, context)
+        benign = self.benign_rows(honest_gradients, context)
+
+        if m2 == 0:
+            # Degenerate split: every Byzantine client sends the target.
+            return np.tile(target, (num_byzantine, 1))
+
+        benign_sum = benign.sum(axis=0)
+        # Eq. (8): choose g_m2 so that the overall mean equals the target.
+        compensating = ((num_clients - m1) * target - benign_sum) / m2
+        malicious = np.empty((num_byzantine, honest_gradients.shape[1]))
+        malicious[:m1] = target
+        malicious[m1:] = compensating
+        return malicious

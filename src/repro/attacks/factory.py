@@ -1,0 +1,48 @@
+"""Attack factory: build registered attacks by name."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.attacks.base import Attack
+from repro.attacks.byzmean import ByzMeanAttack
+from repro.attacks.labelflip import LabelFlipAttack
+from repro.attacks.lie import LittleIsEnoughAttack
+from repro.attacks.minmax_minsum import MinMaxAttack, MinSumAttack
+from repro.attacks.simple import (
+    NoAttack,
+    NoiseAttack,
+    RandomAttack,
+    ReverseScalingAttack,
+    SignFlipAttack,
+)
+from repro.attacks.time_varying import TimeVaryingAttack
+from repro.utils.registry import Registry
+
+ATTACK_REGISTRY = Registry("attacks")
+
+ATTACK_REGISTRY.register("no_attack", NoAttack)
+ATTACK_REGISTRY.register("random", RandomAttack)
+ATTACK_REGISTRY.register("noise", NoiseAttack)
+ATTACK_REGISTRY.register("sign_flip", SignFlipAttack)
+ATTACK_REGISTRY.register("reverse_scaling", ReverseScalingAttack)
+ATTACK_REGISTRY.register("label_flip", LabelFlipAttack)
+ATTACK_REGISTRY.register("lie", LittleIsEnoughAttack)
+ATTACK_REGISTRY.register("byzmean", ByzMeanAttack)
+ATTACK_REGISTRY.register("min_max", MinMaxAttack)
+ATTACK_REGISTRY.register("min_sum", MinSumAttack)
+ATTACK_REGISTRY.register("time_varying", TimeVaryingAttack)
+
+ATTACK_REGISTRY.register_alias("none", "no_attack")
+ATTACK_REGISTRY.register_alias("little_is_enough", "lie")
+ATTACK_REGISTRY.register_alias("alie", "lie")
+ATTACK_REGISTRY.register_alias("signflip", "sign_flip")
+ATTACK_REGISTRY.register_alias("labelflip", "label_flip")
+ATTACK_REGISTRY.register_alias("minmax", "min_max")
+ATTACK_REGISTRY.register_alias("minsum", "min_sum")
+
+
+def build_attack(name: str, params: Dict[str, Any] = None) -> Attack:
+    """Instantiate the attack registered under ``name`` with ``params``."""
+    params = dict(params or {})
+    return ATTACK_REGISTRY.create(name, **params)

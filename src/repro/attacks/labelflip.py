@@ -1,0 +1,29 @@
+"""Label-flipping data-poisoning attack.
+
+The Byzantine clients train honestly but on datasets whose labels have been
+flipped with the rule ``l -> C - 1 - l`` (see
+:func:`repro.data.poisoning.flip_labels`).  At the gradient level this attack
+is the identity: the poisoned gradients are exactly the honest training
+procedure applied to corrupted data, which is what makes the attack
+stealthy against norm- and distance-based defenses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+
+
+class LabelFlipAttack(Attack):
+    """Marker attack: gradient transform is the identity, data is poisoned."""
+
+    name = "label_flip"
+    poisons_data = True
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        # The "honest" gradients of Byzantine clients were already computed on
+        # flipped labels by the client (see repro.fl.client.ByzantineClient),
+        # so they are forwarded unchanged.
+        byzantine = np.asarray(context.byzantine_indices, dtype=int)
+        return honest_gradients[byzantine].copy()

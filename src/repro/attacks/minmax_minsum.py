@@ -1,0 +1,151 @@
+"""Min-Max and Min-Sum optimization attacks (Shejwalkar & Houmansadr, NDSS 2021).
+
+Both attacks craft a single malicious gradient
+
+    g_m = f_avg(g_benign) + gamma * delta_p                     (Eq. 13)
+
+where ``delta_p`` is a perturbation direction (the paper's default is the
+negative coordinate-wise standard deviation) and ``gamma`` is maximized
+subject to a stealth constraint:
+
+* Min-Max (Eq. 14): the malicious gradient's maximal distance to any benign
+  gradient stays within the maximal benign-to-benign distance.
+* Min-Sum (Eq. 15): the malicious gradient's *sum of squared* distances to
+  the benign gradients stays within the maximal such sum for any benign
+  gradient.
+
+``gamma`` is found by the standard halving/doubling search used in the
+original attack implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+
+
+def _max_pairwise_sq_distance(gradients: np.ndarray) -> float:
+    """Maximum squared distance between any two rows."""
+    sq_norms = np.sum(gradients**2, axis=1)
+    squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
+    np.maximum(squared, 0.0, out=squared)
+    return float(squared.max())
+
+
+def _max_sum_sq_distance(gradients: np.ndarray) -> float:
+    """Maximum over rows of the sum of squared distances to all other rows."""
+    sq_norms = np.sum(gradients**2, axis=1)
+    squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
+    np.maximum(squared, 0.0, out=squared)
+    return float(squared.sum(axis=1).max())
+
+
+class _OptimizedPerturbationAttack(Attack):
+    """Shared gamma-search machinery for Min-Max and Min-Sum."""
+
+    #: perturbation choices: negative std (default), negative unit mean, negative sign
+    perturbation: str = "std"
+
+    def __init__(
+        self,
+        *,
+        perturbation: str = "std",
+        gamma_init: float = 10.0,
+        tolerance: float = 1e-3,
+        max_iterations: int = 50,
+    ):
+        if perturbation not in {"std", "unit", "sign"}:
+            raise ValueError(
+                f"perturbation must be 'std', 'unit', or 'sign', got {perturbation!r}"
+            )
+        if gamma_init <= 0:
+            raise ValueError(f"gamma_init must be positive, got {gamma_init}")
+        self.perturbation = perturbation
+        self.gamma_init = gamma_init
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+
+    def _perturbation_vector(self, benign: np.ndarray) -> np.ndarray:
+        if self.perturbation == "std":
+            vector = -benign.std(axis=0)
+        elif self.perturbation == "unit":
+            mean = benign.mean(axis=0)
+            norm = np.linalg.norm(mean)
+            vector = -mean / norm if norm > 0 else -mean
+        else:  # sign
+            vector = -np.sign(benign.mean(axis=0))
+        if np.linalg.norm(vector) == 0:
+            # Degenerate case (identical benign gradients): fall back to a
+            # uniform negative direction so the attack is still well-defined.
+            vector = -np.ones(benign.shape[1]) / np.sqrt(benign.shape[1])
+        return vector
+
+    def _constraint_satisfied(
+        self, candidate: np.ndarray, benign: np.ndarray
+    ) -> bool:
+        raise NotImplementedError
+
+    def _optimize_gamma(self, benign: np.ndarray) -> float:
+        """Largest gamma satisfying the stealth constraint (halving search)."""
+        mean = benign.mean(axis=0)
+        perturbation = self._perturbation_vector(benign)
+
+        def satisfied(gamma: float) -> bool:
+            return self._constraint_satisfied(mean + gamma * perturbation, benign)
+
+        gamma = self.gamma_init
+        step = self.gamma_init / 2.0
+        best = 0.0
+        for _ in range(self.max_iterations):
+            if satisfied(gamma):
+                best = gamma
+                gamma = gamma + step
+            else:
+                gamma = gamma - step
+            step /= 2.0
+            if step < self.tolerance:
+                break
+            gamma = max(gamma, 0.0)
+        return best
+
+    def malicious_gradient(
+        self, honest_gradients: np.ndarray, context: AttackContext
+    ) -> np.ndarray:
+        """The single crafted gradient shared by all Byzantine clients."""
+        benign = self.benign_rows(honest_gradients, context)
+        if len(benign) < 2:
+            # Not enough benign gradients to estimate spread; send the mean.
+            return benign.mean(axis=0) if len(benign) else np.zeros(
+                honest_gradients.shape[1]
+            )
+        gamma = self._optimize_gamma(benign)
+        return benign.mean(axis=0) + gamma * self._perturbation_vector(benign)
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        crafted = self.malicious_gradient(honest_gradients, context)
+        return np.tile(crafted, (context.num_byzantine, 1))
+
+
+class MinMaxAttack(_OptimizedPerturbationAttack):
+    """Min-Max attack: stay within the benign clique's diameter (Eq. 14)."""
+
+    name = "min_max"
+
+    def _constraint_satisfied(self, candidate: np.ndarray, benign: np.ndarray) -> bool:
+        max_benign_sq = _max_pairwise_sq_distance(benign)
+        distances_sq = np.sum((benign - candidate) ** 2, axis=1)
+        return float(distances_sq.max()) <= max_benign_sq
+
+
+class MinSumAttack(_OptimizedPerturbationAttack):
+    """Min-Sum attack: bound the sum of squared distances to benign gradients (Eq. 15)."""
+
+    name = "min_sum"
+
+    def _constraint_satisfied(self, candidate: np.ndarray, benign: np.ndarray) -> bool:
+        max_benign_sum = _max_sum_sq_distance(benign)
+        distances_sq = np.sum((benign - candidate) ** 2, axis=1)
+        return float(distances_sq.sum()) <= max_benign_sum

@@ -1,0 +1,91 @@
+"""Simple model-poisoning attacks: no-attack, random, noise, sign-flip, reverse scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+
+
+class NoAttack(Attack):
+    """Byzantine clients behave honestly (the paper's benchmark column)."""
+
+    name = "no_attack"
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        byzantine = np.asarray(context.byzantine_indices, dtype=int)
+        return honest_gradients[byzantine].copy()
+
+
+class RandomAttack(Attack):
+    """Byzantine clients send pure Gaussian noise ``N(mu, sigma^2 I)``.
+
+    The paper uses ``mu = 0`` and ``sigma = 0.5``.
+    """
+
+    name = "random"
+
+    def __init__(self, mean: float = 0.0, std: float = 0.5):
+        if std < 0:
+            raise ValueError(f"std must be >= 0, got {std}")
+        self.mean = mean
+        self.std = std
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        dim = honest_gradients.shape[1]
+        return context.rng.normal(
+            self.mean, self.std, size=(context.num_byzantine, dim)
+        )
+
+
+class NoiseAttack(Attack):
+    """Byzantine clients add Gaussian noise to their own honest gradients.
+
+    ``g_m = g_b + N(mu, sigma^2 I)`` with the same noise parameters as
+    :class:`RandomAttack`.
+    """
+
+    name = "noise"
+
+    def __init__(self, mean: float = 0.0, std: float = 0.5):
+        if std < 0:
+            raise ValueError(f"std must be >= 0, got {std}")
+        self.mean = mean
+        self.std = std
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        byzantine = np.asarray(context.byzantine_indices, dtype=int)
+        own = honest_gradients[byzantine]
+        noise = context.rng.normal(self.mean, self.std, size=own.shape)
+        return own + noise
+
+
+class SignFlipAttack(Attack):
+    """Byzantine clients send their reversed gradients ``g_m = -g_b`` (no scaling)."""
+
+    name = "sign_flip"
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        byzantine = np.asarray(context.byzantine_indices, dtype=int)
+        return -honest_gradients[byzantine]
+
+
+class ReverseScalingAttack(Attack):
+    """Reverse attack with scaling (Table III's "Reverse" row).
+
+    The Byzantine clients send ``-r * g_b`` where the scaling coefficient
+    ``r`` is chosen adversarially: the paper uses the norm-filter's upper
+    bound ``R`` when thresholding/clipping is present, and ``r = 100`` when
+    it is not.
+    """
+
+    name = "reverse_scaling"
+
+    def __init__(self, scale: float = 100.0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        byzantine = np.asarray(context.byzantine_indices, dtype=int)
+        return -self.scale * honest_gradients[byzantine]

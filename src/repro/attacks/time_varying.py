@@ -1,0 +1,74 @@
+"""Time-varying attack strategy (Fig. 5 of the paper).
+
+The attacker changes its attack randomly at every round/epoch, drawing from a
+pool that includes the no-attack behaviour.  Defenses that rely on stable
+attack signatures degrade badly under this strategy; SignGuard's per-round
+filtering is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.byzmean import ByzMeanAttack
+from repro.attacks.lie import LittleIsEnoughAttack
+from repro.attacks.minmax_minsum import MinMaxAttack, MinSumAttack
+from repro.attacks.simple import NoAttack, RandomAttack, SignFlipAttack
+from repro.utils.rng import RngLike, as_rng
+
+
+def default_attack_pool() -> List[Attack]:
+    """The rotation used by the paper's Fig. 5 experiment (incl. no attack)."""
+    return [
+        NoAttack(),
+        RandomAttack(),
+        SignFlipAttack(),
+        LittleIsEnoughAttack(z=0.3),
+        ByzMeanAttack(),
+        MinMaxAttack(),
+        MinSumAttack(),
+    ]
+
+
+class TimeVaryingAttack(Attack):
+    """Randomly switch the underlying attack every ``switch_every`` rounds."""
+
+    name = "time_varying"
+
+    def __init__(
+        self,
+        pool: Optional[Sequence[Attack]] = None,
+        *,
+        switch_every: int = 1,
+        rng: RngLike = None,
+    ):
+        if switch_every < 1:
+            raise ValueError(f"switch_every must be >= 1, got {switch_every}")
+        self.pool: List[Attack] = list(pool) if pool is not None else default_attack_pool()
+        if not self.pool:
+            raise ValueError("attack pool must be non-empty")
+        self.switch_every = switch_every
+        self._rng = as_rng(rng)
+        self._current: Attack = self.pool[0]
+        self._current_round: int = -1
+
+    @property
+    def poisons_data(self) -> bool:  # type: ignore[override]
+        # Data poisoning requires a decision before training starts, which is
+        # incompatible with per-round switching, so pools never flip labels.
+        return False
+
+    def current_attack(self, round_index: int) -> Attack:
+        """The attack in effect at ``round_index`` (switching if due)."""
+        period = round_index // self.switch_every
+        if period != self._current_round:
+            self._current = self.pool[int(self._rng.integers(len(self.pool)))]
+            self._current_round = period
+        return self._current
+
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
+        attack = self.current_attack(context.round_index)
+        return attack.craft(honest_gradients, context)

@@ -1,0 +1,31 @@
+"""From-scratch clustering algorithms used by SignGuard's filtering stage.
+
+The paper uses Mean-Shift (with an adaptive number of clusters) over
+low-dimensional gradient features, falling back to K-Means with two clusters
+when all malicious clients send identical vectors.  scikit-learn is not
+available in this environment, so the algorithms are implemented here on top
+of numpy.  They are deliberately written for small inputs (tens of points,
+a handful of dimensions) — exactly the regime of the server-side filter.
+"""
+
+from repro.clustering.kmeans import KMeans, kmeans_plus_plus_init
+from repro.clustering.meanshift import MeanShift, estimate_bandwidth
+from repro.clustering.dbscan import DBSCAN
+from repro.clustering.agglomerative import AgglomerativeClustering
+from repro.clustering.metrics import (
+    davies_bouldin_score,
+    pairwise_distances,
+    silhouette_score,
+)
+
+__all__ = [
+    "KMeans",
+    "kmeans_plus_plus_init",
+    "MeanShift",
+    "estimate_bandwidth",
+    "DBSCAN",
+    "AgglomerativeClustering",
+    "silhouette_score",
+    "davies_bouldin_score",
+    "pairwise_distances",
+]

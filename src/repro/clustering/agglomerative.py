@@ -1,0 +1,83 @@
+"""Bottom-up agglomerative clustering (single / complete / average linkage).
+
+Used in tests as an independent reference clustering and available as an
+alternative backend for the sign-based filter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.metrics import pairwise_distances
+
+_LINKAGES = ("single", "complete", "average")
+
+
+class AgglomerativeClustering:
+    """Hierarchical clustering cut at ``n_clusters`` clusters.
+
+    Attributes set by :meth:`fit`:
+        labels_: cluster index per sample (relabelled to 0..k-1).
+    """
+
+    def __init__(self, n_clusters: int = 2, *, linkage: str = "average"):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if linkage not in _LINKAGES:
+            raise ValueError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.labels_: Optional[np.ndarray] = None
+
+    def _merge_distance(self, d_ab: float, d_cb: float, size_a: int, size_c: int) -> float:
+        if self.linkage == "single":
+            return min(d_ab, d_cb)
+        if self.linkage == "complete":
+            return max(d_ab, d_cb)
+        return (size_a * d_ab + size_c * d_cb) / (size_a + size_c)
+
+    def fit(self, x: np.ndarray) -> "AgglomerativeClustering":
+        """Cluster the rows of ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n_samples = len(x)
+        if n_samples < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} samples, got {n_samples}"
+            )
+        distances = pairwise_distances(x)
+        np.fill_diagonal(distances, np.inf)
+        active = list(range(n_samples))
+        members = {i: [i] for i in range(n_samples)}
+        dist = distances.copy()
+        while len(active) > self.n_clusters:
+            # Find the closest pair among active clusters.
+            best_pair = None
+            best_distance = np.inf
+            for ia, a in enumerate(active):
+                for b in active[ia + 1 :]:
+                    if dist[a, b] < best_distance:
+                        best_distance = dist[a, b]
+                        best_pair = (a, b)
+            a, b = best_pair
+            # Merge b into a using the configured linkage.
+            for c in active:
+                if c in (a, b):
+                    continue
+                merged = self._merge_distance(
+                    dist[a, c], dist[b, c], len(members[a]), len(members[b])
+                )
+                dist[a, c] = dist[c, a] = merged
+            members[a].extend(members[b])
+            del members[b]
+            active.remove(b)
+        labels = np.empty(n_samples, dtype=int)
+        for new_label, cluster in enumerate(sorted(members)):
+            labels[members[cluster]] = new_label
+        self.labels_ = labels
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit and return the cluster label of every sample."""
+        return self.fit(x).labels_

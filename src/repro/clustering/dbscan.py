@@ -1,0 +1,92 @@
+"""DBSCAN density-based clustering.
+
+Provided as an alternative unsupervised filter backend: it naturally flags
+isolated malicious feature vectors as noise (label ``-1``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.metrics import pairwise_distances
+
+NOISE = -1
+UNVISITED = -2
+
+
+class DBSCAN:
+    """Classic DBSCAN on a precomputed Euclidean distance matrix.
+
+    Attributes set by :meth:`fit`:
+        labels_: cluster index per sample, ``-1`` marks noise.
+        n_clusters_: number of discovered clusters (noise excluded).
+        core_sample_indices_: indices of core samples.
+    """
+
+    def __init__(self, eps: float = 0.5, min_samples: int = 3):
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.labels_: Optional[np.ndarray] = None
+        self.n_clusters_: int = 0
+        self.core_sample_indices_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "DBSCAN":
+        """Cluster the rows of ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n_samples = len(x)
+        distances = pairwise_distances(x)
+        neighbors = [np.flatnonzero(distances[i] <= self.eps) for i in range(n_samples)]
+        is_core = np.array(
+            [len(neighbors[i]) >= self.min_samples for i in range(n_samples)]
+        )
+        labels = np.full(n_samples, UNVISITED, dtype=int)
+        cluster_index = 0
+        for i in range(n_samples):
+            if labels[i] != UNVISITED:
+                continue
+            if not is_core[i]:
+                labels[i] = NOISE
+                continue
+            # Grow a new cluster from this core point via BFS.
+            labels[i] = cluster_index
+            queue = deque(neighbors[i])
+            while queue:
+                j = queue.popleft()
+                if labels[j] == NOISE:
+                    labels[j] = cluster_index
+                if labels[j] != UNVISITED:
+                    continue
+                labels[j] = cluster_index
+                if is_core[j]:
+                    queue.extend(neighbors[j])
+            cluster_index += 1
+        self.labels_ = labels
+        self.n_clusters_ = cluster_index
+        self.core_sample_indices_ = np.flatnonzero(is_core)
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit and return the cluster label of every sample."""
+        return self.fit(x).labels_
+
+    def largest_cluster(self) -> np.ndarray:
+        """Indices of the most populated non-noise cluster.
+
+        Falls back to all indices when every point is noise, so a defense
+        using DBSCAN never discards the entire round.
+        """
+        if self.labels_ is None:
+            raise RuntimeError("DBSCAN must be fitted before use")
+        valid = self.labels_[self.labels_ >= 0]
+        if len(valid) == 0:
+            return np.arange(len(self.labels_))
+        counts = np.bincount(valid)
+        winner = int(np.argmax(counts))
+        return np.flatnonzero(self.labels_ == winner)

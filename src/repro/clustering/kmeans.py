@@ -1,0 +1,120 @@
+"""K-Means clustering with k-means++ initialization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+
+
+def kmeans_plus_plus_init(
+    x: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Pick ``n_clusters`` initial centroids with the k-means++ heuristic."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    n_samples = len(x)
+    if n_clusters > n_samples:
+        raise ValueError(
+            f"n_clusters={n_clusters} exceeds the number of samples {n_samples}"
+        )
+    centroids = np.empty((n_clusters, x.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n_samples))
+    centroids[0] = x[first]
+    closest_sq = np.sum((x - centroids[0]) ** 2, axis=1)
+    for k in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing centroid.
+            centroids[k:] = x[int(rng.integers(n_samples))]
+            break
+        probabilities = closest_sq / total
+        chosen = int(rng.choice(n_samples, p=probabilities))
+        centroids[k] = x[chosen]
+        new_sq = np.sum((x - centroids[k]) ** 2, axis=1)
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centroids
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and multiple restarts.
+
+    Attributes set by :meth:`fit`:
+        cluster_centers_: array of shape ``(n_clusters, dim)``.
+        labels_: cluster index per sample.
+        inertia_: within-cluster sum of squared distances.
+        n_iter_: iterations run by the best restart.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 2,
+        *,
+        n_init: int = 5,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        rng: RngLike = None,
+    ):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = as_rng(rng)
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    def _single_run(self, x: np.ndarray) -> tuple:
+        centroids = kmeans_plus_plus_init(x, self.n_clusters, self._rng)
+        labels = np.zeros(len(x), dtype=int)
+        inertia = np.inf
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = np.linalg.norm(x[:, None, :] - centroids[None, :, :], axis=2)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for k in range(self.n_clusters):
+                members = x[labels == k]
+                if len(members) > 0:
+                    new_centroids[k] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            inertia = float(
+                np.sum((x - centroids[labels]) ** 2)
+            )
+            if shift <= self.tol:
+                break
+        return centroids, labels, inertia, iteration
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        """Cluster the rows of ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if len(x) < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} samples, got {len(x)}"
+            )
+        best = None
+        for _ in range(self.n_init):
+            centroids, labels, inertia, n_iter = self._single_run(x)
+            if best is None or inertia < best[2]:
+                best = (centroids, labels, inertia, n_iter)
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit and return the cluster label of every sample."""
+        return self.fit(x).labels_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Assign each row of ``x`` to its nearest learned centroid."""
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans must be fitted before calling predict")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        distances = np.linalg.norm(
+            x[:, None, :] - self.cluster_centers_[None, :, :], axis=2
+        )
+        return np.argmin(distances, axis=1)

@@ -1,0 +1,133 @@
+"""Mean-Shift clustering with a flat (uniform) kernel.
+
+This is the clustering model used by SignGuard's sign-based filter: it does
+not require the number of clusters in advance, which matches the defender's
+ignorance of the exact number of malicious clients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.metrics import pairwise_distances
+
+
+def estimate_bandwidth(x: np.ndarray, *, quantile: float = 0.3) -> float:
+    """Estimate a kernel bandwidth from the pairwise-distance distribution.
+
+    The bandwidth is the ``quantile``-th quantile of all pairwise distances,
+    the standard heuristic for Mean-Shift on small feature sets.  A strictly
+    positive floor avoids a degenerate zero bandwidth when many points
+    coincide (e.g. identical malicious feature vectors).
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    if len(x) < 2:
+        return 1.0
+    distances = pairwise_distances(x)
+    upper = distances[np.triu_indices(len(x), k=1)]
+    bandwidth = float(np.quantile(upper, quantile))
+    if bandwidth <= 0.0:
+        positive = upper[upper > 0]
+        bandwidth = float(positive.min()) if len(positive) else 1e-3
+    return bandwidth
+
+
+class MeanShift:
+    """Flat-kernel Mean-Shift.
+
+    Every sample is shifted to the mean of its neighbours within
+    ``bandwidth`` until convergence; converged modes closer than the
+    bandwidth are merged into a single cluster.
+
+    Attributes set by :meth:`fit`:
+        cluster_centers_: one row per discovered mode.
+        labels_: cluster index per sample.
+        n_clusters_: number of discovered clusters.
+    """
+
+    def __init__(
+        self,
+        bandwidth: Optional[float] = None,
+        *,
+        max_iter: int = 200,
+        tol: float = 1e-5,
+        quantile: float = 0.3,
+    ):
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = bandwidth
+        self.max_iter = max_iter
+        self.tol = tol
+        self.quantile = quantile
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.n_clusters_: int = 0
+
+    def fit(self, x: np.ndarray) -> "MeanShift":
+        """Cluster the rows of ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n_samples = len(x)
+        if n_samples == 0:
+            raise ValueError("cannot cluster an empty feature matrix")
+        bandwidth = self.bandwidth
+        if bandwidth is None:
+            bandwidth = estimate_bandwidth(x, quantile=self.quantile)
+
+        # Shift every point towards the local mean until convergence.
+        points = x.copy()
+        for _ in range(self.max_iter):
+            distances = pairwise_distances(points, x)
+            within = distances <= bandwidth
+            # Every point is within the bandwidth of itself, so the
+            # neighbourhood is never empty.
+            weights = within.astype(np.float64)
+            counts = weights.sum(axis=1, keepdims=True)
+            shifted = (weights @ x) / counts
+            movement = float(np.max(np.linalg.norm(shifted - points, axis=1)))
+            points = shifted
+            if movement <= self.tol:
+                break
+
+        # Merge modes that landed within one bandwidth of each other.
+        centers: list = []
+        labels = np.full(n_samples, -1, dtype=int)
+        for i in range(n_samples):
+            assigned = False
+            for cluster_index, center in enumerate(centers):
+                if np.linalg.norm(points[i] - center) <= bandwidth:
+                    labels[i] = cluster_index
+                    assigned = True
+                    break
+            if not assigned:
+                centers.append(points[i])
+                labels[i] = len(centers) - 1
+
+        # Refine centers as the mean of their member points (in input space).
+        refined = np.vstack(
+            [x[labels == k].mean(axis=0) for k in range(len(centers))]
+        )
+        self.cluster_centers_ = refined
+        self.labels_ = labels
+        self.n_clusters_ = len(centers)
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit and return the cluster label of every sample."""
+        return self.fit(x).labels_
+
+    def largest_cluster(self) -> np.ndarray:
+        """Indices of samples in the most populated cluster.
+
+        This is the "trusted set" selection rule from the SignGuard paper:
+        the majority cluster is assumed to consist of honest gradients.
+        Ties are broken towards the lowest cluster index for determinism.
+        """
+        if self.labels_ is None:
+            raise RuntimeError("MeanShift must be fitted before use")
+        counts = np.bincount(self.labels_, minlength=self.n_clusters_)
+        winner = int(np.argmax(counts))
+        return np.flatnonzero(self.labels_ == winner)

@@ -1,0 +1,53 @@
+"""SignGuard: collaborative malicious-gradient filtering (the paper's contribution).
+
+The framework (Algorithm 2 of the paper) processes the received gradients
+through multiple filters in parallel and aggregates the intersection of
+their outputs:
+
+1. **Norm-based thresholding** — the median gradient norm is the reference;
+   gradients whose relative norm falls outside ``[L, R]`` are discarded.
+2. **Sign-based clustering** — sign statistics (fractions of positive, zero,
+   and negative elements on a random coordinate subset), optionally augmented
+   with a similarity feature, are clustered with Mean-Shift; the largest
+   cluster is trusted.
+3. **Aggregation** — the trusted intersection is averaged after clipping
+   every gradient to the median norm.
+
+Three variants are exposed, matching the paper:
+
+* :class:`SignGuard` — sign statistics only (the "plain" variant).
+* :class:`SignGuardSim` — adds cosine similarity to the previous aggregate.
+* :class:`SignGuardDist` — adds Euclidean distance to the previous aggregate.
+"""
+
+from repro.core.features import (
+    GradientFeatures,
+    cosine_similarity_feature,
+    euclidean_distance_feature,
+    extract_features,
+    sign_statistics,
+)
+from repro.core.filters import (
+    FilterDecision,
+    GradientFilter,
+    NormThresholdFilter,
+    SignClusteringFilter,
+)
+from repro.core.pipeline import SignGuardPipeline
+from repro.core.signguard import SignGuard, SignGuardDist, SignGuardSim
+
+__all__ = [
+    "GradientFeatures",
+    "sign_statistics",
+    "cosine_similarity_feature",
+    "euclidean_distance_feature",
+    "extract_features",
+    "FilterDecision",
+    "GradientFilter",
+    "NormThresholdFilter",
+    "SignClusteringFilter",
+    "SignGuardPipeline",
+    "SignGuard",
+    "SignGuardSim",
+    "SignGuardDist",
+]

@@ -1,0 +1,178 @@
+"""Gradient feature extraction for SignGuard's clustering filter.
+
+The paper's key observation (Section III) is that the element-wise *sign*
+distribution of a gradient is a robust fingerprint: well-crafted attacks such
+as Little-Is-Enough keep the malicious gradient close to the benign ones in
+Euclidean distance and cosine similarity, but cannot avoid shifting a large
+fraction of coordinates across zero, which shows up directly in the
+proportions of positive / zero / negative elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_fraction, check_gradient_matrix
+
+
+@dataclass
+class GradientFeatures:
+    """Per-client feature matrix plus bookkeeping about how it was built.
+
+    Attributes:
+        matrix: array of shape ``(n_clients, n_features)``.
+        feature_names: human-readable name of every column.
+        coordinates: the coordinate subset the sign statistics were computed
+            on (``None`` means all coordinates).
+    """
+
+    matrix: np.ndarray
+    feature_names: tuple
+    coordinates: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.matrix)
+
+
+def sign_statistics(
+    gradients: np.ndarray,
+    *,
+    coordinates: Optional[np.ndarray] = None,
+    zero_tolerance: float = 0.0,
+) -> np.ndarray:
+    """Fractions of positive, zero, and negative elements per gradient.
+
+    Args:
+        gradients: stacked gradients ``(n_clients, dim)``.
+        coordinates: optional index subset on which to compute the statistics
+            (SignGuard's randomized coordinate selection).
+        zero_tolerance: entries with ``|g_j| <= zero_tolerance`` count as zero
+            (exact zeros are common for ReLU networks; a tolerance lets the
+            caller treat numerically tiny values the same way).
+
+    Returns:
+        Array of shape ``(n_clients, 3)`` with columns (positive, zero,
+        negative) fractions, each row summing to 1.
+    """
+    gradients = check_gradient_matrix(gradients)
+    if coordinates is not None:
+        coordinates = np.asarray(coordinates, dtype=int)
+        if coordinates.size == 0:
+            raise ValueError("coordinates subset must be non-empty")
+        gradients = gradients[:, coordinates]
+    if zero_tolerance < 0:
+        raise ValueError(f"zero_tolerance must be >= 0, got {zero_tolerance}")
+    dim = gradients.shape[1]
+    positive_count = (gradients > zero_tolerance).sum(axis=1)
+    negative_count = (gradients < -zero_tolerance).sum(axis=1)
+    zero_count = dim - positive_count - negative_count
+    return np.column_stack([positive_count, zero_count, negative_count]) / dim
+
+
+def select_random_coordinates(
+    dim: int, fraction: float, rng: RngLike = None
+) -> np.ndarray:
+    """Randomly select ``fraction`` of the coordinate indices (at least one)."""
+    check_fraction(fraction, "fraction")
+    rng = as_rng(rng)
+    count = max(int(round(fraction * dim)), 1)
+    return np.sort(rng.choice(dim, size=count, replace=False))
+
+
+def cosine_similarity_feature(
+    gradients: np.ndarray, reference: Optional[np.ndarray], *, epsilon: float = 1e-12
+) -> np.ndarray:
+    """Cosine similarity of every gradient to a reference gradient.
+
+    When no reference is available (the first round, or a defense configured
+    without history) the pairwise-median fallback from the paper is used:
+    each gradient's feature is the median cosine similarity to all the other
+    gradients.
+    """
+    gradients = check_gradient_matrix(gradients)
+    norms = np.linalg.norm(gradients, axis=1)
+    if reference is not None and np.linalg.norm(reference) > epsilon:
+        reference = np.asarray(reference, dtype=np.float64)
+        return (gradients @ reference) / (
+            np.maximum(norms, epsilon) * np.linalg.norm(reference)
+        )
+    # Pairwise-median fallback.
+    normalized = gradients / np.maximum(norms, epsilon)[:, None]
+    similarity = normalized @ normalized.T
+    np.fill_diagonal(similarity, np.nan)
+    return np.nanmedian(similarity, axis=1)
+
+
+def euclidean_distance_feature(
+    gradients: np.ndarray, reference: Optional[np.ndarray]
+) -> np.ndarray:
+    """Euclidean distance of every gradient to a reference gradient.
+
+    Uses the same pairwise-median fallback as the cosine feature when no
+    reference is available.  Distances are normalized by their median so the
+    feature scale is comparable with the sign fractions.
+    """
+    gradients = check_gradient_matrix(gradients)
+    if reference is not None and np.asarray(reference).size == gradients.shape[1]:
+        reference = np.asarray(reference, dtype=np.float64)
+        distances = np.linalg.norm(gradients - reference, axis=1)
+    else:
+        sq_norms = np.sum(gradients**2, axis=1)
+        squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
+        np.maximum(squared, 0.0, out=squared)
+        pairwise = np.sqrt(squared)
+        np.fill_diagonal(pairwise, np.nan)
+        distances = np.nanmedian(pairwise, axis=1)
+    scale = np.median(distances)
+    if scale > 0:
+        distances = distances / scale
+    return distances
+
+
+def extract_features(
+    gradients: np.ndarray,
+    *,
+    coordinate_fraction: float = 0.1,
+    similarity: str = "none",
+    reference: Optional[np.ndarray] = None,
+    rng: RngLike = None,
+) -> GradientFeatures:
+    """Build the clustering feature matrix used by the sign filter.
+
+    Args:
+        gradients: stacked gradients ``(n_clients, dim)``.
+        coordinate_fraction: fraction of coordinates randomly selected for the
+            sign statistics (the paper uses 10%).
+        similarity: ``"none"`` (plain SignGuard), ``"cosine"``
+            (SignGuard-Sim), or ``"euclidean"`` (SignGuard-Dist).
+        reference: the "correct" gradient used by the similarity feature —
+            in practice the previous round's aggregate.
+        rng: randomness for the coordinate selection.
+    """
+    gradients = check_gradient_matrix(gradients)
+    rng = as_rng(rng)
+    dim = gradients.shape[1]
+    coordinates = select_random_coordinates(dim, coordinate_fraction, rng)
+    features = [sign_statistics(gradients, coordinates=coordinates)]
+    names = ["positive_fraction", "zero_fraction", "negative_fraction"]
+
+    if similarity == "cosine":
+        features.append(cosine_similarity_feature(gradients, reference)[:, None])
+        names.append("cosine_similarity")
+    elif similarity == "euclidean":
+        features.append(euclidean_distance_feature(gradients, reference)[:, None])
+        names.append("euclidean_distance")
+    elif similarity != "none":
+        raise ValueError(
+            f"similarity must be 'none', 'cosine', or 'euclidean', got {similarity!r}"
+        )
+
+    return GradientFeatures(
+        matrix=np.hstack(features),
+        feature_names=tuple(names),
+        coordinates=coordinates,
+    )

@@ -1,0 +1,119 @@
+"""The SignGuard filtering pipeline (Algorithm 2).
+
+The pipeline runs the enabled filters in parallel over the received
+gradients, intersects their trusted sets, and aggregates the survivors with
+a norm-clipped mean.  Each stage can be toggled independently, which is what
+the Table III ablation exercises (thresholding / clustering / norm-clipping).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.aggregators.norms import clip_gradients_to_norm, median_norm
+from repro.core.filters import FilterDecision, NormThresholdFilter, SignClusteringFilter
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_gradient_matrix
+
+
+class SignGuardPipeline:
+    """Composable SignGuard: norm filter ∩ sign-clustering filter → clipped mean.
+
+    Args:
+        use_norm_threshold: enable the norm-based thresholding filter.
+        use_sign_clustering: enable the sign-based clustering filter.
+        use_norm_clipping: clip every trusted gradient to the median norm
+            before averaging.
+        lower, upper: relative-norm bounds for the thresholding filter
+            (the paper's defaults are ``L = 0.1`` and ``R = 3.0``).
+        similarity: ``"none"`` / ``"cosine"`` / ``"euclidean"`` — selects the
+            plain / -Sim / -Dist feature sets.
+        coordinate_fraction: fraction of coordinates used for sign statistics
+            (the paper uses 10%).
+        clustering: clustering backend for the sign filter.
+    """
+
+    def __init__(
+        self,
+        *,
+        use_norm_threshold: bool = True,
+        use_sign_clustering: bool = True,
+        use_norm_clipping: bool = True,
+        lower: float = 0.1,
+        upper: float = 3.0,
+        similarity: str = "none",
+        coordinate_fraction: float = 0.1,
+        clustering: str = "meanshift",
+        bandwidth_quantile: float = 0.5,
+    ):
+        if not (use_norm_threshold or use_sign_clustering or use_norm_clipping):
+            raise ValueError("at least one defensive component must be enabled")
+        self.use_norm_threshold = use_norm_threshold
+        self.use_sign_clustering = use_sign_clustering
+        self.use_norm_clipping = use_norm_clipping
+        self.norm_filter = NormThresholdFilter(lower=lower, upper=upper)
+        self.sign_filter = SignClusteringFilter(
+            similarity=similarity,
+            coordinate_fraction=coordinate_fraction,
+            clustering=clustering,
+            bandwidth_quantile=bandwidth_quantile,
+        )
+
+    def filter(
+        self,
+        gradients: np.ndarray,
+        *,
+        reference: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+    ) -> FilterDecision:
+        """Run the enabled filters and return the intersected trusted set."""
+        gradients = check_gradient_matrix(gradients)
+        rng = as_rng(rng)
+        decision = FilterDecision(selected_indices=np.arange(len(gradients)))
+        if self.use_norm_threshold:
+            decision = decision.intersect(
+                self.norm_filter.apply(gradients, reference=reference, rng=rng)
+            )
+        if self.use_sign_clustering:
+            decision = decision.intersect(
+                self.sign_filter.apply(gradients, reference=reference, rng=rng)
+            )
+        if len(decision.selected_indices) == 0:
+            # Never let the round fail completely: fall back to trusting the
+            # gradient with the median norm (a conservative, norm-robust pick).
+            norms = np.linalg.norm(gradients, axis=1)
+            fallback = int(np.argsort(norms)[len(norms) // 2])
+            decision = FilterDecision(
+                selected_indices=np.array([fallback]),
+                info={**decision.info, "fallback": True},
+            )
+        return decision
+
+    def aggregate(
+        self,
+        gradients: np.ndarray,
+        *,
+        reference: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+    ) -> Dict[str, Any]:
+        """Full Algorithm 2: filter, then norm-clipped mean over the trusted set.
+
+        Returns a dict with keys ``gradient``, ``selected_indices``, ``info``
+        (consumed by the aggregator wrappers in :mod:`repro.core.signguard`).
+        """
+        gradients = check_gradient_matrix(gradients)
+        rng = as_rng(rng)
+        decision = self.filter(gradients, reference=reference, rng=rng)
+        trusted = gradients[decision.selected_indices]
+        if self.use_norm_clipping:
+            bound = median_norm(gradients)
+            trusted = clip_gradients_to_norm(trusted, bound)
+            decision.info["clip_bound"] = bound
+        aggregated = trusted.mean(axis=0)
+        return {
+            "gradient": aggregated,
+            "selected_indices": decision.selected_indices,
+            "info": decision.info,
+        }

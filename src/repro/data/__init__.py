@@ -1,0 +1,47 @@
+"""Synthetic datasets, client partitioning, and batching.
+
+The paper's experiments run on MNIST, Fashion-MNIST, CIFAR-10, and AG-News;
+none of those can be downloaded in this offline environment, so this package
+provides synthetic generators that preserve the properties the defense
+pipeline depends on (learnable class structure, configurable difficulty,
+image vs. text modality), plus the paper's IID and sort-and-partition
+non-IID client partitioning schemes.
+"""
+
+from repro.data.datasets import ArrayDataset, DataSpec, Dataset
+from repro.data.dataloader import BatchLoader
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_dataset,
+    sort_and_partition,
+)
+from repro.data.poisoning import flip_labels
+from repro.data.synthetic_images import (
+    make_cifar_like,
+    make_fashion_like,
+    make_mnist_like,
+    make_synthetic_images,
+)
+from repro.data.synthetic_text import make_agnews_like, make_synthetic_text
+from repro.data.factory import DATASET_REGISTRY, build_dataset
+
+__all__ = [
+    "ArrayDataset",
+    "DataSpec",
+    "Dataset",
+    "BatchLoader",
+    "iid_partition",
+    "sort_and_partition",
+    "dirichlet_partition",
+    "partition_dataset",
+    "flip_labels",
+    "make_synthetic_images",
+    "make_mnist_like",
+    "make_fashion_like",
+    "make_cifar_like",
+    "make_synthetic_text",
+    "make_agnews_like",
+    "DATASET_REGISTRY",
+    "build_dataset",
+]

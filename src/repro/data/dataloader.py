@@ -1,0 +1,45 @@
+"""Mini-batch sampling from a client's local dataset."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.utils.rng import RngLike, as_rng
+
+
+class BatchLoader:
+    """Random mini-batch sampler over an :class:`ArrayDataset`.
+
+    ``sample`` draws one random batch (the access pattern used by the
+    federated clients, which run a single local iteration per round by
+    default); ``epoch`` iterates over the full dataset once in shuffled
+    order.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int, *, rng: RngLike = None):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if len(dataset) == 0:
+            raise ValueError("cannot build a loader over an empty dataset")
+        self.dataset = dataset
+        self.batch_size = min(batch_size, len(dataset))
+        self._rng = as_rng(rng)
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one random mini-batch (without replacement within the batch)."""
+        indices = self._rng.choice(len(self.dataset), size=self.batch_size, replace=False)
+        return self.dataset[indices]
+
+    def epoch(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate over the dataset once in shuffled order."""
+        order = self._rng.permutation(len(self.dataset))
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            yield self.dataset[batch]
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        return int(np.ceil(len(self.dataset) / self.batch_size))

@@ -1,0 +1,40 @@
+"""Dataset factory: build a registered synthetic dataset by name."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.datasets import TrainTestSplit
+from repro.data.synthetic_images import make_cifar_like, make_fashion_like, make_mnist_like
+from repro.data.synthetic_text import make_agnews_like
+from repro.utils.registry import Registry
+from repro.utils.rng import RngLike
+
+DATASET_REGISTRY = Registry("datasets")
+
+DATASET_REGISTRY.register("mnist_like", make_mnist_like)
+DATASET_REGISTRY.register("fashion_like", make_fashion_like)
+DATASET_REGISTRY.register("cifar_like", make_cifar_like)
+DATASET_REGISTRY.register("agnews_like", make_agnews_like)
+DATASET_REGISTRY.register_alias("mnist", "mnist_like")
+DATASET_REGISTRY.register_alias("fashion_mnist", "fashion_like")
+DATASET_REGISTRY.register_alias("cifar10", "cifar_like")
+DATASET_REGISTRY.register_alias("ag_news", "agnews_like")
+
+
+def build_dataset(
+    name: str,
+    *,
+    num_train: int = 2000,
+    num_test: int = 500,
+    rng: RngLike = None,
+    **overrides: Any,
+) -> TrainTestSplit:
+    """Instantiate the dataset registered under ``name``.
+
+    The four registered names correspond to the paper's four tasks:
+    ``mnist_like``, ``fashion_like``, ``cifar_like``, and ``agnews_like``.
+    """
+    return DATASET_REGISTRY.create(
+        name, num_train=num_train, num_test=num_test, rng=rng, **overrides
+    )

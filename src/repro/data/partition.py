@@ -1,0 +1,164 @@
+"""Client partitioning schemes: IID, the paper's sort-and-partition, Dirichlet.
+
+All partitioners return a list of index arrays (one per client) into the
+training set; clients then construct their local dataset views from these.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_fraction
+
+
+def iid_partition(
+    dataset: ArrayDataset, num_clients: int, *, rng: RngLike = None
+) -> List[np.ndarray]:
+    """Shuffle the dataset and deal it out evenly to ``num_clients`` clients."""
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if len(dataset) < num_clients:
+        raise ValueError(
+            f"cannot partition {len(dataset)} samples among {num_clients} clients"
+        )
+    rng = as_rng(rng)
+    permutation = rng.permutation(len(dataset))
+    return [np.sort(chunk) for chunk in np.array_split(permutation, num_clients)]
+
+
+def sort_and_partition(
+    dataset: ArrayDataset,
+    num_clients: int,
+    *,
+    iid_fraction: float = 0.5,
+    shards_per_client: int = 2,
+    rng: RngLike = None,
+) -> List[np.ndarray]:
+    """The paper's synthetic non-IID scheme (Section VI-B).
+
+    An ``iid_fraction`` (the paper's ``s``) of the data is spread uniformly
+    across clients; the remaining ``1 - s`` fraction is sorted by label,
+    split into ``num_clients * shards_per_client`` shards (each shard is
+    label-homogeneous), and every client receives ``shards_per_client``
+    random shards.  Smaller ``s`` therefore means more skew.
+    """
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    check_fraction(iid_fraction, "iid_fraction")
+    if shards_per_client < 1:
+        raise ValueError(f"shards_per_client must be >= 1, got {shards_per_client}")
+    rng = as_rng(rng)
+    total = len(dataset)
+    permutation = rng.permutation(total)
+    num_iid = int(round(iid_fraction * total))
+    iid_indices = permutation[:num_iid]
+    skewed_indices = permutation[num_iid:]
+
+    # Deal the IID portion evenly.
+    assignments: List[List[int]] = [[] for _ in range(num_clients)]
+    for client, chunk in enumerate(np.array_split(iid_indices, num_clients)):
+        assignments[client].extend(chunk.tolist())
+
+    # Sort the remaining portion by label and deal shards.
+    if len(skewed_indices) > 0:
+        sorted_skewed = skewed_indices[np.argsort(dataset.labels[skewed_indices], kind="stable")]
+        num_shards = num_clients * shards_per_client
+        shards = np.array_split(sorted_skewed, num_shards)
+        shard_order = rng.permutation(num_shards)
+        for position, shard_index in enumerate(shard_order):
+            client = position % num_clients
+            assignments[client].extend(shards[shard_index].tolist())
+
+    return [np.sort(np.asarray(indices, dtype=int)) for indices in assignments]
+
+
+def dirichlet_partition(
+    dataset: ArrayDataset,
+    num_clients: int,
+    *,
+    alpha: float = 0.5,
+    min_samples: int = 1,
+    rng: RngLike = None,
+    max_retries: int = 50,
+) -> List[np.ndarray]:
+    """Label-Dirichlet partitioning, the other standard non-IID benchmark.
+
+    For each class, sample client proportions from ``Dirichlet(alpha)`` and
+    split that class's samples accordingly.  Retries until every client has
+    at least ``min_samples`` samples.
+    """
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    rng = as_rng(rng)
+    num_classes = dataset.spec.num_classes
+    for _ in range(max_retries):
+        assignments: List[List[int]] = [[] for _ in range(num_clients)]
+        for cls in range(num_classes):
+            class_indices = np.flatnonzero(dataset.labels == cls)
+            if len(class_indices) == 0:
+                continue
+            class_indices = rng.permutation(class_indices)
+            proportions = rng.dirichlet(alpha * np.ones(num_clients))
+            boundaries = (np.cumsum(proportions)[:-1] * len(class_indices)).astype(int)
+            for client, chunk in enumerate(np.split(class_indices, boundaries)):
+                assignments[client].extend(chunk.tolist())
+        sizes = [len(indices) for indices in assignments]
+        if min(sizes) >= min_samples:
+            return [np.sort(np.asarray(indices, dtype=int)) for indices in assignments]
+    raise RuntimeError(
+        f"failed to produce a Dirichlet partition with at least {min_samples} "
+        f"samples per client after {max_retries} attempts"
+    )
+
+
+def partition_dataset(
+    dataset: ArrayDataset,
+    num_clients: int,
+    *,
+    scheme: str = "iid",
+    iid_fraction: float = 1.0,
+    shards_per_client: int = 2,
+    dirichlet_alpha: float = 0.5,
+    rng: RngLike = None,
+) -> List[np.ndarray]:
+    """Dispatch to a partitioning scheme by name (used by the experiment runner)."""
+    if scheme == "iid":
+        return iid_partition(dataset, num_clients, rng=rng)
+    if scheme == "sort_and_partition":
+        return sort_and_partition(
+            dataset,
+            num_clients,
+            iid_fraction=iid_fraction,
+            shards_per_client=shards_per_client,
+            rng=rng,
+        )
+    if scheme == "dirichlet":
+        return dirichlet_partition(dataset, num_clients, alpha=dirichlet_alpha, rng=rng)
+    raise ValueError(f"unknown partition scheme {scheme!r}")
+
+
+def partition_skew(dataset: ArrayDataset, partitions: List[np.ndarray]) -> float:
+    """Quantify label skew of a partition: mean total-variation distance.
+
+    Returns the average (over clients) total-variation distance between a
+    client's label distribution and the global label distribution.  0 means
+    perfectly IID, values near 1 mean each client sees essentially one class.
+    """
+    global_counts = dataset.class_counts().astype(float)
+    global_dist = global_counts / global_counts.sum()
+    distances = []
+    for indices in partitions:
+        if len(indices) == 0:
+            continue
+        local_counts = np.bincount(
+            dataset.labels[indices], minlength=dataset.spec.num_classes
+        ).astype(float)
+        local_dist = local_counts / local_counts.sum()
+        distances.append(0.5 * np.abs(local_dist - global_dist).sum())
+    return float(np.mean(distances)) if distances else 0.0

@@ -1,0 +1,47 @@
+"""Data-poisoning transforms applied on the client side.
+
+The label-flipping attack from the paper is a *data* poisoning attack: the
+Byzantine client trains honestly but on corrupted labels, so the malicious
+gradient is produced by the normal training code path over a flipped dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+
+
+def flip_labels(dataset: ArrayDataset) -> ArrayDataset:
+    """Return a copy of ``dataset`` with every label ``l`` replaced by ``C-1-l``.
+
+    This is the exact flipping rule from Section V-B of the paper, where ``C``
+    is the number of classes.
+    """
+    num_classes = dataset.spec.num_classes
+    flipped = (num_classes - 1) - dataset.labels
+    return dataset.with_labels(flipped)
+
+
+def flip_labels_pairwise(dataset: ArrayDataset, source: int, target: int) -> ArrayDataset:
+    """Targeted variant: relabel every ``source`` sample as ``target``.
+
+    Not used by the paper's untargeted evaluation, but provided for backdoor
+    style experiments on top of the same infrastructure.
+    """
+    num_classes = dataset.spec.num_classes
+    for value, name in ((source, "source"), (target, "target")):
+        if not 0 <= value < num_classes:
+            raise ValueError(f"{name} class {value} out of range [0, {num_classes})")
+    labels = dataset.labels.copy()
+    labels[labels == source] = target
+    return dataset.with_labels(labels)
+
+
+def poison_fraction(original: ArrayDataset, poisoned: ArrayDataset) -> float:
+    """Fraction of labels that differ between two views of the same inputs."""
+    if len(original) != len(poisoned):
+        raise ValueError("datasets must have the same length")
+    if len(original) == 0:
+        return 0.0
+    return float(np.mean(original.labels != poisoned.labels))

@@ -1,0 +1,27 @@
+"""Federated-learning simulation: clients, server, and the experiment runner.
+
+The simulation follows Algorithm 1 of the paper: synchronous rounds with full
+client participation, one local iteration of mini-batch SGD per round, and a
+robust gradient aggregation rule on the server.  Byzantine clients are
+simulated by computing honest gradients first and then letting the configured
+attack replace them (the omniscient-attacker threat model), except for the
+label-flipping attack which poisons the clients' local data instead.
+"""
+
+from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
+from repro.fl.server import FederatedServer
+from repro.fl.simulation import FederatedSimulation
+from repro.fl.metrics import attack_impact, evaluate_model
+from repro.fl.experiment import run_experiment, run_grid
+
+__all__ = [
+    "FederatedClient",
+    "BenignClient",
+    "ByzantineClient",
+    "FederatedServer",
+    "FederatedSimulation",
+    "attack_impact",
+    "evaluate_model",
+    "run_experiment",
+    "run_grid",
+]

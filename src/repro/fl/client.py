@@ -1,0 +1,121 @@
+"""Federated clients: benign and Byzantine.
+
+Clients in this simulation are *stateless with respect to model parameters*:
+the global model lives on the server/simulator and every client computes its
+gradient at the current global parameters (Algorithm 1 of the paper with one
+local iteration).  A client owns only its local dataset and batch sampler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataloader import BatchLoader
+from repro.data.datasets import ArrayDataset
+from repro.data.poisoning import flip_labels
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.vectorize import get_flat_gradients
+from repro.utils.rng import RngLike, as_rng
+
+
+class FederatedClient:
+    """Base federated client owning a local dataset shard.
+
+    Args:
+        client_id: index of the client in the federation.
+        dataset: the client's local training data.
+        batch_size: mini-batch size for local gradient computation.
+        local_iterations: number of mini-batches averaged into the submitted
+            gradient (the paper uses 1).
+        rng: seed or generator for batch sampling.
+    """
+
+    is_byzantine: bool = False
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: ArrayDataset,
+        *,
+        batch_size: int = 32,
+        local_iterations: int = 1,
+        rng: RngLike = None,
+    ):
+        if local_iterations < 1:
+            raise ValueError(f"local_iterations must be >= 1, got {local_iterations}")
+        self.client_id = client_id
+        self.dataset = dataset
+        self.local_iterations = local_iterations
+        self.loader = BatchLoader(dataset, batch_size, rng=as_rng(rng))
+        self._loss_fn = CrossEntropyLoss()
+        self.last_loss: float = float("nan")
+
+    @property
+    def num_samples(self) -> int:
+        """Number of local training samples."""
+        return len(self.dataset)
+
+    def compute_gradient(self, model: Module) -> np.ndarray:
+        """Compute the client's local stochastic gradient at the current model.
+
+        The model's parameters are treated as read-only; only its gradient
+        buffers are used as scratch space and are zeroed before returning.
+        """
+        accumulated: Optional[np.ndarray] = None
+        losses = []
+        model.train()
+        for _ in range(self.local_iterations):
+            inputs, labels = self.loader.sample()
+            model.zero_grad()
+            logits = model(inputs)
+            losses.append(self._loss_fn(logits, labels))
+            model.backward(self._loss_fn.backward())
+            gradient = get_flat_gradients(model)
+            accumulated = gradient if accumulated is None else accumulated + gradient
+        model.zero_grad()
+        self.last_loss = float(np.mean(losses))
+        assert accumulated is not None
+        return accumulated / self.local_iterations
+
+
+class BenignClient(FederatedClient):
+    """A client that always reports its honest local gradient."""
+
+    is_byzantine = False
+
+
+class ByzantineClient(FederatedClient):
+    """A client controlled by the attacker.
+
+    The gradient it *computes* is still the honest gradient over its local
+    data (or over label-flipped data when the configured attack poisons
+    data); the attacker-side transformation of the submitted gradients is
+    applied centrally by the simulation, which matches the paper's
+    omniscient, colluding threat model.
+    """
+
+    is_byzantine = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: ArrayDataset,
+        *,
+        batch_size: int = 32,
+        local_iterations: int = 1,
+        poison_labels: bool = False,
+        rng: RngLike = None,
+    ):
+        if poison_labels:
+            dataset = flip_labels(dataset)
+        super().__init__(
+            client_id,
+            dataset,
+            batch_size=batch_size,
+            local_iterations=local_iterations,
+            rng=rng,
+        )
+        self.poison_labels = poison_labels

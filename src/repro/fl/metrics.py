@@ -1,0 +1,61 @@
+"""Evaluation metrics for federated experiments."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+
+
+def evaluate_model(
+    model: Module, dataset: ArrayDataset, *, batch_size: int = 256
+) -> Tuple[float, float]:
+    """Return (accuracy, mean loss) of ``model`` on ``dataset``.
+
+    Evaluation is batched so large test sets do not blow up memory; the model
+    is switched to eval mode (and back to train mode) around the pass.
+    """
+    loss_fn = CrossEntropyLoss()
+    model.eval()
+    correct = 0
+    total_loss = 0.0
+    total = len(dataset)
+    for start in range(0, total, batch_size):
+        inputs, labels = dataset[np.arange(start, min(start + batch_size, total))]
+        logits = model(inputs)
+        total_loss += loss_fn(logits, labels) * len(labels)
+        correct += int(np.sum(np.argmax(logits, axis=1) == labels))
+    model.train()
+    return correct / total, total_loss / total
+
+
+def attack_impact(baseline_accuracy: float, attacked_accuracy: float) -> float:
+    """The paper's attack-impact metric (Definition 3): accuracy drop vs baseline.
+
+    Clamped below at 0 so a defense that happens to beat the undefended
+    baseline reports zero impact rather than a negative one.
+    """
+    return max(float(baseline_accuracy) - float(attacked_accuracy), 0.0)
+
+
+def selection_confusion(
+    selected_indices: np.ndarray, byzantine_indices: np.ndarray, num_clients: int
+) -> dict:
+    """Benign/Byzantine selection counts for one round (Table II bookkeeping).
+
+    Returns a dict with the number of benign and Byzantine clients selected
+    and their totals.
+    """
+    selected = set(int(i) for i in np.asarray(selected_indices).ravel())
+    byzantine = set(int(i) for i in np.asarray(byzantine_indices).ravel())
+    benign = set(range(num_clients)) - byzantine
+    return {
+        "benign_selected": len(selected & benign),
+        "benign_total": len(benign),
+        "byzantine_selected": len(selected & byzantine),
+        "byzantine_total": len(byzantine),
+    }

@@ -1,0 +1,77 @@
+"""The parameter server: aggregates gradients and updates the global model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.utils.rng import RngLike, as_rng
+
+
+class FederatedServer:
+    """Holds the global model, the defense (aggregation rule), and the optimizer.
+
+    Args:
+        model: the global model.
+        aggregator: the gradient aggregation rule (defense).
+        learning_rate, momentum, weight_decay: server-side SGD parameters
+            (the paper applies momentum/weight decay at the model update).
+        num_byzantine_hint: Byzantine count passed to rules that require it
+            (Krum, Bulyan, trimmed mean...).  SignGuard ignores it.
+        rng: server-side randomness (SignGuard's coordinate sampling, DnC's
+            coordinate subsampling).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        aggregator: Aggregator,
+        *,
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 5e-4,
+        num_byzantine_hint: Optional[int] = None,
+        rng: RngLike = None,
+    ):
+        self.model = model
+        self.aggregator = aggregator
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=learning_rate,
+            momentum=momentum,
+            weight_decay=weight_decay,
+        )
+        self.num_byzantine_hint = num_byzantine_hint
+        self._rng = as_rng(rng)
+        self._previous_gradient: Optional[np.ndarray] = None
+        self.round_index = 0
+
+    @property
+    def learning_rate(self) -> float:
+        return self.optimizer.lr
+
+    @learning_rate.setter
+    def learning_rate(self, value: float) -> None:
+        self.optimizer.lr = value
+
+    def make_context(self) -> ServerContext:
+        """Build the per-round context handed to the aggregation rule."""
+        return ServerContext(
+            round_index=self.round_index,
+            rng=self._rng,
+            previous_gradient=self._previous_gradient,
+            num_byzantine_hint=self.num_byzantine_hint,
+        )
+
+    def aggregate_and_update(self, gradients: np.ndarray) -> AggregationResult:
+        """Run the defense on the submitted gradients and update the model."""
+        context = self.make_context()
+        result = self.aggregator(gradients, context)
+        self.optimizer.apply_gradient_vector(result.gradient)
+        self._previous_gradient = np.asarray(result.gradient, dtype=np.float64).copy()
+        self.round_index += 1
+        return result

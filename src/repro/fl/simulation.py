@@ -1,0 +1,172 @@
+"""The federated-learning simulation loop (Algorithm 1 of the paper)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+from repro.attacks.base import Attack, AttackContext
+from repro.attacks.simple import NoAttack
+from repro.data.datasets import ArrayDataset, TrainTestSplit
+from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
+from repro.fl.metrics import evaluate_model, selection_confusion
+from repro.fl.server import FederatedServer
+from repro.nn.module import Module
+from repro.utils.recording import RoundRecord, RunRecorder
+from repro.utils.rng import RngFactory
+from repro.utils.validation import check_byzantine_count
+
+
+class FederatedSimulation:
+    """Synchronous federated training with Byzantine clients and a defense.
+
+    This is the lowest-level runner: it takes already-constructed clients, a
+    server (model + defense + optimizer), and an attack, and runs rounds.
+    Most callers go through :func:`repro.fl.experiment.run_experiment`, which
+    builds all the pieces from an :class:`~repro.utils.config.ExperimentConfig`.
+
+    Args:
+        server: the federated server (global model, defense, optimizer).
+        clients: the full client population (benign and Byzantine mixed).
+        attack: the attack mounted by the Byzantine clients.
+        test_dataset: held-out data for accuracy evaluation.
+        attack_rng: randomness available to the attacker.
+        eval_every: evaluate test accuracy every this many rounds.
+        lr_decay: multiplicative learning-rate decay applied per round.
+    """
+
+    def __init__(
+        self,
+        server: FederatedServer,
+        clients: Sequence[FederatedClient],
+        attack: Attack,
+        test_dataset: ArrayDataset,
+        *,
+        attack_rng=None,
+        eval_every: int = 1,
+        lr_decay: float = 1.0,
+        description: str = "",
+    ):
+        if not clients:
+            raise ValueError("at least one client is required")
+        if eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {eval_every}")
+        self.server = server
+        self.clients: List[FederatedClient] = list(clients)
+        self.attack = attack
+        self.test_dataset = test_dataset
+        self.eval_every = eval_every
+        self.lr_decay = lr_decay
+        self.recorder = RunRecorder(description=description)
+        self._attack_rng = attack_rng if attack_rng is not None else np.random.default_rng()
+        byzantine = [c.client_id for c in self.clients if c.is_byzantine]
+        self.byzantine_indices = np.asarray(sorted(byzantine), dtype=int)
+        if len(self.byzantine_indices):
+            check_byzantine_count(len(self.byzantine_indices), len(self.clients))
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def model(self) -> Module:
+        return self.server.model
+
+    def _collect_honest_gradients(self) -> np.ndarray:
+        """Every client's honestly computed gradient at the current global model."""
+        gradients = [client.compute_gradient(self.model) for client in self.clients]
+        return np.vstack(gradients)
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one synchronous federated round and return its record."""
+        honest = self._collect_honest_gradients()
+        context = AttackContext(
+            round_index=round_index,
+            num_clients=self.num_clients,
+            byzantine_indices=self.byzantine_indices,
+            rng=self._attack_rng,
+            global_gradient=self.server._previous_gradient,
+        )
+        submitted = self.attack.apply(honest, context)
+        result = self.server.aggregate_and_update(submitted)
+
+        confusion = selection_confusion(
+            result.selected_indices, self.byzantine_indices, self.num_clients
+        )
+        benign_losses = [
+            client.last_loss for client in self.clients if not client.is_byzantine
+        ] or [client.last_loss for client in self.clients]
+        record = RoundRecord(
+            round_index=round_index,
+            train_loss=float(np.mean(benign_losses)),
+            selected_clients=tuple(int(i) for i in result.selected_indices),
+            attack_name=getattr(self.attack, "name", "unknown"),
+            **confusion,
+        )
+        if (round_index + 1) % self.eval_every == 0:
+            accuracy, test_loss = evaluate_model(self.model, self.test_dataset)
+            record.test_accuracy = accuracy
+            record.test_loss = test_loss
+        if self.lr_decay != 1.0:
+            self.server.learning_rate *= self.lr_decay
+        return record
+
+    def run(self, rounds: int) -> RunRecorder:
+        """Run ``rounds`` federated rounds, recording metrics for each."""
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        for round_index in range(rounds):
+            self.recorder.add(self.run_round(round_index))
+        return self.recorder
+
+
+def build_clients(
+    train_dataset: ArrayDataset,
+    partitions: Sequence[np.ndarray],
+    byzantine_indices: Sequence[int],
+    *,
+    batch_size: int = 32,
+    local_iterations: int = 1,
+    poison_labels: bool = False,
+    rng_factory: Optional[RngFactory] = None,
+) -> List[FederatedClient]:
+    """Instantiate the client population from a dataset partition.
+
+    Args:
+        train_dataset: the global training set.
+        partitions: per-client index arrays (one per client).
+        byzantine_indices: which client ids the attacker controls.
+        poison_labels: True when the configured attack is label flipping, in
+            which case the Byzantine clients' local labels are flipped.
+        rng_factory: source of per-client batch-sampling seeds.
+    """
+    rng_factory = rng_factory or RngFactory(0)
+    byzantine = set(int(i) for i in byzantine_indices)
+    clients: List[FederatedClient] = []
+    for client_id, indices in enumerate(partitions):
+        local = train_dataset.subset(indices)
+        client_rng = rng_factory.make(f"client-{client_id}")
+        if client_id in byzantine:
+            clients.append(
+                ByzantineClient(
+                    client_id,
+                    local,
+                    batch_size=batch_size,
+                    local_iterations=local_iterations,
+                    poison_labels=poison_labels,
+                    rng=client_rng,
+                )
+            )
+        else:
+            clients.append(
+                BenignClient(
+                    client_id,
+                    local,
+                    batch_size=batch_size,
+                    local_iterations=local_iterations,
+                    rng=client_rng,
+                )
+            )
+    return clients

@@ -1,0 +1,82 @@
+"""A small numpy neural-network library with explicit forward/backward passes.
+
+This package is the training substrate that stands in for PyTorch in the
+reproduction.  It exposes:
+
+* :class:`Parameter` / :class:`Module` — the layer abstraction (explicit
+  ``forward`` / ``backward``, accumulated gradients).
+* layers — ``Linear``, ``Conv2d``, pooling, ``BatchNorm``, ``Dropout``,
+  ``Embedding``, ``Sequential``, residual blocks.
+* recurrent layers — ``RNN``, ``LSTM``, bidirectional wrappers.
+* losses — ``CrossEntropyLoss``, ``MSELoss``.
+* optimizers — ``SGD`` with momentum and weight decay, LR schedules.
+* vectorization helpers — flatten/unflatten model parameters and gradients
+  into the 1-D vectors that the federated-learning layer exchanges.
+
+Only the pieces required by the paper's models (CNN, residual CNN, text RNN)
+are implemented, but each piece is a complete, tested implementation rather
+than a stub.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Residual,
+    Sequential,
+)
+from repro.nn.recurrent import LSTM, RNN, BiRNN
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, ConstantLR, StepLR
+from repro.nn.vectorize import (
+    count_parameters,
+    get_flat_gradients,
+    get_flat_parameters,
+    set_flat_gradients,
+    set_flat_parameters,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "Identity",
+    "Residual",
+    "Sequential",
+    "RNN",
+    "LSTM",
+    "BiRNN",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "StepLR",
+    "ConstantLR",
+    "count_parameters",
+    "get_flat_parameters",
+    "set_flat_parameters",
+    "get_flat_gradients",
+    "set_flat_gradients",
+]

@@ -1,0 +1,56 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Fan-in / fan-out for dense and convolutional weight shapes."""
+    if len(shape) == 2:  # (out, in) dense weights
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # (out_channels, in_channels, kh, kw) conv weights
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    rng = as_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """He/Kaiming normal initialization (ReLU gain)."""
+    rng = as_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01, rng: RngLike = None) -> np.ndarray:
+    """Zero-mean Gaussian initialization with the given standard deviation."""
+    rng = as_rng(rng)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases, batch-norm shifts)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialization (batch-norm scales)."""
+    return np.ones(shape, dtype=np.float64)

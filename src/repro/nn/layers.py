@@ -1,0 +1,455 @@
+"""Feed-forward layers: dense, convolutional, pooling, normalization, etc.
+
+Every layer follows the ``forward`` / ``backward`` contract of
+:class:`repro.nn.module.Module`.  Convolution is implemented with im2col so
+the heavy lifting stays inside a single matrix multiply, which is fast enough
+in numpy for the model sizes used by the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike, as_rng
+
+
+class Identity(Module):
+    """Pass-through layer (used as a residual shortcut)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("in_features and out_features must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = as_rng(rng)
+        self.weight = Parameter(
+            init.kaiming_normal((out_features, in_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        self._input: np.ndarray = np.empty(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected input with {self.in_features} features, got shape {x.shape}"
+            )
+        self._input = x
+        output = x @ self.weight.data.T
+        if self.bias is not None:
+            output = output + self.bias.data
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        # Support inputs with extra leading dims by flattening them.
+        x = self._input.reshape(-1, self.in_features)
+        grad = grad_output.reshape(-1, self.out_features)
+        self.weight.grad += grad.T @ x
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        grad_input = grad @ self.weight.data
+        return grad_input.reshape(self._input.shape)
+
+
+class Conv2d(Module):
+    """2-D convolution with square kernels, implemented via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = as_rng(rng)
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), rng
+            ),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+        self._columns: np.ndarray = np.empty(0)
+        self._input_shape: tuple = ()
+        self._out_hw: tuple = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        self._input_shape = x.shape
+        columns, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        self._columns = columns
+        self._out_hw = (out_h, out_w)
+        flat_weight = self.weight.data.reshape(self.out_channels, -1)
+        output = columns @ flat_weight.T
+        if self.bias is not None:
+            output = output + self.bias.data
+        batch = x.shape[0]
+        return output.reshape(batch, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch = self._input_shape[0]
+        out_h, out_w = self._out_hw
+        grad = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        flat_weight = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (grad.T @ self._columns).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        grad_columns = grad @ flat_weight
+        return col2im(
+            grad_columns, self._input_shape, self.kernel_size, self.stride, self.padding
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling with a square window (stride defaults to the window size)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._input_shape: tuple = ()
+        self._argmax: np.ndarray = np.empty(0)
+        self._out_hw: tuple = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        self._input_shape = x.shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, 0)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, 0)
+        self._out_hw = (out_h, out_w)
+        # Build (batch, channels, out_h, out_w, k*k) windows then take the max.
+        windows = np.empty(
+            (batch, channels, out_h, out_w, self.kernel_size * self.kernel_size)
+        )
+        for ky in range(self.kernel_size):
+            for kx in range(self.kernel_size):
+                windows[..., ky * self.kernel_size + kx] = x[
+                    :,
+                    :,
+                    ky : ky + self.stride * out_h : self.stride,
+                    kx : kx + self.stride * out_w : self.stride,
+                ]
+        self._argmax = np.argmax(windows, axis=-1)
+        return np.max(windows, axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._input_shape
+        out_h, out_w = self._out_hw
+        grad_input = np.zeros(self._input_shape, dtype=np.float64)
+        ky = self._argmax // self.kernel_size
+        kx = self._argmax % self.kernel_size
+        rows = (np.arange(out_h)[None, None, :, None] * self.stride) + ky
+        cols = (np.arange(out_w)[None, None, None, :] * self.stride) + kx
+        b_index = np.arange(batch)[:, None, None, None]
+        c_index = np.arange(channels)[None, :, None, None]
+        np.add.at(grad_input, (b_index, c_index, rows, cols), grad_output)
+        return grad_input
+
+
+class AvgPool2d(Module):
+    """Average pooling with a square window (stride defaults to window size)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._input_shape: tuple = ()
+        self._out_hw: tuple = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        self._input_shape = x.shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, 0)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, 0)
+        self._out_hw = (out_h, out_w)
+        output = np.zeros((batch, channels, out_h, out_w))
+        for ky in range(self.kernel_size):
+            for kx in range(self.kernel_size):
+                output += x[
+                    :,
+                    :,
+                    ky : ky + self.stride * out_h : self.stride,
+                    kx : kx + self.stride * out_w : self.stride,
+                ]
+        return output / (self.kernel_size * self.kernel_size)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        out_h, out_w = self._out_hw
+        grad_input = np.zeros(self._input_shape, dtype=np.float64)
+        scaled = grad_output / (self.kernel_size * self.kernel_size)
+        for ky in range(self.kernel_size):
+            for kx in range(self.kernel_size):
+                grad_input[
+                    :,
+                    :,
+                    ky : ky + self.stride * out_h : self.stride,
+                    kx : kx + self.stride * out_w : self.stride,
+                ] += scaled
+        return grad_input
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the full spatial extent, producing (batch, channels)."""
+
+    def __init__(self):
+        super().__init__()
+        self._input_shape: tuple = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._input_shape
+        grad = grad_output[:, :, None, None] / (height * width)
+        return np.broadcast_to(grad, self._input_shape).copy()
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self):
+        super().__init__()
+        self._input_shape: tuple = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, p: float = 0.5, *, rng: RngLike = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_rng(rng)
+        self._mask: np.ndarray = np.empty(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = np.ones_like(x)
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class _BatchNormBase(Module):
+    """Shared batch-norm logic over an arbitrary reduction axis set."""
+
+    def __init__(self, num_features: int, *, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple = ()
+
+    def _reshape(self, stat: np.ndarray, ndim: int) -> np.ndarray:
+        shape = [1] * ndim
+        shape[1] = self.num_features
+        return stat.reshape(shape)
+
+    def _axes(self, ndim: int) -> tuple:
+        return tuple(axis for axis in range(ndim) if axis != 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes(x.ndim)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        mean_b = self._reshape(mean, x.ndim)
+        var_b = self._reshape(var, x.ndim)
+        inv_std = 1.0 / np.sqrt(var_b + self.eps)
+        normalized = (x - mean_b) * inv_std
+        self._cache = (normalized, inv_std, axes, x.shape)
+        return self._reshape(self.gamma.data, x.ndim) * normalized + self._reshape(
+            self.beta.data, x.ndim
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        normalized, inv_std, axes, shape = self._cache
+        count = np.prod([shape[axis] for axis in axes])
+        self.gamma.grad += (grad_output * normalized).sum(axis=axes)
+        self.beta.grad += grad_output.sum(axis=axes)
+        gamma_b = self._reshape(self.gamma.data, len(shape))
+        grad_norm = grad_output * gamma_b
+        if not self.training:
+            return grad_norm * inv_std
+        # Full batch-norm backward (training mode).
+        grad_input = (
+            grad_norm
+            - grad_norm.mean(axis=axes, keepdims=True)
+            - normalized * (grad_norm * normalized).mean(axis=axes, keepdims=True)
+        ) * inv_std
+        return grad_input
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalization over a (batch, features) input."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected (batch, {self.num_features}) input, got {x.shape}"
+            )
+        return super().forward(x)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalization over a (batch, channels, H, W) input."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected (batch, {self.num_features}, H, W) input, got {x.shape}"
+            )
+        return super().forward(x)
+
+
+class Embedding(Module):
+    """Token embedding lookup table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, *, rng: RngLike = None):
+        super().__init__()
+        if num_embeddings < 1 or embedding_dim < 1:
+            raise ValueError("num_embeddings and embedding_dim must be >= 1")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = as_rng(rng)
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), std=0.1, rng=rng),
+            name="weight",
+        )
+        self._indices: np.ndarray = np.empty(0, dtype=int)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        indices = np.asarray(x, dtype=int)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise ValueError(
+                f"token indices must be in [0, {self.num_embeddings}), "
+                f"got range [{indices.min()}, {indices.max()}]"
+            )
+        self._indices = indices
+        return self.weight.data[indices]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        flat_indices = self._indices.reshape(-1)
+        flat_grad = grad_output.reshape(-1, self.embedding_dim)
+        np.add.at(self.weight.grad, flat_indices, flat_grad)
+        # Token indices are not differentiable; return zeros of the input shape.
+        return np.zeros(self._indices.shape, dtype=np.float64)
+
+
+class Sequential(Module):
+    """Chain of layers applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer at the end of the chain."""
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+
+class Residual(Module):
+    """Residual wrapper: ``y = body(x) + shortcut(x)``.
+
+    The shortcut defaults to identity; pass a 1x1 convolution (or any other
+    module) when the body changes the number of channels or resolution.
+    """
+
+    def __init__(self, body: Module, shortcut: Optional[Module] = None):
+        super().__init__()
+        self.body = body
+        self.shortcut = shortcut if shortcut is not None else Identity()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body(x) + self.shortcut(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_body = self.body.backward(grad_output)
+        grad_shortcut = self.shortcut.backward(grad_output)
+        return grad_body + grad_shortcut

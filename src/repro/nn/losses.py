@@ -1,0 +1,79 @@
+"""Loss functions with explicit gradient computation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss over the batch; ``backward`` returns
+    the gradient of that mean loss with respect to the logits.
+    """
+
+    def __init__(self):
+        self._probabilities: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets, dtype=int)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (batch, classes), got {logits.shape}")
+        if len(logits) != len(targets):
+            raise ValueError(
+                f"batch size mismatch: {len(logits)} logits vs {len(targets)} targets"
+            )
+        log_probs = log_softmax(logits, axis=1)
+        self._probabilities = softmax(logits, axis=1)
+        self._targets = targets
+        picked = log_probs[np.arange(len(targets)), targets]
+        return float(-picked.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probabilities is None or self._targets is None:
+            raise RuntimeError("forward must be called before backward")
+        batch = len(self._targets)
+        grad = self._probabilities - one_hot(self._targets, self._probabilities.shape[1])
+        return grad / batch
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class MSELoss:
+    """Mean squared error over arbitrary-shaped predictions."""
+
+    def __init__(self):
+        self._difference: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        self._difference = predictions - targets
+        return float(np.mean(self._difference**2))
+
+    def backward(self) -> np.ndarray:
+        if self._difference is None:
+            raise RuntimeError("forward must be called before backward")
+        return 2.0 * self._difference / self._difference.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets, dtype=int)
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == targets))

@@ -1,0 +1,34 @@
+"""Model zoo used by the reproduction's federated experiments.
+
+Each model mirrors one of the paper's global models at laptop scale:
+
+* :class:`SimpleCNN` — the 3-conv / 2-fc CNN used for MNIST and
+  Fashion-MNIST.
+* :class:`ResNetLite` — a small residual CNN with batch normalization, the
+  stand-in for ResNet-18 on the CIFAR-10-like task (kept because its
+  near-balanced gradient sign statistics are what the paper analyses).
+* :class:`TextRNN` — embedding + bidirectional recurrent encoder + linear
+  classifier, the stand-in for the AG-News TextRNN.
+* :class:`MLP`, :class:`LogisticRegression` — light models used by tests and
+  fast benchmark configurations.
+
+``build_model`` constructs a model by registered name from a dataset's
+:class:`~repro.data.datasets.DataSpec`.
+"""
+
+from repro.nn.models.factory import MODEL_REGISTRY, build_model
+from repro.nn.models.logistic import LogisticRegression
+from repro.nn.models.mlp import MLP
+from repro.nn.models.resnet_lite import ResNetLite
+from repro.nn.models.simple_cnn import SimpleCNN
+from repro.nn.models.textrnn import TextRNN
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "build_model",
+    "MLP",
+    "LogisticRegression",
+    "SimpleCNN",
+    "ResNetLite",
+    "TextRNN",
+]

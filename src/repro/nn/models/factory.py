@@ -1,0 +1,92 @@
+"""Model factory: build a registered model from a dataset specification."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.nn.models.logistic import LogisticRegression
+from repro.nn.models.mlp import MLP
+from repro.nn.models.resnet_lite import ResNetLite
+from repro.nn.models.simple_cnn import SimpleCNN
+from repro.nn.models.textrnn import TextRNN
+from repro.nn.module import Module
+from repro.utils.registry import Registry
+from repro.utils.rng import RngLike
+
+MODEL_REGISTRY = Registry("models")
+
+
+def _require_image(spec) -> None:
+    if spec.kind != "image":
+        raise ValueError(f"model requires an image dataset, got kind={spec.kind!r}")
+
+
+def _require_text(spec) -> None:
+    if spec.kind != "text":
+        raise ValueError(f"model requires a text dataset, got kind={spec.kind!r}")
+
+
+@MODEL_REGISTRY.register("logistic")
+def _build_logistic(spec, rng: RngLike = None, **params: Any) -> Module:
+    return LogisticRegression(spec.input_dim, spec.num_classes, rng=rng, **params)
+
+
+@MODEL_REGISTRY.register("mlp")
+def _build_mlp(spec, rng: RngLike = None, **params: Any) -> Module:
+    return MLP(spec.input_dim, spec.num_classes, rng=rng, **params)
+
+
+@MODEL_REGISTRY.register("simple_cnn")
+def _build_simple_cnn(spec, rng: RngLike = None, **params: Any) -> Module:
+    _require_image(spec)
+    return SimpleCNN(
+        in_channels=spec.channels,
+        image_size=(spec.height, spec.width),
+        num_classes=spec.num_classes,
+        rng=rng,
+        **params,
+    )
+
+
+@MODEL_REGISTRY.register("resnet_lite")
+def _build_resnet_lite(spec, rng: RngLike = None, **params: Any) -> Module:
+    _require_image(spec)
+    return ResNetLite(
+        in_channels=spec.channels,
+        image_size=(spec.height, spec.width),
+        num_classes=spec.num_classes,
+        rng=rng,
+        **params,
+    )
+
+
+@MODEL_REGISTRY.register("textrnn")
+def _build_textrnn(spec, rng: RngLike = None, **params: Any) -> Module:
+    _require_text(spec)
+    return TextRNN(
+        vocab_size=spec.vocab_size,
+        num_classes=spec.num_classes,
+        rng=rng,
+        **params,
+    )
+
+
+MODEL_REGISTRY.register_alias("cnn", "simple_cnn")
+MODEL_REGISTRY.register_alias("resnet", "resnet_lite")
+MODEL_REGISTRY.register_alias("logistic_regression", "logistic")
+
+
+def build_model(
+    name: str, spec, *, rng: RngLike = None, params: Dict[str, Any] = None
+) -> Module:
+    """Instantiate the model registered under ``name`` for dataset ``spec``.
+
+    Args:
+        name: registered model name (``simple_cnn``, ``resnet_lite``,
+            ``textrnn``, ``mlp``, ``logistic``).
+        spec: a :class:`repro.data.datasets.DataSpec` describing the input.
+        rng: seed or generator for weight initialization.
+        params: extra keyword arguments forwarded to the model constructor.
+    """
+    params = dict(params or {})
+    return MODEL_REGISTRY.create(name, spec, rng=rng, **params)

@@ -1,0 +1,30 @@
+"""Multinomial logistic-regression classifier (single linear layer)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Flatten, Linear, Sequential
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, as_rng
+
+
+class LogisticRegression(Module):
+    """Softmax regression over flattened inputs.
+
+    The lightest model in the zoo; used by fast tests and by analysis
+    experiments where a convex objective is convenient.
+    """
+
+    def __init__(self, input_dim: int, num_classes: int, *, rng: RngLike = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.network = Sequential(Flatten(), Linear(input_dim, num_classes, rng=rng))
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.network(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.network.backward(grad_output)

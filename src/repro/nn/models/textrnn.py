@@ -1,0 +1,57 @@
+"""TextRNN: embedding + bidirectional recurrent encoder + linear classifier.
+
+Stand-in for the paper's AG-News model (a two-layer bidirectional LSTM).
+The default configuration uses a single bidirectional layer to keep rounds
+fast; the cell type is selectable (``"rnn"`` or ``"lstm"``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module
+from repro.nn.recurrent import BiRNN
+from repro.utils.rng import RngLike, as_rng
+
+
+class TextRNN(Module):
+    """Recurrent text classifier over integer token sequences.
+
+    Args:
+        vocab_size: number of distinct tokens.
+        num_classes: output classes.
+        embed_dim: embedding dimension.
+        hidden_size: per-direction hidden size of the recurrent encoder.
+        cell: ``"rnn"`` (tanh) or ``"lstm"``.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_classes: int,
+        *,
+        embed_dim: int = 16,
+        hidden_size: int = 16,
+        cell: str = "rnn",
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        self.embedding = Embedding(vocab_size, embed_dim, rng=rng)
+        self.encoder = BiRNN(embed_dim, hidden_size, cell=cell, rng=rng)
+        self.head = Linear(self.encoder.output_size, num_classes, rng=rng)
+        self.vocab_size = vocab_size
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"expected (batch, time) integer tokens, got shape {x.shape}")
+        embedded = self.embedding(x)
+        encoded = self.encoder(embedded)
+        return self.head(encoded)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad_output)
+        grad = self.encoder.backward(grad)
+        return self.embedding.backward(grad)

@@ -1,0 +1,146 @@
+"""Parameter and Module base classes for the numpy neural-network library.
+
+There is no autograd tape: each layer implements ``forward`` (caching what it
+needs) and ``backward`` (consuming the cached values and accumulating
+gradients into its parameters).  This keeps the library small, explicit, and
+easy to verify with finite-difference tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses register parameters as attributes of type :class:`Parameter`
+    and sub-modules as attributes of type :class:`Module`; both are then
+    discovered automatically by :meth:`parameters` and :meth:`modules`.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # -- construction helpers -------------------------------------------------
+    def _children(self) -> Iterator[Tuple[str, "Module"]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{index}", item
+
+    def _own_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield name, value
+
+    # -- public API ------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of this module and its sub-modules."""
+        params: List[Parameter] = [p for _, p in self._own_parameters()]
+        for _, child in self._children():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> List[Tuple[str, Parameter]]:
+        """(name, parameter) pairs with dotted module paths."""
+        named: List[Tuple[str, Parameter]] = []
+        for name, param in self._own_parameters():
+            named.append((f"{prefix}{name}", param))
+        for child_name, child in self._children():
+            named.extend(child.named_parameters(prefix=f"{prefix}{child_name}."))
+        return named
+
+    def modules(self) -> List["Module"]:
+        """This module and all nested sub-modules (depth-first)."""
+        found: List[Module] = [self]
+        for _, child in self._children():
+            found.extend(child.modules())
+        return found
+
+    def zero_grad(self) -> None:
+        """Zero every parameter gradient in the module tree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch the module tree into training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the module tree into evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every named parameter's data."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values previously produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{own[name].data.shape} vs {values.shape}"
+                )
+            own[name].data[...] = values
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # -- computation -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the input gradient."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(params={self.num_parameters()})"

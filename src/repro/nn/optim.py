@@ -1,0 +1,135 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains every task with momentum SGD (momentum 0.9, weight decay
+5e-4).  ``SGD`` follows the standard PyTorch formulation: weight decay is
+added to the gradient before the momentum update.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocities: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def zero_grad(self) -> None:
+        """Zero every managed parameter gradient."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on parameters."""
+        for index, param in enumerate(self.parameters):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocities[index]
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocities[index] = velocity
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data -= self.lr * grad
+
+    def apply_gradient_vector(self, flat_gradient: np.ndarray) -> None:
+        """Apply one update from an externally supplied flat gradient.
+
+        This is the entry point used by the federated-learning server/clients:
+        the aggregated gradient vector is scattered back onto the parameters
+        and then a normal :meth:`step` is taken.
+        """
+        flat_gradient = np.asarray(flat_gradient, dtype=np.float64)
+        offset = 0
+        for param in self.parameters:
+            size = param.size
+            param.grad[...] = flat_gradient[offset : offset + size].reshape(
+                param.data.shape
+            )
+            offset += size
+        if offset != flat_gradient.size:
+            raise ValueError(
+                f"gradient vector has {flat_gradient.size} entries but the model "
+                f"has {offset} parameters"
+            )
+        self.step()
+
+
+class ConstantLR:
+    """Constant learning-rate schedule (no-op)."""
+
+    def __init__(self, optimizer: SGD):
+        self.optimizer = optimizer
+
+    def step(self) -> float:
+        """Return the (unchanged) learning rate."""
+        return self.optimizer.lr
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be > 0, got {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the possibly-decayed learning rate."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+class MultiStepLR:
+    """Decay the learning rate at each milestone epoch."""
+
+    def __init__(self, optimizer: SGD, milestones: Sequence[int], gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the possibly-decayed learning rate."""
+        self._epoch += 1
+        if self._epoch in self.milestones:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

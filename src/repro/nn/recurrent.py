@@ -1,0 +1,263 @@
+"""Recurrent layers: vanilla RNN, LSTM, and a bidirectional wrapper.
+
+The paper's AG-News model is a two-layer bidirectional LSTM; our stand-in
+text model uses these layers over synthetic token sequences.  Sequences are
+processed in (batch, time, features) layout and the layers return either the
+full output sequence or only the final hidden state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import sigmoid
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike, as_rng
+
+
+class RNN(Module):
+    """Single-layer tanh RNN.
+
+    Args:
+        input_size: feature size of each timestep.
+        hidden_size: hidden state dimension.
+        return_sequences: when True, :meth:`forward` returns the hidden state
+            at every timestep; otherwise only the final hidden state.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        *,
+        return_sequences: bool = False,
+        reverse: bool = False,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+        self.reverse = reverse
+        rng = as_rng(rng)
+        self.w_ih = Parameter(
+            init.xavier_uniform((hidden_size, input_size), rng), name="w_ih"
+        )
+        self.w_hh = Parameter(
+            init.xavier_uniform((hidden_size, hidden_size), rng), name="w_hh"
+        )
+        self.bias = Parameter(init.zeros((hidden_size,)), name="bias")
+        self._cache: Tuple = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected (batch, time, {self.input_size}) input, got {x.shape}"
+            )
+        if self.reverse:
+            x = x[:, ::-1, :]
+        batch, time_steps, _ = x.shape
+        hidden = np.zeros((batch, self.hidden_size))
+        hiddens = np.zeros((batch, time_steps, self.hidden_size))
+        pre_activations = np.zeros_like(hiddens)
+        for t in range(time_steps):
+            pre = x[:, t, :] @ self.w_ih.data.T + hidden @ self.w_hh.data.T + self.bias.data
+            hidden = np.tanh(pre)
+            pre_activations[:, t, :] = pre
+            hiddens[:, t, :] = hidden
+        self._cache = (x, hiddens, pre_activations)
+        if self.return_sequences:
+            return hiddens[:, ::-1, :] if self.reverse else hiddens
+        return hiddens[:, -1, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x, hiddens, _ = self._cache
+        batch, time_steps, _ = x.shape
+        if self.return_sequences:
+            grad_seq = grad_output[:, ::-1, :] if self.reverse else grad_output
+        else:
+            grad_seq = np.zeros((batch, time_steps, self.hidden_size))
+            grad_seq[:, -1, :] = grad_output
+        grad_x = np.zeros_like(x)
+        grad_hidden_next = np.zeros((batch, self.hidden_size))
+        for t in reversed(range(time_steps)):
+            grad_hidden = grad_seq[:, t, :] + grad_hidden_next
+            grad_pre = grad_hidden * (1.0 - hiddens[:, t, :] ** 2)
+            previous_hidden = (
+                hiddens[:, t - 1, :] if t > 0 else np.zeros((batch, self.hidden_size))
+            )
+            self.w_ih.grad += grad_pre.T @ x[:, t, :]
+            self.w_hh.grad += grad_pre.T @ previous_hidden
+            self.bias.grad += grad_pre.sum(axis=0)
+            grad_x[:, t, :] = grad_pre @ self.w_ih.data
+            grad_hidden_next = grad_pre @ self.w_hh.data
+        if self.reverse:
+            grad_x = grad_x[:, ::-1, :]
+        return grad_x
+
+
+class LSTM(Module):
+    """Single-layer LSTM with concatenated gate weights.
+
+    Gate ordering inside the stacked weight matrices is (input, forget,
+    cell, output).  The forget-gate bias is initialized to 1, the standard
+    trick to ease gradient flow early in training.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        *,
+        return_sequences: bool = False,
+        reverse: bool = False,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+        self.reverse = reverse
+        rng = as_rng(rng)
+        self.w_ih = Parameter(
+            init.xavier_uniform((4 * hidden_size, input_size), rng), name="w_ih"
+        )
+        self.w_hh = Parameter(
+            init.xavier_uniform((4 * hidden_size, hidden_size), rng), name="w_hh"
+        )
+        bias = init.zeros((4 * hidden_size,))
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate bias
+        self.bias = Parameter(bias, name="bias")
+        self._cache: Tuple = ()
+
+    def _split(self, stacked: np.ndarray) -> Tuple[np.ndarray, ...]:
+        h = self.hidden_size
+        return stacked[:, :h], stacked[:, h : 2 * h], stacked[:, 2 * h : 3 * h], stacked[:, 3 * h :]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected (batch, time, {self.input_size}) input, got {x.shape}"
+            )
+        if self.reverse:
+            x = x[:, ::-1, :]
+        batch, time_steps, _ = x.shape
+        hidden = np.zeros((batch, self.hidden_size))
+        cell = np.zeros((batch, self.hidden_size))
+        gates_cache: List[Tuple[np.ndarray, ...]] = []
+        hiddens = np.zeros((batch, time_steps, self.hidden_size))
+        cells = np.zeros((batch, time_steps, self.hidden_size))
+        for t in range(time_steps):
+            stacked = (
+                x[:, t, :] @ self.w_ih.data.T + hidden @ self.w_hh.data.T + self.bias.data
+            )
+            i_pre, f_pre, g_pre, o_pre = self._split(stacked)
+            i_gate = sigmoid(i_pre)
+            f_gate = sigmoid(f_pre)
+            g_gate = np.tanh(g_pre)
+            o_gate = sigmoid(o_pre)
+            previous_cell = cell
+            cell = f_gate * cell + i_gate * g_gate
+            hidden = o_gate * np.tanh(cell)
+            gates_cache.append((i_gate, f_gate, g_gate, o_gate, previous_cell))
+            hiddens[:, t, :] = hidden
+            cells[:, t, :] = cell
+        self._cache = (x, hiddens, cells, gates_cache)
+        if self.return_sequences:
+            return hiddens[:, ::-1, :] if self.reverse else hiddens
+        return hiddens[:, -1, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x, hiddens, cells, gates_cache = self._cache
+        batch, time_steps, _ = x.shape
+        if self.return_sequences:
+            grad_seq = grad_output[:, ::-1, :] if self.reverse else grad_output
+        else:
+            grad_seq = np.zeros((batch, time_steps, self.hidden_size))
+            grad_seq[:, -1, :] = grad_output
+        grad_x = np.zeros_like(x)
+        grad_hidden_next = np.zeros((batch, self.hidden_size))
+        grad_cell_next = np.zeros((batch, self.hidden_size))
+        for t in reversed(range(time_steps)):
+            i_gate, f_gate, g_gate, o_gate, previous_cell = gates_cache[t]
+            cell = cells[:, t, :]
+            tanh_cell = np.tanh(cell)
+            grad_hidden = grad_seq[:, t, :] + grad_hidden_next
+            grad_o = grad_hidden * tanh_cell
+            grad_cell = grad_hidden * o_gate * (1.0 - tanh_cell**2) + grad_cell_next
+            grad_i = grad_cell * g_gate
+            grad_f = grad_cell * previous_cell
+            grad_g = grad_cell * i_gate
+            # Back through the gate nonlinearities.
+            grad_i_pre = grad_i * i_gate * (1.0 - i_gate)
+            grad_f_pre = grad_f * f_gate * (1.0 - f_gate)
+            grad_g_pre = grad_g * (1.0 - g_gate**2)
+            grad_o_pre = grad_o * o_gate * (1.0 - o_gate)
+            grad_stacked = np.concatenate(
+                [grad_i_pre, grad_f_pre, grad_g_pre, grad_o_pre], axis=1
+            )
+            previous_hidden = (
+                hiddens[:, t - 1, :] if t > 0 else np.zeros((batch, self.hidden_size))
+            )
+            self.w_ih.grad += grad_stacked.T @ x[:, t, :]
+            self.w_hh.grad += grad_stacked.T @ previous_hidden
+            self.bias.grad += grad_stacked.sum(axis=0)
+            grad_x[:, t, :] = grad_stacked @ self.w_ih.data
+            grad_hidden_next = grad_stacked @ self.w_hh.data
+            grad_cell_next = grad_cell * f_gate
+        if self.reverse:
+            grad_x = grad_x[:, ::-1, :]
+        return grad_x
+
+
+class BiRNN(Module):
+    """Bidirectional wrapper producing concatenated forward/backward states.
+
+    Args:
+        cell: ``"rnn"`` or ``"lstm"``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        *,
+        cell: str = "rnn",
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        cell = cell.lower()
+        if cell == "rnn":
+            factory = RNN
+        elif cell == "lstm":
+            factory = LSTM
+        else:
+            raise ValueError(f"cell must be 'rnn' or 'lstm', got {cell!r}")
+        self.forward_cell = factory(
+            input_size, hidden_size, return_sequences=False, reverse=False, rng=rng
+        )
+        self.backward_cell = factory(
+            input_size, hidden_size, return_sequences=False, reverse=True, rng=rng
+        )
+        self.hidden_size = hidden_size
+
+    @property
+    def output_size(self) -> int:
+        """Dimension of the concatenated output."""
+        return 2 * self.hidden_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        forward_state = self.forward_cell(x)
+        backward_state = self.backward_cell(x)
+        return np.concatenate([forward_state, backward_state], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_forward = grad_output[:, : self.hidden_size]
+        grad_backward = grad_output[:, self.hidden_size :]
+        grad_x_forward = self.forward_cell.backward(grad_forward)
+        grad_x_backward = self.backward_cell.backward(grad_backward)
+        return grad_x_forward + grad_x_backward

@@ -1,0 +1,63 @@
+"""Flattening models to the 1-D vectors exchanged in federated learning.
+
+The entire attack/defense layer of the reproduction operates on flat
+``numpy`` vectors; these helpers convert between a :class:`Module`'s
+parameters/gradients and that representation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def count_parameters(model: Module) -> int:
+    """Total number of scalar parameters in ``model``."""
+    return model.num_parameters()
+
+
+def get_flat_parameters(model: Module) -> np.ndarray:
+    """Concatenate all parameter values into a single 1-D vector."""
+    parts: List[np.ndarray] = [param.data.reshape(-1) for param in model.parameters()]
+    if not parts:
+        return np.zeros(0)
+    return np.concatenate(parts)
+
+
+def set_flat_parameters(model: Module, flat: np.ndarray) -> None:
+    """Write a flat parameter vector back into the model (in place)."""
+    flat = np.asarray(flat, dtype=np.float64)
+    offset = 0
+    for param in model.parameters():
+        size = param.size
+        param.data[...] = flat[offset : offset + size].reshape(param.data.shape)
+        offset += size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat vector has {flat.size} entries but the model has {offset} parameters"
+        )
+
+
+def get_flat_gradients(model: Module) -> np.ndarray:
+    """Concatenate all parameter gradients into a single 1-D vector."""
+    parts: List[np.ndarray] = [param.grad.reshape(-1) for param in model.parameters()]
+    if not parts:
+        return np.zeros(0)
+    return np.concatenate(parts)
+
+
+def set_flat_gradients(model: Module, flat: np.ndarray) -> None:
+    """Write a flat gradient vector back into the model parameters (in place)."""
+    flat = np.asarray(flat, dtype=np.float64)
+    offset = 0
+    for param in model.parameters():
+        size = param.size
+        param.grad[...] = flat[offset : offset + size].reshape(param.data.shape)
+        offset += size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat vector has {flat.size} entries but the model has {offset} parameters"
+        )

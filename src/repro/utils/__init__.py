@@ -1,0 +1,44 @@
+"""Shared utilities: RNG management, registries, configuration, recording.
+
+The utilities in this package are deliberately small and dependency-free so
+that every other subsystem (clustering, neural networks, federated
+simulation) can build on them without import cycles.
+"""
+
+from repro.utils.config import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+)
+from repro.utils.registry import Registry
+from repro.utils.rng import RngFactory, as_rng, spawn_rngs
+from repro.utils.recording import RoundRecord, RunRecorder
+from repro.utils.serialization import load_json, save_json
+from repro.utils.validation import (
+    check_fraction,
+    check_gradient_matrix,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "AttackConfig",
+    "DataConfig",
+    "DefenseConfig",
+    "ExperimentConfig",
+    "TrainingConfig",
+    "Registry",
+    "RngFactory",
+    "as_rng",
+    "spawn_rngs",
+    "RoundRecord",
+    "RunRecorder",
+    "load_json",
+    "save_json",
+    "check_fraction",
+    "check_gradient_matrix",
+    "check_positive",
+    "check_probability_vector",
+]

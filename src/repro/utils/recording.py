@@ -1,0 +1,137 @@
+"""Run recording: per-round metrics collected during a federated simulation.
+
+The recorder is intentionally simple — a list of :class:`RoundRecord` plus a
+few summary helpers (best accuracy, attack impact, selection rates) that map
+directly onto the quantities reported in the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Metrics from a single federated round."""
+
+    round_index: int
+    train_loss: float
+    test_accuracy: Optional[float] = None
+    test_loss: Optional[float] = None
+    selected_clients: Sequence[int] = field(default_factory=tuple)
+    benign_selected: int = 0
+    benign_total: int = 0
+    byzantine_selected: int = 0
+    byzantine_total: int = 0
+    attack_name: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def benign_selection_rate(self) -> float:
+        """Fraction of benign gradients kept by the defense this round."""
+        if self.benign_total == 0:
+            return float("nan")
+        return self.benign_selected / self.benign_total
+
+    @property
+    def byzantine_selection_rate(self) -> float:
+        """Fraction of malicious gradients kept by the defense this round."""
+        if self.byzantine_total == 0:
+            return float("nan")
+        return self.byzantine_selected / self.byzantine_total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round_index": self.round_index,
+            "train_loss": self.train_loss,
+            "test_accuracy": self.test_accuracy,
+            "test_loss": self.test_loss,
+            "selected_clients": list(self.selected_clients),
+            "benign_selected": self.benign_selected,
+            "benign_total": self.benign_total,
+            "byzantine_selected": self.byzantine_selected,
+            "byzantine_total": self.byzantine_total,
+            "attack_name": self.attack_name,
+            "extra": dict(self.extra),
+        }
+
+
+class RunRecorder:
+    """Accumulates :class:`RoundRecord` objects for one experiment run."""
+
+    def __init__(self, description: str = ""):
+        self.description = description
+        self.rounds: List[RoundRecord] = []
+        self.metadata: Dict[str, Any] = {}
+
+    def add(self, record: RoundRecord) -> None:
+        """Append a round record."""
+        self.rounds.append(record)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def __iter__(self):
+        return iter(self.rounds)
+
+    @property
+    def accuracies(self) -> List[float]:
+        """Test accuracies for every evaluated round, in order."""
+        return [r.test_accuracy for r in self.rounds if r.test_accuracy is not None]
+
+    @property
+    def losses(self) -> List[float]:
+        """Training losses for every round, in order."""
+        return [r.train_loss for r in self.rounds]
+
+    def best_accuracy(self) -> float:
+        """Best test accuracy achieved during the run (the paper's Table I metric)."""
+        accs = self.accuracies
+        if not accs:
+            return float("nan")
+        return float(max(accs))
+
+    def final_accuracy(self) -> float:
+        """Test accuracy at the final evaluated round."""
+        accs = self.accuracies
+        if not accs:
+            return float("nan")
+        return float(accs[-1])
+
+    def mean_benign_selection_rate(self) -> float:
+        """Average fraction of honest gradients kept (Table II "H" column)."""
+        rates = [
+            r.benign_selection_rate for r in self.rounds if r.benign_total > 0
+        ]
+        if not rates:
+            return float("nan")
+        return float(np.mean(rates))
+
+    def mean_byzantine_selection_rate(self) -> float:
+        """Average fraction of malicious gradients kept (Table II "M" column)."""
+        rates = [
+            r.byzantine_selection_rate for r in self.rounds if r.byzantine_total > 0
+        ]
+        if not rates:
+            return float("nan")
+        return float(np.mean(rates))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the whole run (for EXPERIMENTS.md bookkeeping)."""
+        return {
+            "description": self.description,
+            "metadata": dict(self.metadata),
+            "rounds": [r.to_dict() for r in self.rounds],
+            "best_accuracy": self.best_accuracy(),
+            "final_accuracy": self.final_accuracy(),
+        }
+
+    def summary(self) -> str:
+        """One-line summary used by example scripts and bench output."""
+        return (
+            f"{self.description}: rounds={len(self.rounds)} "
+            f"best_acc={self.best_accuracy():.4f} final_acc={self.final_accuracy():.4f}"
+        )

@@ -1,0 +1,92 @@
+"""A minimal name → factory registry.
+
+Attacks, aggregation rules, models, and datasets all register themselves by
+name so that experiments can be described with plain strings (e.g. in the
+benchmark harness or in JSON configs) and instantiated uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Registry:
+    """Case-insensitive registry mapping names to factories.
+
+    >>> registry = Registry("aggregators")
+    >>> @registry.register("mean")
+    ... class Mean:
+    ...     pass
+    >>> registry.create("Mean") is not None
+    True
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., Any]] = {}
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return name.strip().lower().replace("-", "_").replace(" ", "_")
+
+    def register(
+        self, name: str, factory: Optional[Callable[..., Any]] = None
+    ) -> Callable[..., Any]:
+        """Register ``factory`` under ``name``.
+
+        Usable as a decorator (``@registry.register("foo")``) or a plain call
+        (``registry.register("foo", factory)``).
+        """
+
+        def _register(target: Callable[..., Any]) -> Callable[..., Any]:
+            key = self._normalize(name)
+            if key in self._factories:
+                raise KeyError(
+                    f"{self.kind} registry already contains an entry for {name!r}"
+                )
+            self._factories[key] = target
+            return target
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    def register_alias(self, alias: str, name: str) -> None:
+        """Register ``alias`` as another name for an existing entry."""
+        key = self._normalize(name)
+        if key not in self._factories:
+            raise KeyError(f"unknown {self.kind} {name!r}")
+        alias_key = self._normalize(alias)
+        if alias_key in self._factories:
+            raise KeyError(
+                f"{self.kind} registry already contains an entry for {alias!r}"
+            )
+        self._factories[alias_key] = self._factories[key]
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """Return the factory registered under ``name``."""
+        key = self._normalize(name)
+        if key not in self._factories:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+        return self._factories[key]
+
+    def create(self, name: str, /, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the factory registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return self._normalize(name) in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Registry(kind={self.kind!r}, entries={self.names()})"

@@ -1,0 +1,47 @@
+"""JSON serialization helpers that tolerate numpy scalars and arrays."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that converts numpy types to their Python equivalents."""
+
+    def default(self, obj: Any) -> Any:  # noqa: D102 - documented by parent
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, (np.bool_,)):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(payload: Any, path: PathLike, *, indent: int = 2) -> Path:
+    """Write ``payload`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, cls=NumpyJSONEncoder)
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Read JSON from ``path``."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dumps(payload: Any, *, indent: int = 2) -> str:
+    """Serialize ``payload`` to a JSON string with numpy support."""
+    return json.dumps(payload, indent=indent, cls=NumpyJSONEncoder)

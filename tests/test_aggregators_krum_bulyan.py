@@ -1,0 +1,96 @@
+"""Tests for Krum, Multi-Krum, and Bulyan."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import BulyanAggregator, KrumAggregator, MultiKrumAggregator
+from repro.aggregators.base import ServerContext
+from repro.aggregators.krum import _krum_scores
+
+
+@pytest.fixture
+def context(rng):
+    return ServerContext.make(rng=rng, num_byzantine_hint=3)
+
+
+@pytest.fixture
+def population_with_outliers(rng):
+    """17 tightly clustered honest gradients + 3 far-away malicious ones."""
+    honest = rng.normal(1.0, 0.1, size=(17, 30))
+    malicious = rng.normal(-8.0, 0.1, size=(3, 30))
+    return np.vstack([malicious, honest])
+
+
+class TestKrumScores:
+    def test_outlier_scores_higher(self, population_with_outliers):
+        scores = _krum_scores(population_with_outliers, 3)
+        assert scores[:3].min() > scores[3:].max()
+
+    def test_scores_shape(self, benign_gradients):
+        assert _krum_scores(benign_gradients, 4).shape == (len(benign_gradients),)
+
+
+class TestKrum:
+    def test_selects_an_honest_gradient(self, population_with_outliers, context):
+        result = KrumAggregator(num_byzantine=3)(population_with_outliers, context)
+        assert result.selected_indices[0] >= 3
+        assert result.num_selected == 1
+
+    def test_output_is_one_of_the_inputs(self, population_with_outliers, context):
+        result = KrumAggregator(num_byzantine=3)(population_with_outliers, context)
+        matches = np.all(
+            np.isclose(population_with_outliers, result.gradient[None, :]), axis=1
+        )
+        assert matches.any()
+
+    def test_uses_context_hint_when_not_configured(self, population_with_outliers, context):
+        result = KrumAggregator()(population_with_outliers, context)
+        assert result.info["num_byzantine"] == 3
+
+    def test_invalid_byzantine_count_rejected(self):
+        with pytest.raises(ValueError):
+            KrumAggregator(num_byzantine=-1)
+
+
+class TestMultiKrum:
+    def test_excludes_malicious_gradients(self, population_with_outliers, context):
+        result = MultiKrumAggregator(num_byzantine=3)(population_with_outliers, context)
+        assert set(result.selected_indices).isdisjoint({0, 1, 2})
+        assert result.num_selected == 17
+
+    def test_aggregate_close_to_honest_mean(self, population_with_outliers, context):
+        result = MultiKrumAggregator(num_byzantine=3)(population_with_outliers, context)
+        honest_mean = population_with_outliers[3:].mean(axis=0)
+        assert np.linalg.norm(result.gradient - honest_mean) < 0.2
+
+    def test_explicit_selection_count(self, population_with_outliers, context):
+        result = MultiKrumAggregator(num_byzantine=3, num_selected=5)(
+            population_with_outliers, context
+        )
+        assert result.num_selected == 5
+
+    def test_invalid_selection_count_rejected(self):
+        with pytest.raises(ValueError):
+            MultiKrumAggregator(num_selected=0)
+
+
+class TestBulyan:
+    def test_excludes_malicious_gradients(self, population_with_outliers, context):
+        result = BulyanAggregator(num_byzantine=3)(population_with_outliers, context)
+        honest_mean = population_with_outliers[3:].mean(axis=0)
+        assert np.linalg.norm(result.gradient - honest_mean) < 0.5
+
+    def test_handles_small_population(self, rng, context):
+        gradients = rng.normal(size=(5, 10))
+        result = BulyanAggregator(num_byzantine=1)(gradients, context)
+        assert np.all(np.isfinite(result.gradient))
+
+    def test_info_reports_selection_sizes(self, population_with_outliers, context):
+        result = BulyanAggregator(num_byzantine=3)(population_with_outliers, context)
+        assert result.info["theta"] >= 1
+        assert result.info["beta"] >= 1
+
+    def test_no_byzantine_behaves_like_trimmed_mean_center(self, benign_gradients, context):
+        result = BulyanAggregator(num_byzantine=0)(benign_gradients, context)
+        mean = benign_gradients.mean(axis=0)
+        assert np.linalg.norm(result.gradient - mean) < np.linalg.norm(mean)

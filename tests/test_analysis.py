@@ -1,0 +1,196 @@
+"""Tests for the theory/analysis utilities (Section III, Lemma 1, Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConvergenceBound,
+    SignStatisticsTrace,
+    lemma1_deviation_bound,
+    lie_sign_reversal_threshold,
+    lie_stealthiness_report,
+    max_stable_learning_rate,
+    sign_statistics_of_vector,
+    theorem1_bound,
+)
+
+
+class TestLieSignReversalThreshold:
+    def test_median_rule_matches_equation_three(self):
+        assert lie_sign_reversal_threshold(0.5, 2.0, rule="median") == pytest.approx(0.25)
+
+    def test_mean_rule_needs_larger_z(self):
+        median_z = lie_sign_reversal_threshold(0.5, 2.0, rule="median")
+        mean_z = lie_sign_reversal_threshold(0.5, 2.0, rule="mean", n=50, m=10)
+        assert mean_z == pytest.approx(5 * median_z)
+        assert mean_z > median_z
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            lie_sign_reversal_threshold(0.5, 0.0)
+        with pytest.raises(ValueError):
+            lie_sign_reversal_threshold(0.5, 1.0, rule="mean", n=5, m=5)
+        with pytest.raises(ValueError):
+            lie_sign_reversal_threshold(0.5, 1.0, rule="mode")
+
+
+class TestLieStealthinessReport:
+    @pytest.fixture
+    def report(self, rng):
+        honest = rng.normal(0.05, 1.0, size=(40, 500))
+        return lie_stealthiness_report(honest, z=0.2)
+
+    def test_proposition1_distance_claim(self, report):
+        """Eq. (6): some honest gradient is farther from the mean than the LIE one."""
+        assert report.satisfies_distance_claim
+
+    def test_proposition1_cosine_claim(self, report):
+        """Eq. (7): the LIE gradient is more similar than some honest gradient."""
+        assert report.satisfies_cosine_claim
+
+    def test_sign_disagreement_positive(self, report):
+        """The SignGuard observation: the stealthy gradient still flips signs."""
+        assert report.sign_disagreement > 0.05
+
+    def test_shapes(self, report):
+        assert len(report.honest_distances) == 40
+        assert len(report.honest_cosines) == 40
+
+    def test_larger_z_increases_sign_disagreement(self, rng):
+        honest = rng.normal(0.05, 1.0, size=(40, 500))
+        small = lie_stealthiness_report(honest, z=0.1).sign_disagreement
+        large = lie_stealthiness_report(honest, z=2.0).sign_disagreement
+        assert large > small
+
+
+class TestSignStatisticsTrace:
+    def test_record_and_series(self, rng):
+        trace = SignStatisticsTrace(z=0.3)
+        for _ in range(5):
+            trace.record(rng.normal(0.1, 0.5, size=(10, 300)))
+        assert len(trace) == 5
+        assert trace.series("honest", "positive").shape == (5,)
+
+    def test_malicious_trace_is_more_negative(self, rng):
+        """Fig. 2's qualitative content."""
+        trace = SignStatisticsTrace(z=1.0)
+        for _ in range(10):
+            trace.record(rng.normal(0.1, 0.5, size=(20, 1000)))
+        summary = trace.summary()
+        assert summary["malicious_negative"] > summary["honest_negative"]
+        assert summary["honest_positive"] > 0.5
+
+    def test_vector_sign_statistics(self):
+        stats = sign_statistics_of_vector(np.array([1.0, -2.0, 0.0, 3.0]))
+        assert stats == {"positive": 0.5, "zero": 0.25, "negative": 0.25}
+
+    def test_series_validation(self):
+        trace = SignStatisticsTrace()
+        with pytest.raises(ValueError):
+            trace.series("attacker", "positive")
+        with pytest.raises(ValueError):
+            trace.series("honest", "imaginary")
+
+
+class TestLemma1:
+    def test_zero_when_no_byzantine_and_infinite_clients(self):
+        bound = lemma1_deviation_bound(beta=0.0, kappa=1.0, sigma=0.0, num_clients=100)
+        assert bound == 0.0
+
+    def test_increases_with_beta(self):
+        low = lemma1_deviation_bound(beta=0.1, kappa=1.0, sigma=1.0, num_clients=50)
+        high = lemma1_deviation_bound(beta=0.4, kappa=1.0, sigma=1.0, num_clients=50)
+        assert high > low
+
+    def test_iid_data_has_no_kappa_term(self):
+        bound = lemma1_deviation_bound(beta=0.2, kappa=0.0, sigma=1.0, num_clients=50)
+        assert bound == pytest.approx(1.0 / (0.8 * 50))
+
+    def test_matches_closed_form(self):
+        beta, kappa, sigma, n = 0.2, 2.0, 1.5, 50
+        expected = beta**2 * kappa**2 / (1 - beta) ** 2 + sigma**2 / ((1 - beta) * n)
+        assert lemma1_deviation_bound(
+            beta=beta, kappa=kappa, sigma=sigma, num_clients=n
+        ) == pytest.approx(expected)
+
+
+class TestTheorem1:
+    def test_learning_rate_condition(self):
+        eta = max_stable_learning_rate(delta=0.0, beta=0.2, smoothness=1.0)
+        assert eta == pytest.approx((2 - 0.4) / 4)
+
+    def test_no_stable_rate_for_extreme_settings(self):
+        with pytest.raises(ValueError):
+            max_stable_learning_rate(delta=1.0, beta=0.5, smoothness=1.0)
+
+    def test_bound_decreases_with_more_rounds(self):
+        common = dict(
+            initial_gap=10.0,
+            learning_rate=0.05,
+            smoothness=1.0,
+            sigma=1.0,
+            kappa=0.5,
+            beta=0.2,
+            delta=0.05,
+        )
+        short = theorem1_bound(rounds=10, **common)
+        long = theorem1_bound(rounds=1000, **common)
+        assert long.total < short.total
+        assert long.delta2 == pytest.approx(short.delta2)
+
+    def test_remark2_nonzero_floor_with_byzantine_noniid(self):
+        """Remark 2: beta > 0 with non-IID data leaves a bias floor even if delta = 0."""
+        bound = theorem1_bound(
+            initial_gap=1.0,
+            learning_rate=0.05,
+            rounds=100,
+            smoothness=1.0,
+            sigma=1.0,
+            kappa=1.0,
+            beta=0.2,
+            delta=0.0,
+        )
+        assert bound.delta2 > 0
+
+    def test_remark2_zero_floor_when_no_byzantine(self):
+        bound = theorem1_bound(
+            initial_gap=1.0,
+            learning_rate=0.05,
+            rounds=100,
+            smoothness=1.0,
+            sigma=1.0,
+            kappa=1.0,
+            beta=0.0,
+            delta=0.0,
+        )
+        assert bound.delta2 == pytest.approx(0.0)
+
+    def test_learning_rate_violation_rejected(self):
+        with pytest.raises(ValueError, match="condition"):
+            theorem1_bound(
+                initial_gap=1.0,
+                learning_rate=10.0,
+                rounds=10,
+                smoothness=1.0,
+                sigma=1.0,
+                kappa=1.0,
+                beta=0.2,
+                delta=0.1,
+            )
+
+    def test_delta_cannot_exceed_beta(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(
+                initial_gap=1.0,
+                learning_rate=0.01,
+                rounds=10,
+                smoothness=1.0,
+                sigma=1.0,
+                kappa=1.0,
+                beta=0.1,
+                delta=0.2,
+            )
+
+    def test_total_is_sum_of_terms(self):
+        bound = ConvergenceBound(optimality_term=1.0, delta1=2.0, delta2=3.0)
+        assert bound.total == 6.0

@@ -1,0 +1,58 @@
+"""Tests for the ByzMean hybrid attack (the paper's Section III proposal)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackContext, ByzMeanAttack, LittleIsEnoughAttack, RandomAttack
+
+
+@pytest.fixture
+def context(rng):
+    return AttackContext.make(num_clients=20, byzantine_indices=np.arange(6), rng=rng)
+
+
+class TestByzMeanAttack:
+    def test_overall_mean_equals_target(self, benign_gradients, context):
+        """Eq. (8): after the attack, the mean of ALL submitted gradients is g_m1."""
+        attack = ByzMeanAttack(inner=LittleIsEnoughAttack(z=0.3))
+        submitted = attack.apply(benign_gradients, context)
+        target = attack._target_gradient(benign_gradients, context)
+        np.testing.assert_allclose(submitted.mean(axis=0), target, atol=1e-10)
+
+    def test_two_groups_of_malicious_clients(self, benign_gradients, context):
+        attack = ByzMeanAttack()
+        malicious = attack.craft(benign_gradients, context)
+        m1 = int(np.floor(0.5 * 6))
+        # First group identical to each other, second group identical to each other.
+        for row in malicious[1:m1]:
+            np.testing.assert_array_equal(row, malicious[0])
+        for row in malicious[m1 + 1 :]:
+            np.testing.assert_array_equal(row, malicious[m1])
+        # And the two groups differ.
+        assert not np.allclose(malicious[0], malicious[m1])
+
+    def test_m1_fraction_one_sends_only_target(self, benign_gradients, context):
+        attack = ByzMeanAttack(m1_fraction=1.0)
+        malicious = attack.craft(benign_gradients, context)
+        for row in malicious[1:]:
+            np.testing.assert_array_equal(row, malicious[0])
+
+    def test_random_inner_attack_supported(self, benign_gradients, context):
+        attack = ByzMeanAttack(inner=RandomAttack(std=0.5))
+        submitted = attack.apply(benign_gradients, context)
+        assert submitted.shape == benign_gradients.shape
+
+    def test_breaks_mean_aggregation(self, benign_gradients, context):
+        """The attack steers the mean away from the benign mean."""
+        attack = ByzMeanAttack(inner=LittleIsEnoughAttack(z=1.5))
+        submitted = attack.apply(benign_gradients, context)
+        benign_mean = benign_gradients[6:].mean(axis=0)
+        poisoned_mean = submitted.mean(axis=0)
+        clean_mean = benign_gradients.mean(axis=0)
+        assert np.linalg.norm(poisoned_mean - benign_mean) > np.linalg.norm(
+            clean_mean - benign_mean
+        )
+
+    def test_invalid_m1_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ByzMeanAttack(m1_fraction=1.5)

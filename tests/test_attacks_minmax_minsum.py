@@ -1,0 +1,92 @@
+"""Tests for the Min-Max and Min-Sum optimization attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackContext, MinMaxAttack, MinSumAttack
+from repro.attacks.minmax_minsum import (
+    _max_pairwise_sq_distance,
+    _max_sum_sq_distance,
+)
+
+
+@pytest.fixture
+def context(rng):
+    return AttackContext.make(num_clients=20, byzantine_indices=np.arange(4), rng=rng)
+
+
+class TestDistanceHelpers:
+    def test_max_pairwise_distance(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 0.0]])
+        assert _max_pairwise_sq_distance(points) == pytest.approx(25.0)
+
+    def test_max_sum_distance(self):
+        points = np.array([[0.0], [1.0], [10.0]])
+        sums = [1 + 100, 1 + 81, 100 + 81]
+        assert _max_sum_sq_distance(points) == pytest.approx(max(sums))
+
+
+class TestMinMaxAttack:
+    def test_constraint_satisfied(self, benign_gradients, context):
+        """Eq. 14: max distance to any benign gradient <= benign diameter."""
+        attack = MinMaxAttack()
+        malicious = attack.malicious_gradient(benign_gradients, context)
+        benign = benign_gradients[4:]
+        max_benign = np.sqrt(_max_pairwise_sq_distance(benign))
+        max_to_malicious = np.max(np.linalg.norm(benign - malicious, axis=1))
+        assert max_to_malicious <= max_benign * (1 + 1e-6)
+
+    def test_gamma_is_maximized(self, benign_gradients, context):
+        """A slightly larger gamma must violate the constraint."""
+        attack = MinMaxAttack()
+        benign = attack.benign_rows(benign_gradients, context)
+        gamma = attack._optimize_gamma(benign)
+        assert gamma > 0
+        candidate = benign.mean(axis=0) + (gamma * 1.5) * attack._perturbation_vector(benign)
+        assert not attack._constraint_satisfied(candidate, benign)
+
+    def test_all_byzantine_rows_identical(self, benign_gradients, context):
+        malicious = MinMaxAttack().craft(benign_gradients, context)
+        for row in malicious[1:]:
+            np.testing.assert_array_equal(row, malicious[0])
+
+    def test_deviates_from_benign_mean(self, benign_gradients, context):
+        malicious = MinMaxAttack().malicious_gradient(benign_gradients, context)
+        benign_mean = benign_gradients[4:].mean(axis=0)
+        assert np.linalg.norm(malicious - benign_mean) > 0.1
+
+
+class TestMinSumAttack:
+    def test_constraint_satisfied(self, benign_gradients, context):
+        """Eq. 15: sum of squared distances <= max benign sum."""
+        attack = MinSumAttack()
+        malicious = attack.malicious_gradient(benign_gradients, context)
+        benign = benign_gradients[4:]
+        bound = _max_sum_sq_distance(benign)
+        total = np.sum(np.linalg.norm(benign - malicious, axis=1) ** 2)
+        assert total <= bound * (1 + 1e-6)
+
+    def test_minsum_is_more_conservative_than_minmax(self, benign_gradients, context):
+        """Min-Sum's constraint is tighter, so its gamma is no larger."""
+        minmax = MinMaxAttack()
+        minsum = MinSumAttack()
+        benign = minmax.benign_rows(benign_gradients, context)
+        assert minsum._optimize_gamma(benign) <= minmax._optimize_gamma(benign) + 1e-6
+
+
+class TestPerturbationOptions:
+    @pytest.mark.parametrize("perturbation", ["std", "unit", "sign"])
+    def test_all_perturbation_directions_work(self, benign_gradients, context, perturbation):
+        attack = MinMaxAttack(perturbation=perturbation)
+        malicious = attack.craft(benign_gradients, context)
+        assert malicious.shape == (4, benign_gradients.shape[1])
+        assert np.all(np.isfinite(malicious))
+
+    def test_unknown_perturbation_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxAttack(perturbation="rotate")
+
+    def test_identical_benign_gradients_handled(self, context):
+        identical = np.tile(np.ones(50), (20, 1))
+        malicious = MinMaxAttack().craft(identical, context)
+        assert np.all(np.isfinite(malicious))

@@ -1,0 +1,131 @@
+"""Tests for the simple model-poisoning attacks and the attack interface."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ATTACK_REGISTRY,
+    AttackContext,
+    NoAttack,
+    NoiseAttack,
+    RandomAttack,
+    ReverseScalingAttack,
+    SignFlipAttack,
+    build_attack,
+)
+from repro.attacks.labelflip import LabelFlipAttack
+
+
+@pytest.fixture
+def context(rng):
+    return AttackContext.make(num_clients=20, byzantine_indices=np.arange(4), rng=rng)
+
+
+class TestAttackInterface:
+    def test_apply_only_replaces_byzantine_rows(self, benign_gradients, context):
+        submitted = SignFlipAttack().apply(benign_gradients, context)
+        np.testing.assert_array_equal(submitted[4:], benign_gradients[4:])
+        np.testing.assert_array_equal(submitted[:4], -benign_gradients[:4])
+
+    def test_apply_with_no_byzantine_clients_is_identity(self, benign_gradients, rng):
+        context = AttackContext.make(num_clients=20, byzantine_indices=[], rng=rng)
+        submitted = RandomAttack().apply(benign_gradients, context)
+        np.testing.assert_array_equal(submitted, benign_gradients)
+
+    def test_apply_rejects_out_of_range_indices(self, benign_gradients, rng):
+        context = AttackContext.make(num_clients=20, byzantine_indices=[25], rng=rng)
+        with pytest.raises(ValueError):
+            NoAttack().apply(benign_gradients, context)
+
+    def test_benign_rows_helper(self, benign_gradients, context):
+        benign = NoAttack().benign_rows(benign_gradients, context)
+        assert benign.shape == (16, benign_gradients.shape[1])
+
+    def test_context_num_byzantine(self, context):
+        assert context.num_byzantine == 4
+
+
+class TestNoAttack:
+    def test_everything_unchanged(self, benign_gradients, context):
+        submitted = NoAttack().apply(benign_gradients, context)
+        np.testing.assert_array_equal(submitted, benign_gradients)
+
+
+class TestRandomAttack:
+    def test_statistics_match_parameters(self, benign_gradients, context):
+        attack = RandomAttack(mean=0.0, std=0.5)
+        malicious = attack.craft(benign_gradients, context)
+        assert malicious.shape == (4, benign_gradients.shape[1])
+        assert abs(malicious.mean()) < 0.1
+        assert abs(malicious.std() - 0.5) < 0.1
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            RandomAttack(std=-1.0)
+
+
+class TestNoiseAttack:
+    def test_centered_on_own_gradient(self, benign_gradients, context):
+        attack = NoiseAttack(std=0.1)
+        malicious = attack.craft(benign_gradients, context)
+        deviation = malicious - benign_gradients[:4]
+        assert abs(deviation.mean()) < 0.05
+        assert abs(deviation.std() - 0.1) < 0.05
+
+
+class TestSignFlip:
+    def test_exact_negation(self, benign_gradients, context):
+        malicious = SignFlipAttack().craft(benign_gradients, context)
+        np.testing.assert_array_equal(malicious, -benign_gradients[:4])
+
+
+class TestReverseScaling:
+    def test_scaled_negation(self, benign_gradients, context):
+        malicious = ReverseScalingAttack(scale=10.0).craft(benign_gradients, context)
+        np.testing.assert_allclose(malicious, -10.0 * benign_gradients[:4])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ReverseScalingAttack(scale=0.0)
+
+
+class TestLabelFlipAttack:
+    def test_marks_data_poisoning_and_keeps_gradients(self, benign_gradients, context):
+        attack = LabelFlipAttack()
+        assert attack.poisons_data is True
+        submitted = attack.apply(benign_gradients, context)
+        np.testing.assert_array_equal(submitted, benign_gradients)
+
+
+class TestAttackRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "no_attack",
+            "random",
+            "noise",
+            "sign_flip",
+            "label_flip",
+            "lie",
+            "byzmean",
+            "min_max",
+            "min_sum",
+            "reverse_scaling",
+            "time_varying",
+            "alie",  # alias
+        ],
+    )
+    def test_build_all_registered_attacks(self, name):
+        attack = build_attack(name)
+        assert hasattr(attack, "craft")
+
+    def test_params_forwarded(self):
+        attack = build_attack("lie", {"z": 1.0})
+        assert attack.z == 1.0
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(KeyError):
+            build_attack("gradient_inversion")
+
+    def test_registry_has_expected_size(self):
+        assert len(ATTACK_REGISTRY) >= 11

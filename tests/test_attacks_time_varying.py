@@ -1,0 +1,57 @@
+"""Tests for the time-varying attack strategy (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackContext, TimeVaryingAttack
+from repro.attacks.simple import RandomAttack, SignFlipAttack
+from repro.attacks.time_varying import default_attack_pool
+
+
+def make_context(round_index, rng):
+    return AttackContext.make(
+        round_index=round_index, num_clients=20, byzantine_indices=np.arange(4), rng=rng
+    )
+
+
+class TestTimeVaryingAttack:
+    def test_default_pool_contains_no_attack(self):
+        names = {attack.name for attack in default_attack_pool()}
+        assert "no_attack" in names
+        assert "lie" in names and "byzmean" in names
+
+    def test_switches_between_rounds(self, rng):
+        attack = TimeVaryingAttack(rng=0)
+        chosen = {attack.current_attack(r).name for r in range(30)}
+        assert len(chosen) > 1
+
+    def test_constant_within_a_switch_period(self):
+        attack = TimeVaryingAttack(switch_every=5, rng=0)
+        names = [attack.current_attack(r).name for r in range(5)]
+        assert len(set(names)) == 1
+
+    def test_craft_delegates_to_current_attack(self, benign_gradients, rng):
+        attack = TimeVaryingAttack(pool=[SignFlipAttack()], rng=0)
+        malicious = attack.craft(benign_gradients, make_context(0, rng))
+        np.testing.assert_array_equal(malicious, -benign_gradients[:4])
+
+    def test_custom_pool(self, benign_gradients, rng):
+        attack = TimeVaryingAttack(pool=[RandomAttack(), SignFlipAttack()], rng=1)
+        submitted = attack.apply(benign_gradients, make_context(3, rng))
+        assert submitted.shape == benign_gradients.shape
+
+    def test_never_poisons_data(self):
+        assert TimeVaryingAttack(rng=0).poisons_data is False
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            TimeVaryingAttack(pool=[])
+
+    def test_invalid_switch_period_rejected(self):
+        with pytest.raises(ValueError):
+            TimeVaryingAttack(switch_every=0)
+
+    def test_seeded_schedule_is_reproducible(self):
+        a = [TimeVaryingAttack(rng=5).current_attack(r).name for r in range(10)]
+        b = [TimeVaryingAttack(rng=5).current_attack(r).name for r in range(10)]
+        assert a == b

@@ -1,0 +1,50 @@
+"""Tests for agglomerative clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import AgglomerativeClustering
+
+
+@pytest.fixture
+def three_blobs(rng):
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.1, size=(8, 2)),
+            rng.normal(4.0, 0.1, size=(6, 2)),
+            rng.normal(-4.0, 0.1, size=(5, 2)),
+        ]
+    )
+
+
+class TestAgglomerativeClustering:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_recovers_three_blobs(self, three_blobs, linkage):
+        labels = AgglomerativeClustering(n_clusters=3, linkage=linkage).fit_predict(
+            three_blobs
+        )
+        groups = [labels[:8], labels[8:14], labels[14:]]
+        for group in groups:
+            assert len(np.unique(group)) == 1
+        assert len({group[0] for group in groups}) == 3
+
+    def test_one_cluster_merges_everything(self, three_blobs):
+        labels = AgglomerativeClustering(n_clusters=1).fit_predict(three_blobs)
+        assert len(np.unique(labels)) == 1
+
+    def test_n_clusters_equal_samples_keeps_singletons(self, rng):
+        points = rng.normal(size=(5, 2))
+        labels = AgglomerativeClustering(n_clusters=5).fit_predict(points)
+        assert len(np.unique(labels)) == 5
+
+    def test_rejects_unknown_linkage(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(linkage="ward")
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=4).fit(np.zeros((3, 2)))
+
+    def test_labels_are_contiguous_from_zero(self, three_blobs):
+        labels = AgglomerativeClustering(n_clusters=3).fit_predict(three_blobs)
+        assert set(labels) == {0, 1, 2}

@@ -1,0 +1,51 @@
+"""Tests for DBSCAN clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN
+
+
+@pytest.fixture
+def blobs_with_outlier(rng):
+    dense = rng.normal(0.0, 0.1, size=(20, 2))
+    other = rng.normal(3.0, 0.1, size=(10, 2))
+    outlier = np.array([[10.0, 10.0]])
+    return np.vstack([dense, other, outlier])
+
+
+class TestDBSCAN:
+    def test_finds_two_clusters_and_noise(self, blobs_with_outlier):
+        model = DBSCAN(eps=0.5, min_samples=3).fit(blobs_with_outlier)
+        assert model.n_clusters_ == 2
+        assert model.labels_[-1] == -1
+
+    def test_largest_cluster_is_densest(self, blobs_with_outlier):
+        model = DBSCAN(eps=0.5, min_samples=3).fit(blobs_with_outlier)
+        assert set(model.largest_cluster()) == set(range(20))
+
+    def test_all_noise_falls_back_to_everything(self, rng):
+        spread = rng.uniform(-100, 100, size=(8, 2))
+        model = DBSCAN(eps=0.01, min_samples=3).fit(spread)
+        assert model.n_clusters_ == 0
+        assert len(model.largest_cluster()) == len(spread)
+
+    def test_core_samples_identified(self, blobs_with_outlier):
+        model = DBSCAN(eps=0.5, min_samples=3).fit(blobs_with_outlier)
+        assert 30 not in model.core_sample_indices_
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(min_samples=0)
+
+    def test_largest_cluster_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DBSCAN().largest_cluster()
+
+    def test_single_dense_cluster(self, rng):
+        points = rng.normal(size=(12, 3)) * 0.05
+        model = DBSCAN(eps=0.5, min_samples=3).fit(points)
+        assert model.n_clusters_ == 1
+        assert np.all(model.labels_ == 0)

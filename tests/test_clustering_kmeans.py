@@ -1,0 +1,64 @@
+"""Tests for KMeans clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans, kmeans_plus_plus_init
+
+
+@pytest.fixture
+def two_blobs(rng):
+    a = rng.normal(0.0, 0.2, size=(15, 2))
+    b = rng.normal(5.0, 0.2, size=(10, 2))
+    return np.vstack([a, b])
+
+
+class TestKMeansPlusPlusInit:
+    def test_returns_requested_number_of_centroids(self, two_blobs, rng):
+        centroids = kmeans_plus_plus_init(two_blobs, 3, rng)
+        assert centroids.shape == (3, 2)
+
+    def test_rejects_more_clusters_than_samples(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((2, 2)), 3, rng)
+
+    def test_handles_duplicate_points(self, rng):
+        data = np.zeros((5, 2))
+        centroids = kmeans_plus_plus_init(data, 2, rng)
+        np.testing.assert_allclose(centroids, 0.0)
+
+
+class TestKMeans:
+    def test_separates_two_blobs(self, two_blobs):
+        labels = KMeans(n_clusters=2, rng=0).fit_predict(two_blobs)
+        first, second = labels[:15], labels[15:]
+        assert len(np.unique(first)) == 1
+        assert len(np.unique(second)) == 1
+        assert first[0] != second[0]
+
+    def test_inertia_decreases_with_more_clusters(self, two_blobs):
+        inertia_1 = KMeans(n_clusters=1, rng=0).fit(two_blobs).inertia_
+        inertia_2 = KMeans(n_clusters=2, rng=0).fit(two_blobs).inertia_
+        assert inertia_2 < inertia_1
+
+    def test_predict_assigns_nearest_centroid(self, two_blobs):
+        model = KMeans(n_clusters=2, rng=0).fit(two_blobs)
+        prediction = model.predict(np.array([[5.0, 5.0]]))
+        cluster_of_b = model.labels_[15]
+        assert prediction[0] == cluster_of_b
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((1, 2)))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=3).fit(np.zeros((2, 2)))
+
+    def test_rejects_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_single_cluster_centroid_is_mean(self, two_blobs):
+        model = KMeans(n_clusters=1, rng=0).fit(two_blobs)
+        np.testing.assert_allclose(model.cluster_centers_[0], two_blobs.mean(axis=0))

@@ -1,0 +1,73 @@
+"""Tests for Mean-Shift clustering (SignGuard's default filter backend)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import MeanShift, estimate_bandwidth
+
+
+@pytest.fixture
+def feature_blobs(rng):
+    """Majority blob + small offset blob, mimicking honest vs malicious features."""
+    honest = rng.normal([0.6, 0.05, 0.35], 0.02, size=(16, 3))
+    malicious = rng.normal([0.3, 0.05, 0.65], 0.02, size=(4, 3))
+    return np.vstack([honest, malicious])
+
+
+class TestEstimateBandwidth:
+    def test_positive(self, feature_blobs):
+        assert estimate_bandwidth(feature_blobs) > 0
+
+    def test_single_point(self):
+        assert estimate_bandwidth(np.zeros((1, 3))) == 1.0
+
+    def test_identical_points_get_positive_floor(self):
+        assert estimate_bandwidth(np.zeros((5, 3))) > 0
+
+    def test_invalid_quantile_rejected(self, feature_blobs):
+        with pytest.raises(ValueError):
+            estimate_bandwidth(feature_blobs, quantile=0.0)
+
+
+class TestMeanShift:
+    def test_discovers_two_clusters(self, feature_blobs):
+        model = MeanShift(bandwidth=0.1).fit(feature_blobs)
+        assert model.n_clusters_ == 2
+
+    def test_largest_cluster_is_majority(self, feature_blobs):
+        model = MeanShift(bandwidth=0.1).fit(feature_blobs)
+        largest = model.largest_cluster()
+        assert set(largest) == set(range(16))
+
+    def test_adaptive_bandwidth_separates(self, feature_blobs):
+        model = MeanShift(quantile=0.5).fit(feature_blobs)
+        largest = set(model.largest_cluster())
+        # The honest majority must dominate the largest cluster.
+        assert len(largest & set(range(16))) >= 14
+        assert not largest.issuperset(set(range(16, 20))) or model.n_clusters_ == 1
+
+    def test_single_cluster_when_bandwidth_is_huge(self, feature_blobs):
+        model = MeanShift(bandwidth=100.0).fit(feature_blobs)
+        assert model.n_clusters_ == 1
+        assert len(model.largest_cluster()) == len(feature_blobs)
+
+    def test_identical_points_form_one_cluster(self):
+        model = MeanShift().fit(np.zeros((6, 3)))
+        assert model.n_clusters_ == 1
+
+    def test_labels_cover_all_samples(self, feature_blobs):
+        model = MeanShift(bandwidth=0.1).fit(feature_blobs)
+        assert len(model.labels_) == len(feature_blobs)
+        assert model.labels_.min() >= 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            MeanShift().fit(np.zeros((0, 3)))
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            MeanShift(bandwidth=-1.0)
+
+    def test_largest_cluster_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MeanShift().largest_cluster()

@@ -1,0 +1,124 @@
+"""Tests for SignGuard's gradient feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    cosine_similarity_feature,
+    euclidean_distance_feature,
+    extract_features,
+    select_random_coordinates,
+    sign_statistics,
+)
+
+
+class TestSignStatistics:
+    def test_rows_sum_to_one(self, benign_gradients):
+        stats = sign_statistics(benign_gradients)
+        np.testing.assert_allclose(stats.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_known_vector(self):
+        stats = sign_statistics(np.array([[1.0, -1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(stats[0], [0.5, 0.25, 0.25])
+
+    def test_sign_flip_swaps_positive_and_negative(self, benign_gradients):
+        stats = sign_statistics(benign_gradients)
+        flipped = sign_statistics(-benign_gradients)
+        np.testing.assert_allclose(stats[:, 0], flipped[:, 2])
+        np.testing.assert_allclose(stats[:, 2], flipped[:, 0])
+        np.testing.assert_allclose(stats[:, 1], flipped[:, 1])
+
+    def test_coordinate_subset(self, benign_gradients):
+        stats = sign_statistics(benign_gradients, coordinates=np.array([0, 1, 2]))
+        assert stats.shape == (len(benign_gradients), 3)
+
+    def test_zero_tolerance_counts_small_values_as_zero(self):
+        vector = np.array([[1e-6, -1e-6, 1.0]])
+        strict = sign_statistics(vector)
+        tolerant = sign_statistics(vector, zero_tolerance=1e-3)
+        assert strict[0, 1] == pytest.approx(0.0)
+        assert tolerant[0, 1] == pytest.approx(2 / 3)
+
+    def test_empty_coordinate_subset_rejected(self, benign_gradients):
+        with pytest.raises(ValueError):
+            sign_statistics(benign_gradients, coordinates=np.array([], dtype=int))
+
+    def test_lie_attack_shifts_sign_statistics(self, rng):
+        """The paper's core observation (Fig. 2): LIE shifts the sign balance."""
+        honest = rng.normal(0.1, 0.5, size=(30, 2000))
+        mean = honest.mean(axis=0)
+        std = honest.std(axis=0)
+        crafted = mean - 1.0 * std
+        honest_stats = sign_statistics(np.atleast_2d(mean))[0]
+        malicious_stats = sign_statistics(np.atleast_2d(crafted))[0]
+        assert malicious_stats[2] > honest_stats[2] + 0.2  # many more negatives
+
+
+class TestSelectRandomCoordinates:
+    def test_fraction_of_dim(self, rng):
+        coords = select_random_coordinates(1000, 0.1, rng)
+        assert len(coords) == 100
+        assert len(np.unique(coords)) == 100
+
+    def test_at_least_one_coordinate(self, rng):
+        assert len(select_random_coordinates(5, 0.01, rng)) == 1
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            select_random_coordinates(10, 1.5, rng)
+
+
+class TestSimilarityFeatures:
+    def test_cosine_to_reference(self, rng):
+        reference = np.ones(50)
+        gradients = np.vstack([reference, -reference])
+        cosines = cosine_similarity_feature(gradients, reference)
+        np.testing.assert_allclose(cosines, [1.0, -1.0], atol=1e-9)
+
+    def test_cosine_pairwise_fallback_detects_outlier(self, rng):
+        honest = np.tile(np.ones(50), (8, 1)) + rng.normal(0, 0.05, size=(8, 50))
+        outlier = -np.ones((1, 50))
+        cosines = cosine_similarity_feature(np.vstack([honest, outlier]), None)
+        assert cosines[-1] < cosines[:-1].min()
+
+    def test_euclidean_to_reference(self):
+        reference = np.zeros(10)
+        gradients = np.vstack([np.zeros(10), np.ones(10)])
+        distances = euclidean_distance_feature(gradients, reference)
+        assert distances[0] < distances[1]
+
+    def test_euclidean_pairwise_fallback(self, rng):
+        honest = rng.normal(0, 0.1, size=(9, 20))
+        outlier = 50.0 * np.ones((1, 20))
+        distances = euclidean_distance_feature(np.vstack([honest, outlier]), None)
+        assert distances[-1] > distances[:-1].max()
+
+
+class TestExtractFeatures:
+    def test_plain_variant_has_three_features(self, benign_gradients, rng):
+        features = extract_features(benign_gradients, rng=rng)
+        assert features.matrix.shape == (len(benign_gradients), 3)
+        assert features.feature_names == (
+            "positive_fraction",
+            "zero_fraction",
+            "negative_fraction",
+        )
+
+    def test_similarity_variants_add_a_column(self, benign_gradients, rng):
+        for similarity, name in (("cosine", "cosine_similarity"), ("euclidean", "euclidean_distance")):
+            features = extract_features(benign_gradients, similarity=similarity, rng=rng)
+            assert features.matrix.shape == (len(benign_gradients), 4)
+            assert features.feature_names[-1] == name
+
+    def test_coordinate_fraction_controls_subset_size(self, benign_gradients, rng):
+        features = extract_features(benign_gradients, coordinate_fraction=0.2, rng=rng)
+        assert len(features.coordinates) == int(round(0.2 * benign_gradients.shape[1]))
+
+    def test_unknown_similarity_rejected(self, benign_gradients, rng):
+        with pytest.raises(ValueError):
+            extract_features(benign_gradients, similarity="manhattan", rng=rng)
+
+    def test_seeded_extraction_is_deterministic(self, benign_gradients):
+        a = extract_features(benign_gradients, rng=3).matrix
+        b = extract_features(benign_gradients, rng=3).matrix
+        np.testing.assert_array_equal(a, b)

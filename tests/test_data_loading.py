@@ -1,0 +1,76 @@
+"""Tests for batch loading and label poisoning."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import BatchLoader
+from repro.data.poisoning import flip_labels, flip_labels_pairwise, poison_fraction
+
+
+class TestBatchLoader:
+    def test_sample_shapes(self, tiny_image_dataset):
+        loader = BatchLoader(tiny_image_dataset, batch_size=8, rng=0)
+        inputs, labels = loader.sample()
+        assert inputs.shape == (8, 1, 6, 6)
+        assert labels.shape == (8,)
+
+    def test_batch_larger_than_dataset_is_capped(self, tiny_image_dataset):
+        loader = BatchLoader(tiny_image_dataset, batch_size=1000, rng=0)
+        inputs, _ = loader.sample()
+        assert len(inputs) == len(tiny_image_dataset)
+
+    def test_epoch_covers_every_sample_once(self, tiny_image_dataset):
+        loader = BatchLoader(tiny_image_dataset, batch_size=7, rng=0)
+        seen = sum((len(labels) for _, labels in loader.epoch()), 0)
+        assert seen == len(tiny_image_dataset)
+
+    def test_len_is_number_of_batches(self, tiny_image_dataset):
+        assert len(BatchLoader(tiny_image_dataset, batch_size=7, rng=0)) == 9
+
+    def test_sampling_is_seed_deterministic(self, tiny_image_dataset):
+        a = BatchLoader(tiny_image_dataset, 8, rng=5).sample()[1]
+        b = BatchLoader(tiny_image_dataset, 8, rng=5).sample()[1]
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_dataset_rejected(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            BatchLoader(tiny_image_dataset.subset([]), 4)
+
+    def test_invalid_batch_size_rejected(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            BatchLoader(tiny_image_dataset, 0)
+
+
+class TestLabelPoisoning:
+    def test_flip_labels_rule(self, tiny_image_dataset):
+        flipped = flip_labels(tiny_image_dataset)
+        np.testing.assert_array_equal(
+            flipped.labels, 2 - tiny_image_dataset.labels
+        )
+
+    def test_flip_is_involution(self, tiny_image_dataset):
+        twice = flip_labels(flip_labels(tiny_image_dataset))
+        np.testing.assert_array_equal(twice.labels, tiny_image_dataset.labels)
+
+    def test_inputs_unchanged(self, tiny_image_dataset):
+        flipped = flip_labels(tiny_image_dataset)
+        np.testing.assert_array_equal(flipped.inputs, tiny_image_dataset.inputs)
+
+    def test_pairwise_flip(self, tiny_image_dataset):
+        poisoned = flip_labels_pairwise(tiny_image_dataset, source=0, target=2)
+        assert not np.any(poisoned.labels == 0)
+        assert np.sum(poisoned.labels == 2) == 40
+
+    def test_pairwise_flip_validates_classes(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            flip_labels_pairwise(tiny_image_dataset, source=0, target=9)
+
+    def test_poison_fraction(self, tiny_image_dataset):
+        flipped = flip_labels(tiny_image_dataset)
+        fraction = poison_fraction(tiny_image_dataset, flipped)
+        # Class 1 maps to itself (C-1-1 == 1 for C == 3), so 2/3 change.
+        assert fraction == pytest.approx(2 / 3)
+
+    def test_poison_fraction_length_mismatch(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            poison_fraction(tiny_image_dataset, tiny_image_dataset.subset(np.arange(5)))

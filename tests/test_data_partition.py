@@ -1,0 +1,96 @@
+"""Tests for client partitioning schemes."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_dataset,
+    partition_skew,
+    sort_and_partition,
+)
+from repro.data.synthetic_images import make_mnist_like
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_mnist_like(num_train=600, num_test=10, rng=0).train
+
+
+def assert_valid_partition(partitions, total):
+    combined = np.concatenate(partitions)
+    assert len(combined) == total
+    assert len(np.unique(combined)) == total
+
+
+class TestIIDPartition:
+    def test_covers_dataset_without_overlap(self, dataset):
+        partitions = iid_partition(dataset, 10, rng=0)
+        assert len(partitions) == 10
+        assert_valid_partition(partitions, len(dataset))
+
+    def test_sizes_are_balanced(self, dataset):
+        partitions = iid_partition(dataset, 7, rng=0)
+        sizes = [len(p) for p in partitions]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_low_label_skew(self, dataset):
+        partitions = iid_partition(dataset, 10, rng=0)
+        assert partition_skew(dataset, partitions) < 0.25
+
+    def test_more_clients_than_samples_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            iid_partition(dataset.subset(np.arange(3)), 10)
+
+
+class TestSortAndPartition:
+    def test_covers_dataset_without_overlap(self, dataset):
+        partitions = sort_and_partition(dataset, 10, iid_fraction=0.5, rng=0)
+        assert_valid_partition(partitions, len(dataset))
+
+    def test_skew_increases_as_s_decreases(self, dataset):
+        """The paper's s parameter: smaller s -> more skewed clients."""
+        skews = []
+        for s in (0.8, 0.5, 0.3, 0.0):
+            partitions = sort_and_partition(dataset, 10, iid_fraction=s, rng=0)
+            skews.append(partition_skew(dataset, partitions))
+        assert skews == sorted(skews)
+
+    def test_s_equal_one_is_nearly_iid(self, dataset):
+        partitions = sort_and_partition(dataset, 10, iid_fraction=1.0, rng=0)
+        assert partition_skew(dataset, partitions) < 0.25
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            sort_and_partition(dataset, 10, iid_fraction=1.5)
+
+
+class TestDirichletPartition:
+    def test_covers_dataset_without_overlap(self, dataset):
+        partitions = dirichlet_partition(dataset, 10, alpha=0.5, rng=0)
+        assert_valid_partition(partitions, len(dataset))
+
+    def test_small_alpha_is_more_skewed(self, dataset):
+        skew_small = partition_skew(dataset, dirichlet_partition(dataset, 10, alpha=0.1, rng=0))
+        skew_large = partition_skew(dataset, dirichlet_partition(dataset, 10, alpha=100.0, rng=0))
+        assert skew_small > skew_large
+
+    def test_every_client_gets_min_samples(self, dataset):
+        partitions = dirichlet_partition(dataset, 10, alpha=0.3, min_samples=5, rng=0)
+        assert min(len(p) for p in partitions) >= 5
+
+    def test_invalid_alpha_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dirichlet_partition(dataset, 10, alpha=0.0)
+
+
+class TestPartitionDispatch:
+    @pytest.mark.parametrize("scheme", ["iid", "sort_and_partition", "dirichlet"])
+    def test_known_schemes(self, dataset, scheme):
+        partitions = partition_dataset(dataset, 5, scheme=scheme, rng=0)
+        assert_valid_partition(partitions, len(dataset))
+
+    def test_unknown_scheme_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            partition_dataset(dataset, 5, scheme="by_zipcode")

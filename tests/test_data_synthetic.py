@@ -1,0 +1,138 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.data.datasets import ArrayDataset, DataSpec
+from repro.data.synthetic_images import make_cifar_like, make_mnist_like, make_synthetic_images
+from repro.data.synthetic_text import make_agnews_like, make_synthetic_text
+
+
+class TestDataSpec:
+    def test_image_input_dim(self):
+        spec = DataSpec(kind="image", num_classes=10, channels=3, height=4, width=5)
+        assert spec.input_dim == 60
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            DataSpec(kind="audio", num_classes=2)
+
+    def test_rejects_image_without_geometry(self):
+        with pytest.raises(ValueError):
+            DataSpec(kind="image", num_classes=2)
+
+    def test_rejects_text_without_vocab(self):
+        with pytest.raises(ValueError):
+            DataSpec(kind="text", num_classes=2)
+
+
+class TestArrayDataset:
+    def test_subset_and_class_counts(self, tiny_image_dataset):
+        subset = tiny_image_dataset.subset(np.arange(10))
+        assert len(subset) == 10
+        assert tiny_image_dataset.class_counts().sum() == 60
+
+    def test_label_range_checked(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            ArrayDataset(
+                tiny_image_dataset.inputs,
+                np.full(60, 7),
+                tiny_image_dataset.spec,
+            )
+
+    def test_length_mismatch_rejected(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            ArrayDataset(
+                tiny_image_dataset.inputs[:10],
+                tiny_image_dataset.labels,
+                tiny_image_dataset.spec,
+            )
+
+
+class TestSyntheticImages:
+    def test_shapes_and_spec(self):
+        split = make_synthetic_images(
+            num_train=100, num_test=40, num_classes=5, channels=2, image_size=(9, 9), rng=0
+        )
+        assert split.train.inputs.shape == (100, 2, 9, 9)
+        assert split.test.inputs.shape == (40, 2, 9, 9)
+        assert split.spec.num_classes == 5
+
+    def test_reproducible_with_same_seed(self):
+        a = make_synthetic_images(num_train=50, num_test=10, rng=7)
+        b = make_synthetic_images(num_train=50, num_test=10, rng=7)
+        np.testing.assert_array_equal(a.train.inputs, b.train.inputs)
+        np.testing.assert_array_equal(a.train.labels, b.train.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_images(num_train=50, num_test=10, rng=1)
+        b = make_synthetic_images(num_train=50, num_test=10, rng=2)
+        assert not np.array_equal(a.train.inputs, b.train.inputs)
+
+    def test_classes_are_separable_by_nearest_prototype(self):
+        """A nearest-class-mean classifier must beat chance by a wide margin."""
+        split = make_mnist_like(num_train=400, num_test=200, rng=0)
+        train_x = split.train.inputs.reshape(len(split.train), -1)
+        test_x = split.test.inputs.reshape(len(split.test), -1)
+        means = np.vstack(
+            [train_x[split.train.labels == c].mean(axis=0) for c in range(10)]
+        )
+        predictions = np.argmin(
+            np.linalg.norm(test_x[:, None, :] - means[None, :, :], axis=2), axis=1
+        )
+        accuracy = np.mean(predictions == split.test.labels)
+        assert accuracy > 0.5
+
+    def test_inputs_are_standardized(self):
+        split = make_cifar_like(num_train=300, num_test=50, rng=0)
+        std = split.train.inputs.std()
+        assert 0.5 < std < 2.0
+
+    def test_mnist_like_is_easier_than_fashion_like(self):
+        from repro.data.synthetic_images import make_fashion_like
+
+        mnist = make_mnist_like(num_train=10, num_test=5, rng=0)
+        fashion = make_fashion_like(num_train=10, num_test=5, rng=0)
+        assert mnist.spec == fashion.spec  # same geometry, different difficulty
+
+
+class TestSyntheticText:
+    def test_shapes_and_vocab(self):
+        split = make_synthetic_text(
+            num_train=80, num_test=20, num_classes=3, vocab_size=50, seq_len=7, rng=0
+        )
+        assert split.train.inputs.shape == (80, 7)
+        assert split.train.inputs.max() < 50
+        assert split.spec.kind == "text"
+
+    def test_topic_words_predict_class(self):
+        """Counting topic-block tokens must recover the label most of the time."""
+        split = make_agnews_like(num_train=400, num_test=100, rng=0)
+        tokens = split.train.inputs
+        labels = split.train.labels
+        topic_words = 8
+        scores = np.zeros((len(tokens), 4))
+        for cls in range(4):
+            low, high = cls * topic_words, (cls + 1) * topic_words
+            scores[:, cls] = ((tokens >= low) & (tokens < high)).sum(axis=1)
+        predictions = scores.argmax(axis=1)
+        assert np.mean(predictions == labels) > 0.7
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic_text(num_classes=4, vocab_size=10, topic_words=8, rng=0)
+
+
+class TestDatasetFactory:
+    @pytest.mark.parametrize(
+        "name", ["mnist_like", "fashion_like", "cifar_like", "agnews_like", "cifar10"]
+    )
+    def test_build_registered_datasets(self, name):
+        split = build_dataset(name, num_train=30, num_test=10, rng=0)
+        assert len(split.train) == 30
+        assert len(split.test) == 10
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            build_dataset("imagenet")

@@ -1,0 +1,120 @@
+"""Tests for federated clients, the server, and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import MeanAggregator
+from repro.core import SignGuard
+from repro.data.datasets import DataSpec
+from repro.fl.client import BenignClient, ByzantineClient
+from repro.fl.metrics import attack_impact, evaluate_model, selection_confusion
+from repro.fl.server import FederatedServer
+from repro.nn.models import build_model
+from repro.nn.vectorize import count_parameters, get_flat_parameters
+
+
+@pytest.fixture
+def spec(tiny_image_dataset):
+    return tiny_image_dataset.spec
+
+
+@pytest.fixture
+def model(spec):
+    return build_model("mlp", spec, rng=0, params={"hidden_dims": (8,)})
+
+
+class TestBenignClient:
+    def test_gradient_has_model_dimension(self, tiny_image_dataset, model):
+        client = BenignClient(0, tiny_image_dataset, batch_size=8, rng=0)
+        gradient = client.compute_gradient(model)
+        assert gradient.shape == (count_parameters(model),)
+        assert np.all(np.isfinite(gradient))
+        assert np.isfinite(client.last_loss)
+
+    def test_model_parameters_unchanged_by_gradient_computation(self, tiny_image_dataset, model):
+        before = get_flat_parameters(model).copy()
+        BenignClient(0, tiny_image_dataset, batch_size=8, rng=0).compute_gradient(model)
+        np.testing.assert_array_equal(get_flat_parameters(model), before)
+
+    def test_local_iterations_average_gradients(self, tiny_image_dataset, model):
+        client = BenignClient(0, tiny_image_dataset, batch_size=8, local_iterations=3, rng=0)
+        gradient = client.compute_gradient(model)
+        assert np.all(np.isfinite(gradient))
+
+    def test_num_samples(self, tiny_image_dataset):
+        assert BenignClient(0, tiny_image_dataset, rng=0).num_samples == 60
+
+    def test_invalid_local_iterations(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            BenignClient(0, tiny_image_dataset, local_iterations=0)
+
+
+class TestByzantineClient:
+    def test_label_poisoning_flips_local_labels(self, tiny_image_dataset):
+        client = ByzantineClient(1, tiny_image_dataset, poison_labels=True, rng=0)
+        np.testing.assert_array_equal(client.dataset.labels, 2 - tiny_image_dataset.labels)
+        assert client.is_byzantine
+
+    def test_without_poisoning_data_is_untouched(self, tiny_image_dataset):
+        client = ByzantineClient(1, tiny_image_dataset, poison_labels=False, rng=0)
+        np.testing.assert_array_equal(client.dataset.labels, tiny_image_dataset.labels)
+
+    def test_poisoned_gradient_differs_from_honest(self, tiny_image_dataset, model):
+        honest = BenignClient(0, tiny_image_dataset, batch_size=60, rng=0)
+        poisoned = ByzantineClient(0, tiny_image_dataset, batch_size=60, poison_labels=True, rng=0)
+        assert not np.allclose(
+            honest.compute_gradient(model), poisoned.compute_gradient(model)
+        )
+
+
+class TestFederatedServer:
+    def test_aggregate_and_update_changes_model(self, model, rng):
+        server = FederatedServer(model, MeanAggregator(), learning_rate=0.1, rng=rng)
+        before = get_flat_parameters(model).copy()
+        gradients = rng.normal(size=(5, count_parameters(model)))
+        result = server.aggregate_and_update(gradients)
+        assert not np.allclose(get_flat_parameters(model), before)
+        assert result.num_selected == 5
+        assert server.round_index == 1
+
+    def test_previous_gradient_tracked_for_history_aware_rules(self, model, rng):
+        server = FederatedServer(model, SignGuard(), rng=rng)
+        gradients = rng.normal(0.1, 0.3, size=(8, count_parameters(model)))
+        server.aggregate_and_update(gradients)
+        context = server.make_context()
+        assert context.previous_gradient is not None
+        assert context.round_index == 1
+
+    def test_byzantine_hint_propagates_to_context(self, model, rng):
+        server = FederatedServer(model, MeanAggregator(), num_byzantine_hint=7, rng=rng)
+        assert server.make_context().num_byzantine_hint == 7
+
+    def test_learning_rate_property(self, model, rng):
+        server = FederatedServer(model, MeanAggregator(), learning_rate=0.5, rng=rng)
+        server.learning_rate = 0.25
+        assert server.optimizer.lr == 0.25
+
+
+class TestMetrics:
+    def test_evaluate_model_bounds(self, tiny_image_dataset, model):
+        accuracy, loss = evaluate_model(model, tiny_image_dataset, batch_size=16)
+        assert 0.0 <= accuracy <= 1.0
+        assert loss > 0
+        assert model.training  # switched back to train mode
+
+    def test_attack_impact_clamps_at_zero(self):
+        assert attack_impact(0.9, 0.7) == pytest.approx(0.2)
+        assert attack_impact(0.7, 0.9) == 0.0
+
+    def test_selection_confusion(self):
+        confusion = selection_confusion(
+            selected_indices=np.array([0, 1, 2, 5]),
+            byzantine_indices=np.array([0, 9]),
+            num_clients=10,
+        )
+        assert confusion == {
+            "benign_selected": 3,
+            "benign_total": 8,
+            "byzantine_selected": 1,
+            "byzantine_total": 2,
+        }

@@ -1,0 +1,99 @@
+"""Integration tests for the high-level experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig, AttackConfig
+from repro.fl import run_experiment, run_grid
+
+
+def fast_config(attack="no_attack", defense="mean", **overrides):
+    """A deliberately tiny configuration so integration tests stay fast."""
+    config = ExperimentConfig(
+        num_clients=8,
+        seed=3,
+        data=DataConfig(dataset="mnist_like", num_train=240, num_test=80),
+        training=TrainingConfig(
+            model="mlp", rounds=6, batch_size=16, learning_rate=0.1, eval_every=2
+        ),
+        attack=AttackConfig(name=attack, byzantine_fraction=0.25),
+        defense=DefenseConfig(name=defense),
+    )
+    return config.replace(**overrides)
+
+
+class TestRunExperiment:
+    def test_returns_populated_recorder(self):
+        recorder = run_experiment(fast_config())
+        assert len(recorder) == 6
+        assert recorder.best_accuracy() > 0.1
+        assert "config" in recorder.metadata
+
+    def test_reproducible_with_same_seed(self):
+        a = run_experiment(fast_config())
+        b = run_experiment(fast_config())
+        assert a.best_accuracy() == pytest.approx(b.best_accuracy())
+        assert a.losses == pytest.approx(b.losses)
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(fast_config())
+        b = run_experiment(fast_config(seed=9))
+        assert a.losses != pytest.approx(b.losses)
+
+    def test_byzantine_indices_recorded(self):
+        recorder = run_experiment(fast_config(attack="sign_flip", defense="signguard"))
+        assert len(recorder.metadata["byzantine_indices"]) == 2
+
+    def test_label_flip_attack_uses_data_poisoning_path(self):
+        recorder = run_experiment(fast_config(attack="label_flip", defense="median"))
+        assert recorder.best_accuracy() > 0.1
+
+    def test_non_iid_partition(self):
+        config = fast_config()
+        config.data.partition = "sort_and_partition"
+        config.data.iid_fraction = 0.3
+        recorder = run_experiment(config)
+        assert len(recorder) == 6
+
+    def test_text_task(self):
+        config = fast_config()
+        config.data = DataConfig(dataset="agnews_like", num_train=240, num_test=80)
+        config.training = TrainingConfig(
+            model="textrnn", rounds=5, batch_size=16, learning_rate=0.5, eval_every=5
+        )
+        recorder = run_experiment(config)
+        assert recorder.best_accuracy() > 0.2
+
+    def test_invalid_config_rejected_before_running(self):
+        config = fast_config()
+        config.attack.byzantine_fraction = 0.6
+        with pytest.raises(ValueError):
+            run_experiment(config)
+
+
+class TestRunGrid:
+    def test_grid_keys_and_values(self):
+        results = run_grid(
+            fast_config(),
+            attacks=["no_attack", "sign_flip"],
+            defenses=["mean", "signguard"],
+        )
+        assert set(results) == {
+            ("no_attack", "mean"),
+            ("no_attack", "signguard"),
+            ("sign_flip", "mean"),
+            ("sign_flip", "signguard"),
+        }
+        for recorder in results.values():
+            assert len(recorder) == 6
+
+    def test_grid_forwards_params(self):
+        results = run_grid(
+            fast_config(),
+            attacks=["lie"],
+            defenses=["trimmed_mean"],
+            attack_params={"lie": {"z": 0.8}},
+            defense_params={"trimmed_mean": {"trim": 1}},
+        )
+        recorder = results[("lie", "trimmed_mean")]
+        assert recorder.metadata["config"]["attack"]["params"] == {"z": 0.8}

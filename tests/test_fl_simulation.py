@@ -1,0 +1,108 @@
+"""Tests for the federated simulation loop and client construction."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import MeanAggregator
+from repro.attacks import NoAttack, SignFlipAttack
+from repro.core import SignGuard
+from repro.data.partition import iid_partition
+from repro.data.synthetic_images import make_mnist_like
+from repro.fl.server import FederatedServer
+from repro.fl.simulation import FederatedSimulation, build_clients
+from repro.nn.models import build_model
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def split():
+    return make_mnist_like(num_train=300, num_test=80, rng=0)
+
+
+def make_simulation(split, attack, aggregator, num_clients=10, byzantine=(0, 1), **kwargs):
+    rng_factory = RngFactory(0)
+    partitions = iid_partition(split.train, num_clients, rng=rng_factory.make("p"))
+    clients = build_clients(
+        split.train,
+        partitions,
+        byzantine,
+        batch_size=16,
+        poison_labels=attack.poisons_data,
+        rng_factory=rng_factory,
+    )
+    model = build_model("mlp", split.spec, rng=0, params={"hidden_dims": (16,)})
+    server = FederatedServer(
+        model, aggregator, learning_rate=0.1, num_byzantine_hint=len(byzantine), rng=0
+    )
+    return FederatedSimulation(
+        server, clients, attack, split.test, attack_rng=np.random.default_rng(0), **kwargs
+    )
+
+
+class TestBuildClients:
+    def test_byzantine_flags_and_counts(self, split):
+        partitions = iid_partition(split.train, 10, rng=0)
+        clients = build_clients(split.train, partitions, [2, 5])
+        assert sum(c.is_byzantine for c in clients) == 2
+        assert clients[2].is_byzantine and clients[5].is_byzantine
+        assert len(clients) == 10
+
+    def test_label_poisoning_only_on_byzantine_clients(self, split):
+        partitions = iid_partition(split.train, 6, rng=0)
+        clients = build_clients(split.train, partitions, [0], poison_labels=True)
+        original = split.train.labels[partitions[0]]
+        assert not np.array_equal(clients[0].dataset.labels, original)
+        np.testing.assert_array_equal(
+            clients[1].dataset.labels, split.train.labels[partitions[1]]
+        )
+
+
+class TestFederatedSimulation:
+    def test_training_reduces_loss(self, split):
+        simulation = make_simulation(split, NoAttack(), MeanAggregator(), byzantine=())
+        recorder = simulation.run(8)
+        assert recorder.losses[-1] < recorder.losses[0]
+        assert len(recorder) == 8
+
+    def test_accuracy_recorded_each_round_by_default(self, split):
+        simulation = make_simulation(split, NoAttack(), MeanAggregator(), byzantine=())
+        recorder = simulation.run(3)
+        assert all(r.test_accuracy is not None for r in recorder)
+
+    def test_eval_every_skips_rounds(self, split):
+        simulation = make_simulation(
+            split, NoAttack(), MeanAggregator(), byzantine=(), eval_every=3
+        )
+        recorder = simulation.run(6)
+        evaluated = [r.test_accuracy is not None for r in recorder]
+        assert evaluated == [False, False, True, False, False, True]
+
+    def test_selection_bookkeeping_under_signguard(self, split):
+        simulation = make_simulation(split, SignFlipAttack(), SignGuard(), byzantine=(0, 1))
+        recorder = simulation.run(4)
+        record = recorder.rounds[0]
+        assert record.benign_total == 8
+        assert record.byzantine_total == 2
+        assert 0 <= record.benign_selected <= 8
+
+    def test_byzantine_majority_rejected(self, split):
+        with pytest.raises(ValueError):
+            make_simulation(split, SignFlipAttack(), MeanAggregator(), byzantine=tuple(range(5)))
+
+    def test_lr_decay_applied(self, split):
+        simulation = make_simulation(
+            split, NoAttack(), MeanAggregator(), byzantine=(), lr_decay=0.5
+        )
+        initial = simulation.server.learning_rate
+        simulation.run(2)
+        assert simulation.server.learning_rate == pytest.approx(initial * 0.25)
+
+    def test_invalid_round_count_rejected(self, split):
+        simulation = make_simulation(split, NoAttack(), MeanAggregator(), byzantine=())
+        with pytest.raises(ValueError):
+            simulation.run(0)
+
+    def test_attack_name_recorded(self, split):
+        simulation = make_simulation(split, SignFlipAttack(), SignGuard(), byzantine=(0,))
+        recorder = simulation.run(1)
+        assert recorder.rounds[0].attack_name == "sign_flip"

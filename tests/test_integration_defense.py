@@ -1,0 +1,82 @@
+"""End-to-end defense-effectiveness tests.
+
+These are slower integration tests that run small federated experiments and
+assert the paper's headline qualitative claims:
+
+* SignGuard keeps accuracy close to the no-attack baseline under stealthy
+  attacks (LIE, ByzMean).
+* SignGuard's filter excludes essentially all malicious gradients for those
+  attacks (Table II's M column ~ 0).
+* The undefended mean is steered further from the benign aggregate than
+  SignGuard is.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig, AttackConfig
+from repro.fl import run_experiment
+
+
+def small_config(attack, defense, seed=11):
+    return ExperimentConfig(
+        num_clients=15,
+        seed=seed,
+        data=DataConfig(dataset="mnist_like", num_train=600, num_test=200),
+        training=TrainingConfig(
+            model="mlp", rounds=12, batch_size=16, learning_rate=0.1, eval_every=3
+        ),
+        attack=AttackConfig(name=attack, byzantine_fraction=0.2),
+        defense=DefenseConfig(name=defense),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_accuracy():
+    return run_experiment(small_config("no_attack", "mean")).best_accuracy()
+
+
+class TestSignGuardEffectiveness:
+    def test_baseline_learns(self, baseline_accuracy):
+        assert baseline_accuracy > 0.6
+
+    @pytest.mark.parametrize("attack", ["lie", "byzmean", "min_max"])
+    def test_signguard_tracks_baseline_under_stealthy_attacks(self, attack, baseline_accuracy):
+        recorder = run_experiment(small_config(attack, "signguard"))
+        assert recorder.best_accuracy() > baseline_accuracy - 0.15
+
+    @pytest.mark.parametrize("attack", ["lie", "byzmean"])
+    def test_signguard_excludes_malicious_gradients(self, attack):
+        recorder = run_experiment(small_config(attack, "signguard"))
+        assert recorder.mean_byzantine_selection_rate() < 0.15
+        assert recorder.mean_benign_selection_rate() > 0.6
+
+    def test_signguard_sim_handles_sign_flip_better_than_plain(self):
+        """Table II: the similarity feature lowers the sign-flip M rate."""
+        plain = run_experiment(small_config("sign_flip", "signguard"))
+        sim = run_experiment(small_config("sign_flip", "signguard_sim"))
+        assert (
+            sim.mean_byzantine_selection_rate()
+            <= plain.mean_byzantine_selection_rate() + 0.05
+        )
+
+    def test_signguard_robust_under_random_attack(self, baseline_accuracy):
+        recorder = run_experiment(small_config("random", "signguard"))
+        assert recorder.best_accuracy() > baseline_accuracy - 0.2
+
+    def test_no_attack_fidelity(self, baseline_accuracy):
+        """Fidelity goal: without attacks SignGuard costs almost no accuracy."""
+        recorder = run_experiment(small_config("no_attack", "signguard"))
+        assert recorder.best_accuracy() > baseline_accuracy - 0.1
+
+
+class TestDefenseComparison:
+    def test_byzmean_steers_mean_more_than_signguard(self):
+        """Attack-impact ordering: SignGuard should suffer no more than Mean."""
+        mean_recorder = run_experiment(small_config("byzmean", "mean"))
+        guard_recorder = run_experiment(small_config("byzmean", "signguard"))
+        assert guard_recorder.best_accuracy() >= mean_recorder.best_accuracy() - 0.05
+
+    def test_multikrum_gets_byzantine_hint_but_signguard_does_not_need_it(self):
+        recorder = run_experiment(small_config("lie", "multi_krum"))
+        assert recorder.best_accuracy() > 0.0  # runs to completion with the hint

@@ -1,0 +1,89 @@
+"""Tests for the stateless numerical building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    sigmoid,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(4, 7))
+        np.testing.assert_allclose(softmax(logits).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_stable_for_large_logits(self):
+        logits = np.array([[1000.0, 1000.0, 999.0]])
+        out = softmax(logits)
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(out[0, 1])
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        logits = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(np.exp(log_softmax(logits)), softmax(logits), atol=1e-12)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestSigmoid:
+    def test_matches_definition(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_allclose(sigmoid(x), 1 / (1 + np.exp(-x)), atol=1e-12)
+
+    def test_stable_for_extreme_inputs(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+
+class TestIm2Col:
+    def test_output_size_formula(self):
+        assert conv_output_size(14, 3, 1, 1) == 14
+        assert conv_output_size(14, 2, 2, 0) == 7
+
+    def test_im2col_matches_naive_convolution(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        columns, out_h, out_w = im2col(x, kernel=3, stride=1, padding=1)
+        result = (columns @ weight.reshape(4, -1).T).reshape(2, out_h, out_w, 4)
+        result = result.transpose(0, 3, 1, 2)
+
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((2, 4, 6, 6))
+        for b in range(2):
+            for o in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        patch = padded[b, :, i : i + 3, j : j + 3]
+                        naive[b, o, i, j] = np.sum(patch * weight[o])
+        np.testing.assert_allclose(result, naive, atol=1e-10)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the property backprop relies on."""
+        x = rng.normal(size=(1, 2, 5, 5))
+        columns, out_h, out_w = im2col(x, kernel=3, stride=2, padding=1)
+        y = rng.normal(size=columns.shape)
+        lhs = np.sum(columns * y)
+        rhs = np.sum(x * col2im(y, x.shape, kernel=3, stride=2, padding=1))
+        assert lhs == pytest.approx(rhs, rel=1e-10)

@@ -1,0 +1,135 @@
+"""Tests for the model zoo and the model factory."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DataSpec
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import (
+    MLP,
+    LogisticRegression,
+    ResNetLite,
+    SimpleCNN,
+    TextRNN,
+    build_model,
+)
+from repro.nn.optim import SGD
+
+IMAGE_SPEC = DataSpec(kind="image", num_classes=4, channels=1, height=8, width=8)
+COLOR_SPEC = DataSpec(kind="image", num_classes=5, channels=3, height=8, width=8)
+TEXT_SPEC = DataSpec(kind="text", num_classes=3, vocab_size=30, seq_len=6)
+
+
+def train_steps(model, inputs, labels, steps=25, lr=0.1):
+    """Run a few SGD steps and return (initial_loss, final_loss)."""
+    loss_fn = CrossEntropyLoss()
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+    losses = []
+    for _ in range(steps):
+        loss = loss_fn(model(inputs), labels)
+        model.zero_grad()
+        model.backward(loss_fn.backward())
+        optimizer.step()
+        losses.append(loss)
+    return losses[0], losses[-1]
+
+
+class TestForwardShapes:
+    def test_mlp(self, rng):
+        model = MLP(16, 4, hidden_dims=(8,), rng=rng)
+        assert model(rng.normal(size=(3, 16))).shape == (3, 4)
+
+    def test_logistic(self, rng):
+        model = LogisticRegression(16, 4, rng=rng)
+        assert model(rng.normal(size=(3, 2, 8))).shape == (3, 4)
+
+    def test_simple_cnn(self, rng):
+        model = SimpleCNN(1, (8, 8), 4, rng=rng)
+        assert model(rng.normal(size=(2, 1, 8, 8))).shape == (2, 4)
+
+    def test_resnet_lite(self, rng):
+        model = ResNetLite(3, (8, 8), 5, rng=rng)
+        assert model(rng.normal(size=(2, 3, 8, 8))).shape == (2, 5)
+
+    def test_textrnn(self, rng):
+        model = TextRNN(30, 3, rng=rng)
+        assert model(rng.integers(0, 30, size=(4, 6))).shape == (4, 3)
+
+    def test_textrnn_rejects_non_sequence_input(self, rng):
+        with pytest.raises(ValueError):
+            TextRNN(30, 3, rng=rng)(rng.integers(0, 30, size=(4,)))
+
+
+class TestLearning:
+    """Every model must be able to overfit a tiny batch — the classic sanity check."""
+
+    def test_mlp_overfits_small_batch(self, rng):
+        inputs = rng.normal(size=(16, 16))
+        labels = rng.integers(0, 4, size=16)
+        first, last = train_steps(MLP(16, 4, rng=rng), inputs, labels, steps=60)
+        assert last < first * 0.5
+
+    def test_simple_cnn_overfits_small_batch(self, rng):
+        inputs = rng.normal(size=(12, 1, 8, 8))
+        labels = rng.integers(0, 4, size=12)
+        first, last = train_steps(SimpleCNN(1, (8, 8), 4, rng=rng), inputs, labels, steps=40, lr=0.05)
+        assert last < first * 0.6
+
+    def test_resnet_lite_overfits_small_batch(self, rng):
+        inputs = rng.normal(size=(10, 3, 8, 8))
+        labels = rng.integers(0, 5, size=10)
+        first, last = train_steps(ResNetLite(3, (8, 8), 5, rng=rng), inputs, labels, steps=40, lr=0.05)
+        assert last < first * 0.8
+
+    def test_textrnn_overfits_small_batch(self, rng):
+        inputs = rng.integers(0, 30, size=(12, 6))
+        labels = rng.integers(0, 3, size=12)
+        first, last = train_steps(TextRNN(30, 3, rng=rng), inputs, labels, steps=60, lr=0.3)
+        assert last < first * 0.7
+
+
+class TestBuildModel:
+    @pytest.mark.parametrize(
+        "name,spec",
+        [
+            ("mlp", IMAGE_SPEC),
+            ("logistic", IMAGE_SPEC),
+            ("simple_cnn", IMAGE_SPEC),
+            ("resnet_lite", COLOR_SPEC),
+            ("textrnn", TEXT_SPEC),
+            ("cnn", IMAGE_SPEC),  # alias
+        ],
+    )
+    def test_builds_registered_models(self, name, spec):
+        model = build_model(name, spec, rng=0)
+        assert model.num_parameters() > 0
+
+    def test_image_model_rejects_text_spec(self):
+        with pytest.raises(ValueError):
+            build_model("simple_cnn", TEXT_SPEC, rng=0)
+
+    def test_text_model_rejects_image_spec(self):
+        with pytest.raises(ValueError):
+            build_model("textrnn", IMAGE_SPEC, rng=0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("transformer", IMAGE_SPEC)
+
+    def test_seeded_builds_are_identical(self):
+        a = build_model("mlp", IMAGE_SPEC, rng=3)
+        b = build_model("mlp", IMAGE_SPEC, rng=3)
+        from repro.nn.vectorize import get_flat_parameters
+
+        np.testing.assert_array_equal(get_flat_parameters(a), get_flat_parameters(b))
+
+    def test_state_dict_round_trip(self):
+        model = build_model("mlp", IMAGE_SPEC, rng=0)
+        state = model.state_dict()
+        other = build_model("mlp", IMAGE_SPEC, rng=1)
+        other.load_state_dict(state)
+        from repro.nn.vectorize import get_flat_parameters
+
+        np.testing.assert_array_equal(
+            get_flat_parameters(model), get_flat_parameters(other)
+        )

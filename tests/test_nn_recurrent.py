@@ -1,0 +1,105 @@
+"""Gradient-correctness tests for the recurrent layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.recurrent import LSTM, RNN, BiRNN
+
+
+def check_recurrent_input_gradient(layer, x, gradcheck, atol=1e-5):
+    out = layer.forward(x)
+    upstream = np.ones_like(out)
+    layer.forward(x)
+    analytic = layer.backward(upstream)
+
+    def scalar(x_perturbed):
+        return float(np.sum(layer.forward(x_perturbed)))
+
+    numeric = gradcheck(scalar, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+def check_recurrent_parameter_gradients(layer, x, gradcheck, atol=1e-4):
+    layer.zero_grad()
+    out = layer.forward(x)
+    layer.backward(np.ones_like(out))
+    for param in layer.parameters():
+        analytic = param.grad.copy()
+
+        def scalar(values, param=param):
+            original = param.data.copy()
+            param.data[...] = values
+            result = float(np.sum(layer.forward(x)))
+            param.data[...] = original
+            return result
+
+        numeric = gradcheck(scalar, param.data.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestRNN:
+    def test_output_shapes(self, rng):
+        layer = RNN(3, 5, rng=rng)
+        x = rng.normal(size=(2, 4, 3))
+        assert layer(x).shape == (2, 5)
+        seq_layer = RNN(3, 5, return_sequences=True, rng=rng)
+        assert seq_layer(x).shape == (2, 4, 5)
+
+    def test_input_gradient(self, rng, gradcheck):
+        layer = RNN(2, 3, rng=rng)
+        check_recurrent_input_gradient(layer, rng.normal(size=(2, 3, 2)), gradcheck)
+
+    def test_parameter_gradients(self, rng, gradcheck):
+        layer = RNN(2, 3, rng=rng)
+        check_recurrent_parameter_gradients(layer, rng.normal(size=(2, 3, 2)), gradcheck)
+
+    def test_reverse_processes_sequence_backwards(self, rng):
+        forward = RNN(2, 3, rng=1)
+        backward = RNN(2, 3, reverse=True, rng=1)
+        x = rng.normal(size=(1, 4, 2))
+        np.testing.assert_allclose(backward(x), forward(x[:, ::-1, :]))
+
+    def test_rejects_wrong_feature_size(self, rng):
+        with pytest.raises(ValueError):
+            RNN(3, 4, rng=rng)(rng.normal(size=(1, 5, 2)))
+
+
+class TestLSTM:
+    def test_output_shape(self, rng):
+        layer = LSTM(3, 4, rng=rng)
+        assert layer(rng.normal(size=(2, 5, 3))).shape == (2, 4)
+
+    def test_input_gradient(self, rng, gradcheck):
+        layer = LSTM(2, 3, rng=rng)
+        check_recurrent_input_gradient(layer, rng.normal(size=(2, 3, 2)), gradcheck)
+
+    def test_parameter_gradients(self, rng, gradcheck):
+        layer = LSTM(2, 2, rng=rng)
+        check_recurrent_parameter_gradients(
+            layer, rng.normal(size=(2, 3, 2)), gradcheck, atol=2e-4
+        )
+
+    def test_return_sequences_shape(self, rng):
+        layer = LSTM(3, 4, return_sequences=True, rng=rng)
+        assert layer(rng.normal(size=(2, 5, 3))).shape == (2, 5, 4)
+
+    def test_forget_gate_bias_initialized_to_one(self, rng):
+        layer = LSTM(3, 4, rng=rng)
+        np.testing.assert_allclose(layer.bias.data[4:8], 1.0)
+
+
+class TestBiRNN:
+    @pytest.mark.parametrize("cell", ["rnn", "lstm"])
+    def test_output_concatenates_directions(self, cell, rng):
+        layer = BiRNN(3, 4, cell=cell, rng=rng)
+        out = layer(rng.normal(size=(2, 5, 3)))
+        assert out.shape == (2, 8)
+        assert layer.output_size == 8
+
+    def test_input_gradient(self, rng, gradcheck):
+        layer = BiRNN(2, 3, cell="rnn", rng=rng)
+        check_recurrent_input_gradient(layer, rng.normal(size=(2, 3, 2)), gradcheck)
+
+    def test_rejects_unknown_cell(self):
+        with pytest.raises(ValueError):
+            BiRNN(2, 3, cell="gru")

@@ -1,0 +1,56 @@
+"""Tests for parameter/gradient flattening (the FL gradient-vector interface)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential
+from repro.nn.activations import ReLU
+from repro.nn.vectorize import (
+    count_parameters,
+    get_flat_gradients,
+    get_flat_parameters,
+    set_flat_gradients,
+    set_flat_parameters,
+)
+
+
+@pytest.fixture
+def small_model(rng):
+    return Sequential(Linear(4, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+
+
+class TestVectorize:
+    def test_count_matches_module(self, small_model):
+        assert count_parameters(small_model) == small_model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_parameter_round_trip(self, small_model, rng):
+        new_values = rng.normal(size=count_parameters(small_model))
+        set_flat_parameters(small_model, new_values)
+        np.testing.assert_allclose(get_flat_parameters(small_model), new_values)
+
+    def test_gradient_round_trip(self, small_model, rng):
+        new_grads = rng.normal(size=count_parameters(small_model))
+        set_flat_gradients(small_model, new_grads)
+        np.testing.assert_allclose(get_flat_gradients(small_model), new_grads)
+
+    def test_set_parameters_rejects_wrong_size(self, small_model):
+        with pytest.raises(ValueError):
+            set_flat_parameters(small_model, np.zeros(3))
+
+    def test_set_gradients_rejects_wrong_size(self, small_model):
+        with pytest.raises(ValueError):
+            set_flat_gradients(small_model, np.zeros(1000))
+
+    def test_flat_gradients_reflect_backward(self, small_model, rng):
+        x = rng.normal(size=(5, 4))
+        out = small_model(x)
+        small_model.zero_grad()
+        small_model.backward(np.ones_like(out))
+        flat = get_flat_gradients(small_model)
+        assert flat.shape == (count_parameters(small_model),)
+        assert np.any(flat != 0)
+
+    def test_order_is_stable(self, small_model):
+        first = get_flat_parameters(small_model)
+        second = get_flat_parameters(small_model)
+        np.testing.assert_array_equal(first, second)

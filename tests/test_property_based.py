@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the algebraic properties every aggregation rule and feature
+extractor must satisfy regardless of the concrete input: permutation
+invariance, clipping bounds, convex-hull containment, sign-statistics
+normalization, and partition completeness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import (
+    CoordinateMedianAggregator,
+    MeanAggregator,
+    TrimmedMeanAggregator,
+    build_aggregator,
+    clip_gradients_to_norm,
+)
+from repro.aggregators.base import ServerContext
+from repro.aggregators.geometric_median import geometric_median
+from repro.core.features import sign_statistics
+from repro.data.datasets import ArrayDataset, DataSpec
+from repro.data.partition import iid_partition, sort_and_partition
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def gradient_matrices(min_clients=3, max_clients=12, min_dim=2, max_dim=30):
+    """Strategy producing well-conditioned gradient matrices."""
+    return st.integers(min_clients, max_clients).flatmap(
+        lambda n: st.integers(min_dim, max_dim).flatmap(
+            lambda d: arrays(
+                dtype=np.float64,
+                shape=(n, d),
+                elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+            )
+        )
+    )
+
+
+class TestAggregatorProperties:
+    @given(gradients=gradient_matrices())
+    @settings(**SETTINGS)
+    def test_mean_median_permutation_invariant(self, gradients):
+        context = ServerContext.make(rng=0)
+        permutation = np.random.default_rng(0).permutation(len(gradients))
+        for aggregator in (MeanAggregator(), CoordinateMedianAggregator()):
+            original = aggregator(gradients, context).gradient
+            permuted = aggregator(gradients[permutation], context).gradient
+            np.testing.assert_allclose(original, permuted, atol=1e-9)
+
+    @given(gradients=gradient_matrices())
+    @settings(**SETTINGS)
+    def test_coordinatewise_rules_stay_in_value_range(self, gradients):
+        """Mean, median, and trimmed mean are per-coordinate convex combinations."""
+        context = ServerContext.make(rng=0, num_byzantine_hint=1)
+        lower, upper = gradients.min(axis=0), gradients.max(axis=0)
+        for aggregator in (
+            MeanAggregator(),
+            CoordinateMedianAggregator(),
+            TrimmedMeanAggregator(trim=1),
+        ):
+            result = aggregator(gradients, context).gradient
+            assert np.all(result >= lower - 1e-9)
+            assert np.all(result <= upper + 1e-9)
+
+    @given(gradients=gradient_matrices())
+    @settings(**SETTINGS)
+    def test_krum_output_is_an_input_row(self, gradients):
+        context = ServerContext.make(rng=0, num_byzantine_hint=1)
+        result = build_aggregator("krum", {"num_byzantine": 1})(gradients, context)
+        matches = np.all(np.isclose(gradients, result.gradient[None, :]), axis=1)
+        assert matches.any()
+
+    @given(gradients=gradient_matrices(min_clients=4))
+    @settings(**SETTINGS)
+    def test_translation_equivariance_of_mean_and_median(self, gradients):
+        context = ServerContext.make(rng=0)
+        shift = 3.7
+        for aggregator in (MeanAggregator(), CoordinateMedianAggregator()):
+            base = aggregator(gradients, context).gradient
+            shifted = aggregator(gradients + shift, context).gradient
+            np.testing.assert_allclose(shifted, base + shift, atol=1e-8)
+
+
+class TestClippingProperties:
+    @given(
+        gradients=gradient_matrices(),
+        bound=st.floats(0.01, 100, allow_nan=False, allow_infinity=False),
+    )
+    @settings(**SETTINGS)
+    def test_clipped_norms_never_exceed_bound(self, gradients, bound):
+        clipped = clip_gradients_to_norm(gradients, bound)
+        norms = np.linalg.norm(clipped, axis=1)
+        assert np.all(norms <= bound * (1 + 1e-9))
+
+    @given(
+        gradients=gradient_matrices(),
+        bound=st.floats(0.01, 100, allow_nan=False, allow_infinity=False),
+    )
+    @settings(**SETTINGS)
+    def test_clipping_preserves_direction(self, gradients, bound):
+        clipped = clip_gradients_to_norm(gradients, bound)
+        for original, result in zip(gradients, clipped):
+            norm = np.linalg.norm(original)
+            if norm > 1e-6:  # skip (sub)normal rows where cosine is numerically meaningless
+                cosine = original @ result / (norm * np.linalg.norm(result))
+                assert cosine > 1 - 1e-6
+
+    @given(gradients=gradient_matrices())
+    @settings(**SETTINGS)
+    def test_clipping_is_idempotent(self, gradients):
+        once = clip_gradients_to_norm(gradients, 1.0)
+        twice = clip_gradients_to_norm(once, 1.0)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestGeometricMedianProperties:
+    @given(gradients=gradient_matrices(min_clients=3, max_clients=8, max_dim=10))
+    @settings(**SETTINGS)
+    def test_objective_not_worse_than_mean(self, gradients):
+        """The geometric median minimizes the sum of distances, so it must be
+        at least as good as the arithmetic mean under that objective."""
+        estimate = geometric_median(gradients)
+        mean = gradients.mean(axis=0)
+        objective_estimate = np.linalg.norm(gradients - estimate, axis=1).sum()
+        objective_mean = np.linalg.norm(gradients - mean, axis=1).sum()
+        assert objective_estimate <= objective_mean + 1e-6
+
+
+class TestSignStatisticsProperties:
+    @given(gradients=gradient_matrices())
+    @settings(**SETTINGS)
+    def test_fractions_sum_to_one_and_are_nonnegative(self, gradients):
+        stats = sign_statistics(gradients)
+        assert np.all(stats >= 0)
+        np.testing.assert_allclose(stats.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(gradients=gradient_matrices())
+    @settings(**SETTINGS)
+    def test_negation_swaps_positive_and_negative(self, gradients):
+        stats = sign_statistics(gradients)
+        negated = sign_statistics(-gradients)
+        np.testing.assert_allclose(stats[:, 0], negated[:, 2], atol=1e-12)
+        np.testing.assert_allclose(stats[:, 2], negated[:, 0], atol=1e-12)
+
+    @given(
+        gradients=gradient_matrices(),
+        scale=st.floats(0.1, 10, allow_nan=False, allow_infinity=False),
+    )
+    @settings(**SETTINGS)
+    def test_positive_scaling_invariance(self, gradients, scale):
+        np.testing.assert_allclose(
+            sign_statistics(gradients), sign_statistics(scale * gradients), atol=1e-12
+        )
+
+
+class TestPartitionProperties:
+    @given(
+        num_samples=st.integers(40, 200),
+        num_clients=st.integers(2, 10),
+        iid_fraction=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(**SETTINGS)
+    def test_partitions_are_exact_covers(self, num_samples, num_clients, iid_fraction, seed):
+        rng = np.random.default_rng(seed)
+        spec = DataSpec(kind="image", num_classes=4, channels=1, height=2, width=2)
+        dataset = ArrayDataset(
+            rng.normal(size=(num_samples, 1, 2, 2)),
+            rng.integers(0, 4, size=num_samples),
+            spec,
+        )
+        for partitions in (
+            iid_partition(dataset, num_clients, rng=rng),
+            sort_and_partition(
+                dataset, num_clients, iid_fraction=iid_fraction, rng=rng
+            ),
+        ):
+            combined = np.concatenate(partitions)
+            assert len(combined) == num_samples
+            assert len(np.unique(combined)) == num_samples

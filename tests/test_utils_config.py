@@ -1,0 +1,102 @@
+"""Tests for experiment configuration dataclasses."""
+
+import pytest
+
+from repro.utils.config import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+    default_paper_config,
+)
+
+
+class TestDataConfig:
+    def test_defaults_valid(self):
+        DataConfig().validate()
+
+    def test_rejects_unknown_partition(self):
+        with pytest.raises(ValueError, match="partition"):
+            DataConfig(partition="random").validate()
+
+    def test_rejects_bad_iid_fraction(self):
+        with pytest.raises(ValueError):
+            DataConfig(iid_fraction=1.5).validate()
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig().validate()
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(rounds=0).validate()
+
+    def test_rejects_negative_learning_rate(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=-0.1).validate()
+
+
+class TestAttackConfig:
+    def test_rejects_byzantine_majority(self):
+        with pytest.raises(ValueError, match="minority"):
+            AttackConfig(byzantine_fraction=0.5).validate()
+
+
+class TestExperimentConfig:
+    def test_default_is_valid(self):
+        ExperimentConfig().validate()
+
+    def test_byzantine_counts(self):
+        config = ExperimentConfig(
+            num_clients=50, attack=AttackConfig(byzantine_fraction=0.2)
+        )
+        assert config.num_byzantine == 10
+        assert config.num_benign == 40
+
+    def test_round_trip_serialization(self):
+        config = ExperimentConfig(
+            num_clients=30,
+            seed=7,
+            data=DataConfig(dataset="cifar_like", partition="dirichlet"),
+            training=TrainingConfig(model="resnet_lite", rounds=5),
+            attack=AttackConfig(name="lie", byzantine_fraction=0.3, params={"z": 0.5}),
+            defense=DefenseConfig(name="signguard_sim"),
+            tag="round-trip",
+        )
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_replace_returns_copy(self):
+        config = ExperimentConfig()
+        other = config.replace(num_clients=10)
+        assert other.num_clients == 10
+        assert config.num_clients == 50
+
+    def test_describe_mentions_attack_and_defense(self):
+        text = ExperimentConfig(
+            attack=AttackConfig(name="lie"), defense=DefenseConfig(name="median")
+        ).describe()
+        assert "lie" in text and "median" in text
+
+
+class TestDefaultPaperConfig:
+    @pytest.mark.parametrize(
+        "dataset,model",
+        [
+            ("mnist_like", "simple_cnn"),
+            ("fashion_like", "simple_cnn"),
+            ("cifar_like", "resnet_lite"),
+            ("agnews_like", "textrnn"),
+        ],
+    )
+    def test_model_matches_dataset(self, dataset, model):
+        config = default_paper_config(dataset)
+        assert config.training.model == model
+        assert config.num_clients == 50
+        assert config.attack.byzantine_fraction == pytest.approx(0.2)
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            default_paper_config("imagenet")

@@ -1,0 +1,63 @@
+"""Tests for the name -> factory registry."""
+
+import pytest
+
+from repro.utils.registry import Registry
+
+
+@pytest.fixture
+def registry():
+    reg = Registry("widgets")
+
+    @reg.register("alpha")
+    class Alpha:
+        def __init__(self, value=1):
+            self.value = value
+
+    reg.register("beta", lambda: "beta-instance")
+    return reg
+
+
+class TestRegistry:
+    def test_create_by_name(self, registry):
+        assert registry.create("alpha").value == 1
+
+    def test_create_with_kwargs(self, registry):
+        assert registry.create("alpha", value=5).value == 5
+
+    def test_name_normalization(self, registry):
+        assert "ALPHA" in registry
+        assert "Alpha " in registry
+        assert registry.create("Alpha").value == 1
+
+    def test_dash_and_underscore_equivalent(self):
+        reg = Registry("x")
+        reg.register("multi_krum", lambda: 1)
+        assert "multi-krum" in reg
+
+    def test_unknown_name_lists_known(self, registry):
+        with pytest.raises(KeyError, match="alpha"):
+            registry.get("gamma")
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.register("alpha", lambda: None)
+
+    def test_alias(self, registry):
+        registry.register_alias("first", "alpha")
+        assert registry.create("first").value == 1
+
+    def test_alias_of_unknown_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.register_alias("x", "does_not_exist")
+
+    def test_alias_collision_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.register_alias("beta", "alpha")
+
+    def test_names_sorted(self, registry):
+        assert registry.names() == ["alpha", "beta"]
+
+    def test_len_and_iter(self, registry):
+        assert len(registry) == 2
+        assert list(registry) == ["alpha", "beta"]

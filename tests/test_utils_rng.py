@@ -1,0 +1,99 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngFactory,
+    as_rng,
+    choice_without_replacement,
+    spawn_rngs,
+    split_indices,
+)
+
+
+class TestAsRng:
+    def test_accepts_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_accepts_int_and_is_deterministic(self):
+        a = as_rng(7).integers(0, 1000, size=5)
+        b = as_rng(7).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passes_through_generator(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**6, size=10)
+        b = children[1].integers(0, 10**6, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(3, 4)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestRngFactory:
+    def test_same_name_sequence_is_reproducible(self):
+        values_a = [RngFactory(1).make("clients").integers(0, 10**6) for _ in range(1)]
+        values_b = [RngFactory(1).make("clients").integers(0, 10**6) for _ in range(1)]
+        assert values_a == values_b
+
+    def test_different_names_differ(self):
+        factory = RngFactory(1)
+        a = factory.make("alpha").integers(0, 10**6, size=8)
+        b = factory.make("beta").integers(0, 10**6, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_repeated_requests_advance(self):
+        factory = RngFactory(1)
+        a = factory.make("x").integers(0, 10**6, size=8)
+        b = factory.make("x").integers(0, 10**6, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_reset_restarts_streams(self):
+        factory = RngFactory(1)
+        first = factory.make("x").integers(0, 10**6, size=4)
+        factory.reset()
+        again = factory.make("x").integers(0, 10**6, size=4)
+        np.testing.assert_array_equal(first, again)
+
+    def test_make_many(self):
+        factory = RngFactory(0)
+        assert len(factory.make_many("clients", 7)) == 7
+
+
+class TestChoiceWithoutReplacement:
+    def test_sorted_and_unique(self, rng):
+        picked = choice_without_replacement(rng, 50, 10)
+        assert len(np.unique(picked)) == 10
+        assert np.all(np.diff(picked) > 0)
+
+    def test_rejects_oversized_sample(self, rng):
+        with pytest.raises(ValueError):
+            choice_without_replacement(rng, 5, 6)
+
+
+class TestSplitIndices:
+    def test_partitions_everything(self, rng):
+        groups = split_indices(rng, 100, [0.5, 0.3, 0.2])
+        combined = np.concatenate(groups)
+        assert len(combined) == 100
+        assert len(np.unique(combined)) == 100
+
+    def test_fraction_validation(self, rng):
+        with pytest.raises(ValueError):
+            split_indices(rng, 10, [0.5, 0.2])

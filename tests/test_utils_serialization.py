@@ -1,0 +1,31 @@
+"""Tests for numpy-aware JSON serialization."""
+
+import numpy as np
+
+from repro.utils.serialization import dumps, load_json, save_json
+
+
+class TestSerialization:
+    def test_round_trip_with_numpy_types(self, tmp_path):
+        payload = {
+            "int": np.int64(3),
+            "float": np.float32(0.5),
+            "bool": np.bool_(True),
+            "array": np.arange(4),
+            "nested": {"values": [np.float64(1.5)]},
+        }
+        path = save_json(payload, tmp_path / "result.json")
+        restored = load_json(path)
+        assert restored["int"] == 3
+        assert restored["float"] == 0.5
+        assert restored["bool"] is True
+        assert restored["array"] == [0, 1, 2, 3]
+        assert restored["nested"]["values"] == [1.5]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "deep" / "dir" / "x.json")
+        assert path.exists()
+
+    def test_dumps_returns_string(self):
+        text = dumps({"value": np.float64(2.0)})
+        assert '"value": 2.0' in text

@@ -1,0 +1,120 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_byzantine_count,
+    check_fraction,
+    check_gradient_matrix,
+    check_integer_in_range,
+    check_positive,
+    check_probability_vector,
+    check_same_dimension,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_inclusive(self, value):
+        assert check_fraction(value, "f") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_fraction(value, "f")
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f", inclusive=False)
+
+
+class TestCheckGradientMatrix:
+    def test_promotes_vector_to_matrix(self):
+        out = check_gradient_matrix(np.ones(5))
+        assert out.shape == (1, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_gradient_matrix(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        bad = np.ones((2, 3))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            check_gradient_matrix(bad)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_gradient_matrix(np.ones((2, 3, 4)))
+
+    def test_casts_to_float64(self):
+        out = check_gradient_matrix(np.ones((2, 3), dtype=np.float32))
+        assert out.dtype == np.float64
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        probs = check_probability_vector(np.array([0.25, 0.75]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([-0.1, 1.1]))
+
+    def test_rejects_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.2, 0.2]))
+
+
+class TestCheckByzantineCount:
+    def test_accepts_minority(self):
+        assert check_byzantine_count(10, 50) == 10
+
+    def test_rejects_majority(self):
+        with pytest.raises(ValueError, match="minority"):
+            check_byzantine_count(25, 50)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_byzantine_count(-1, 50)
+
+
+class TestMisc:
+    def test_same_dimension_ok(self):
+        check_same_dimension(np.ones((3, 4)), np.ones(4))
+
+    def test_same_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            check_same_dimension(np.ones((3, 4)), np.ones(5))
+
+    def test_integer_in_range(self):
+        assert check_integer_in_range(3, "k", minimum=1, maximum=5) == 3
+
+    def test_integer_below_minimum(self):
+        with pytest.raises(ValueError):
+            check_integer_in_range(0, "k", minimum=1)
+
+    def test_integer_above_maximum(self):
+        with pytest.raises(ValueError):
+            check_integer_in_range(9, "k", maximum=5)
