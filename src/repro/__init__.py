@@ -23,10 +23,14 @@ from repro.utils.config import (
 )
 from repro.core import SignGuard, SignGuardDist, SignGuardSim
 from repro.fl import run_experiment, run_grid
+from repro.perf import RoundProfiler
+from repro.utils.batch import GradientBatch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "GradientBatch",
+    "RoundProfiler",
     "ExperimentConfig",
     "DataConfig",
     "TrainingConfig",

@@ -7,8 +7,8 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.utils.batch import GradientBatch
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import check_gradient_matrix
 
 
 @dataclass
@@ -26,6 +26,10 @@ class ServerContext:
         num_byzantine_hint: the Byzantine count the operator *believes*;
             baselines like Krum and Bulyan require it (the paper notes this
             is an unrealistic advantage), SignGuard ignores it.
+        batch: the round's shared :class:`~repro.utils.batch.GradientBatch`
+            compute cache, populated by :meth:`Aggregator.__call__` so every
+            consumer (filters, features, pairwise-distance scorers) reuses
+            one set of memoized norms / Gram / distance matrices.
         extra: free-form channel.
     """
 
@@ -34,6 +38,7 @@ class ServerContext:
     previous_gradient: Optional[np.ndarray] = None
     reference_gradient: Optional[np.ndarray] = None
     num_byzantine_hint: Optional[int] = None
+    batch: Optional[GradientBatch] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -79,10 +84,11 @@ class Aggregator:
     def __call__(
         self, gradients: np.ndarray, context: Optional[ServerContext] = None
     ) -> AggregationResult:
-        gradients = check_gradient_matrix(gradients)
+        batch = GradientBatch.wrap(gradients)
         if context is None:
             context = ServerContext()
-        return self.aggregate(gradients, context)
+        context.batch = batch
+        return self.aggregate(batch.matrix, context)
 
     def _byzantine_count(
         self, gradients: np.ndarray, context: ServerContext

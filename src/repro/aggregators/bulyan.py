@@ -4,6 +4,14 @@ Bulyan composes Multi-Krum selection with a per-coordinate trimmed mean:
 first it iteratively selects ``theta = n - 2f`` gradients by repeatedly
 applying Krum, then for every coordinate it averages the ``theta - 2f``
 values closest to the coordinate median of the selected set.
+
+The iterative selection historically rebuilt an O(n² · d) Gram matrix for
+every one of the ``theta`` Krum passes.  Squared distances between rows do
+not change when other rows are removed, so this implementation computes the
+pairwise squared-distance matrix once (via the round-level
+:class:`~repro.utils.batch.GradientBatch` cache) and re-scores each shrinking
+subset from an O(n²) slice — turning the selection stage from
+O(theta · n² · d) into O(n² · d + theta · n²).
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
-from repro.aggregators.krum import _krum_scores
+from repro.aggregators.krum import krum_scores_from_sq_distances
+from repro.utils.batch import resolve_batch
 
 
 class BulyanAggregator(Aggregator):
@@ -42,12 +51,14 @@ class BulyanAggregator(Aggregator):
         f = int(max(min(f, (n - 3) // 4), 0))
         theta = max(n - 2 * f, 1)
 
-        # Stage 1: iterative Krum selection of theta gradients.
+        # Stage 1: iterative Krum selection of theta gradients, scored from
+        # one shared pairwise squared-distance matrix.
+        sq_distances = resolve_batch(gradients, context).sq_distances()
         remaining = list(range(n))
         selected: List[int] = []
         while len(selected) < theta and len(remaining) > 2:
-            subset = gradients[remaining]
-            scores = _krum_scores(subset, f)
+            sub_sq = sq_distances[np.ix_(remaining, remaining)]
+            scores = krum_scores_from_sq_distances(sub_sq, f)
             winner_local = int(np.argmin(scores))
             selected.append(remaining.pop(winner_local))
         if not selected:

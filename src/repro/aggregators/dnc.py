@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
+from repro.utils.batch import resolve_batch
 
 
 class DivideAndConquerAggregator(Aggregator):
@@ -43,6 +44,10 @@ class DivideAndConquerAggregator(Aggregator):
     def aggregate(
         self, gradients: np.ndarray, context: ServerContext
     ) -> AggregationResult:
+        # DnC scores coordinate subsamples, so the round cache's full-matrix
+        # quantities do not apply; the batch still supplies the validated
+        # matrix without a second validation pass.
+        gradients = resolve_batch(gradients, context).matrix
         n, dim = gradients.shape
         f = (
             self.num_byzantine

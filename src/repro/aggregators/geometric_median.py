@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+from repro.utils.batch import resolve_batch
 
 
 def geometric_median(
@@ -19,6 +20,12 @@ def geometric_median(
     The iteration is started from the coordinate-wise mean and smoothed with
     ``epsilon`` to remain well-defined when the estimate coincides with one
     of the input points.
+
+    Distances are deliberately computed directly from the difference matrix:
+    the expanded quadratic form ``||p||² - 2 p·e + ||e||²`` cancels
+    catastrophically once the estimate converges into a tight large-norm
+    cluster, distorting the ``1 / distance`` weights far beyond the
+    convergence tolerance.
     """
     points = np.atleast_2d(np.asarray(points, dtype=np.float64))
     estimate = points.mean(axis=0)
@@ -44,8 +51,11 @@ class GeometricMedianAggregator(Aggregator):
     def aggregate(
         self, gradients: np.ndarray, context: ServerContext
     ) -> AggregationResult:
+        batch = resolve_batch(gradients, context)
         aggregated = geometric_median(
-            gradients, max_iterations=self.max_iterations, tolerance=self.tolerance
+            batch.matrix,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
         )
         return AggregationResult(
             gradient=aggregated,

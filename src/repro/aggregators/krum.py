@@ -2,28 +2,57 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
+from repro.utils.batch import GradientBatch, resolve_batch
 
 
-def _krum_scores(gradients: np.ndarray, num_byzantine: int) -> np.ndarray:
+def krum_scores_from_sq_distances(
+    sq_distances: np.ndarray, num_byzantine: int
+) -> np.ndarray:
+    """Krum scores from a precomputed pairwise squared-distance matrix.
+
+    The matrix must have an exactly-zero diagonal (self-distance), which is
+    what :meth:`repro.utils.batch.GradientBatch.sq_distances` guarantees.  The
+    self-distance is then always among the ``k + 1`` smallest entries of a
+    row and contributes nothing to the sum, so the score can be computed with
+    a bounded :func:`np.partition` instead of mutating the diagonal and
+    sorting the full row — the input is never written to (it may be a shared
+    cache) and no ``(n, n)`` fully-sorted copy is materialized.
+    """
+    n = len(sq_distances)
+    num_neighbors = max(n - num_byzantine - 2, 1)
+    kth = min(num_neighbors, n - 1)
+    part = np.partition(sq_distances, kth, axis=1)[:, : num_neighbors + 1]
+    # Sort the small (n, k+1) block so the summation order matches the
+    # historical sort-then-sum implementation bit-for-bit, then drop the
+    # leading zero self-distance.
+    part.sort(axis=1)
+    return part[:, 1:].sum(axis=1)
+
+
+def _krum_scores(
+    gradients: np.ndarray,
+    num_byzantine: int,
+    *,
+    batch: Optional[GradientBatch] = None,
+) -> np.ndarray:
     """Krum score of every gradient.
 
     The score of client ``i`` is the sum of its squared distances to its
     ``n - f - 2`` nearest neighbours (``f`` = assumed Byzantine count);
     smaller scores mean the gradient sits inside a dense benign clique.
+
+    When ``batch`` is provided (the round-level compute cache) its memoized
+    pairwise squared distances are reused instead of rebuilding the
+    O(n² · d) Gram matrix.
     """
-    n = len(gradients)
-    num_neighbors = max(n - num_byzantine - 2, 1)
-    sq_norms = np.sum(gradients**2, axis=1)
-    squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
-    np.maximum(squared, 0.0, out=squared)
-    np.fill_diagonal(squared, np.inf)
-    sorted_sq = np.sort(squared, axis=1)
-    return sorted_sq[:, :num_neighbors].sum(axis=1)
+    if batch is None or batch.matrix is not gradients:
+        batch = GradientBatch.wrap(gradients, validate=False)
+    return krum_scores_from_sq_distances(batch.sq_distances(), num_byzantine)
 
 
 class KrumAggregator(Aggregator):
@@ -49,7 +78,7 @@ class KrumAggregator(Aggregator):
         self, gradients: np.ndarray, context: ServerContext
     ) -> AggregationResult:
         f = self._resolve_f(gradients, context)
-        scores = _krum_scores(gradients, f)
+        scores = _krum_scores(gradients, f, batch=resolve_batch(gradients, context))
         winner = int(np.argmin(scores))
         return AggregationResult(
             gradient=gradients[winner].copy(),
@@ -82,7 +111,7 @@ class MultiKrumAggregator(KrumAggregator):
     ) -> AggregationResult:
         n = len(gradients)
         f = self._resolve_f(gradients, context)
-        scores = _krum_scores(gradients, f)
+        scores = _krum_scores(gradients, f, batch=resolve_batch(gradients, context))
         num_selected = self.num_selected if self.num_selected is not None else max(n - f, 1)
         num_selected = int(min(num_selected, n))
         selected = np.argsort(scores)[:num_selected]

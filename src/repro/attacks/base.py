@@ -81,9 +81,11 @@ class Attack:
         """Return the full gradient matrix after replacing Byzantine rows.
 
         This is the entry point used by the federated server simulation; it
-        validates shapes and leaves benign rows untouched.
+        validates shapes and leaves benign rows untouched.  The input dtype
+        is preserved (float32 stays float32) so the simulation's
+        reduced-precision round path survives the attack stage.
         """
-        gradients = check_gradient_matrix(honest_gradients).copy()
+        gradients = check_gradient_matrix(honest_gradients, preserve_dtype=True).copy()
         byzantine = np.asarray(context.byzantine_indices, dtype=int)
         if len(byzantine) == 0:
             return gradients

@@ -14,20 +14,28 @@ import numpy as np
 from repro.clustering.metrics import pairwise_distances
 
 
-def estimate_bandwidth(x: np.ndarray, *, quantile: float = 0.3) -> float:
+def estimate_bandwidth(
+    x: np.ndarray, *, quantile: float = 0.3, distances: Optional[np.ndarray] = None
+) -> float:
     """Estimate a kernel bandwidth from the pairwise-distance distribution.
 
     The bandwidth is the ``quantile``-th quantile of all pairwise distances,
     the standard heuristic for Mean-Shift on small feature sets.  A strictly
     positive floor avoids a degenerate zero bandwidth when many points
     coincide (e.g. identical malicious feature vectors).
+
+    Args:
+        distances: optional precomputed pairwise distance matrix of ``x``
+            (:meth:`MeanShift.fit` passes the matrix it needs anyway, so the
+            distances are computed exactly once per fit).
     """
     if not 0.0 < quantile <= 1.0:
         raise ValueError(f"quantile must be in (0, 1], got {quantile}")
     x = np.atleast_2d(np.asarray(x, dtype=np.float64))
     if len(x) < 2:
         return 1.0
-    distances = pairwise_distances(x)
+    if distances is None:
+        distances = pairwise_distances(x)
     upper = distances[np.triu_indices(len(x), k=1)]
     bandwidth = float(np.quantile(upper, quantile))
     if bandwidth <= 0.0:
@@ -42,6 +50,12 @@ class MeanShift:
     Every sample is shifted to the mean of its neighbours within
     ``bandwidth`` until convergence; converged modes closer than the
     bandwidth are merged into a single cluster.
+
+    Points that reach an exact fixed point (their shift moves them by
+    exactly zero — with a flat kernel this happens as soon as a point sits
+    at the mean of its stable neighbourhood) are frozen and excluded from
+    further distance computations, so late iterations only pay for the few
+    still-moving points.
 
     Attributes set by :meth:`fit`:
         cluster_centers_: one row per discovered mode.
@@ -73,46 +87,67 @@ class MeanShift:
         n_samples = len(x)
         if n_samples == 0:
             raise ValueError("cannot cluster an empty feature matrix")
+        # The seed matrix's self-distances serve both the bandwidth heuristic
+        # and the first shift iteration — compute them once.
+        seed_distances = pairwise_distances(x)
         bandwidth = self.bandwidth
         if bandwidth is None:
-            bandwidth = estimate_bandwidth(x, quantile=self.quantile)
+            bandwidth = estimate_bandwidth(
+                x, quantile=self.quantile, distances=seed_distances
+            )
 
-        # Shift every point towards the local mean until convergence.
+        # Shift every point towards the local mean until convergence.  Only
+        # points that still move participate in the distance computation.
         points = x.copy()
-        for _ in range(self.max_iter):
-            distances = pairwise_distances(points, x)
+        active = np.arange(n_samples)
+        for iteration in range(self.max_iter):
+            if iteration == 0:
+                distances = seed_distances
+            else:
+                distances = pairwise_distances(points[active], x)
             within = distances <= bandwidth
             # Every point is within the bandwidth of itself, so the
             # neighbourhood is never empty.
             weights = within.astype(np.float64)
             counts = weights.sum(axis=1, keepdims=True)
             shifted = (weights @ x) / counts
-            movement = float(np.max(np.linalg.norm(shifted - points, axis=1)))
-            points = shifted
-            if movement <= self.tol:
+            step = np.linalg.norm(shifted - points[active], axis=1)
+            movement = float(step.max())
+            points[active] = shifted
+            # A flat-kernel point whose shift is exactly zero sits at the
+            # mean of a neighbourhood that can no longer change: freeze it.
+            still_moving = step > 0.0
+            if not still_moving.all():
+                active = active[still_moving]
+            if movement <= self.tol or len(active) == 0:
                 break
 
-        # Merge modes that landed within one bandwidth of each other.
-        centers: list = []
+        # Merge modes that landed within one bandwidth of each other.  Each
+        # point joins the earliest-created center within the bandwidth; a
+        # point with no such center founds a new one.  The pairwise distances
+        # between converged points are computed in one vectorized pass; the
+        # sequential scan over rows only indexes into that matrix.
+        mode_distances = pairwise_distances(points)
         labels = np.full(n_samples, -1, dtype=int)
+        center_indices: list = []
         for i in range(n_samples):
-            assigned = False
-            for cluster_index, center in enumerate(centers):
-                if np.linalg.norm(points[i] - center) <= bandwidth:
-                    labels[i] = cluster_index
-                    assigned = True
-                    break
-            if not assigned:
-                centers.append(points[i])
-                labels[i] = len(centers) - 1
+            if center_indices:
+                within_centers = np.flatnonzero(
+                    mode_distances[i, center_indices] <= bandwidth
+                )
+                if len(within_centers):
+                    labels[i] = int(within_centers[0])
+                    continue
+            labels[i] = len(center_indices)
+            center_indices.append(i)
 
         # Refine centers as the mean of their member points (in input space).
         refined = np.vstack(
-            [x[labels == k].mean(axis=0) for k in range(len(centers))]
+            [x[labels == k].mean(axis=0) for k in range(len(center_indices))]
         )
         self.cluster_centers_ = refined
         self.labels_ = labels
-        self.n_clusters_ = len(centers)
+        self.n_clusters_ = len(center_indices)
         return self
 
     def fit_predict(self, x: np.ndarray) -> np.ndarray:

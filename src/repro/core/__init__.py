@@ -25,8 +25,10 @@ from repro.core.features import (
     cosine_similarity_feature,
     euclidean_distance_feature,
     extract_features,
+    resolve_reference,
     sign_statistics,
 )
+from repro.utils.batch import GradientBatch
 from repro.core.filters import (
     FilterDecision,
     GradientFilter,
@@ -37,7 +39,9 @@ from repro.core.pipeline import SignGuardPipeline
 from repro.core.signguard import SignGuard, SignGuardDist, SignGuardSim
 
 __all__ = [
+    "GradientBatch",
     "GradientFeatures",
+    "resolve_reference",
     "sign_statistics",
     "cosine_similarity_feature",
     "euclidean_distance_feature",

@@ -6,6 +6,11 @@ as Little-Is-Enough keep the malicious gradient close to the benign ones in
 Euclidean distance and cosine similarity, but cannot avoid shifting a large
 fraction of coordinates across zero, which shows up directly in the
 proportions of positive / zero / negative elements.
+
+All entry points accept either a raw ``(n_clients, dim)`` matrix or a
+:class:`~repro.utils.batch.GradientBatch`; with a batch, the pairwise-median
+fallbacks reuse the round's memoized norms, Gram matrix, and distance matrix
+instead of rebuilding them.
 """
 
 from __future__ import annotations
@@ -15,8 +20,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro.utils.batch import ArrayOrBatch, GradientBatch
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import check_fraction, check_gradient_matrix
+from repro.utils.validation import check_fraction
 
 
 @dataclass
@@ -38,8 +44,32 @@ class GradientFeatures:
         return len(self.matrix)
 
 
+def resolve_reference(
+    reference: Optional[np.ndarray], dim: int, *, epsilon: float = 1e-12
+) -> Optional[np.ndarray]:
+    """Normalize the similarity features' reference-gradient handling.
+
+    A reference is usable only when it is present, has exactly ``dim``
+    elements, and has norm above ``epsilon``.  Historically the cosine
+    feature checked the norm while the Euclidean feature only checked the
+    size, so on an all-zero first-round aggregate the two features disagreed
+    about whether a reference existed; both now share this single rule.
+
+    Returns the reference as a float64 vector, or ``None`` when the
+    pairwise-median fallback should be used.
+    """
+    if reference is None:
+        return None
+    reference = np.asarray(reference, dtype=np.float64).reshape(-1)
+    if reference.size != dim:
+        return None
+    if np.linalg.norm(reference) <= epsilon:
+        return None
+    return reference
+
+
 def sign_statistics(
-    gradients: np.ndarray,
+    gradients: ArrayOrBatch,
     *,
     coordinates: Optional[np.ndarray] = None,
     zero_tolerance: float = 0.0,
@@ -47,7 +77,7 @@ def sign_statistics(
     """Fractions of positive, zero, and negative elements per gradient.
 
     Args:
-        gradients: stacked gradients ``(n_clients, dim)``.
+        gradients: stacked gradients ``(n_clients, dim)`` or a batch.
         coordinates: optional index subset on which to compute the statistics
             (SignGuard's randomized coordinate selection).
         zero_tolerance: entries with ``|g_j| <= zero_tolerance`` count as zero
@@ -58,17 +88,20 @@ def sign_statistics(
         Array of shape ``(n_clients, 3)`` with columns (positive, zero,
         negative) fractions, each row summing to 1.
     """
-    gradients = check_gradient_matrix(gradients)
-    if coordinates is not None:
-        coordinates = np.asarray(coordinates, dtype=int)
-        if coordinates.size == 0:
-            raise ValueError("coordinates subset must be non-empty")
-        gradients = gradients[:, coordinates]
     if zero_tolerance < 0:
         raise ValueError(f"zero_tolerance must be >= 0, got {zero_tolerance}")
-    dim = gradients.shape[1]
-    positive_count = (gradients > zero_tolerance).sum(axis=1)
-    negative_count = (gradients < -zero_tolerance).sum(axis=1)
+    batch = GradientBatch.wrap(gradients)
+    if coordinates is None:
+        # Full-coordinate statistics come from the round cache.
+        counts = batch.sign_counts(zero_tolerance)
+        return counts / batch.dim
+    coordinates = np.asarray(coordinates, dtype=int)
+    if coordinates.size == 0:
+        raise ValueError("coordinates subset must be non-empty")
+    subset = batch.matrix[:, coordinates]
+    dim = subset.shape[1]
+    positive_count = (subset > zero_tolerance).sum(axis=1)
+    negative_count = (subset < -zero_tolerance).sum(axis=1)
     zero_count = dim - positive_count - negative_count
     return np.column_stack([positive_count, zero_count, negative_count]) / dim
 
@@ -84,47 +117,55 @@ def select_random_coordinates(
 
 
 def cosine_similarity_feature(
-    gradients: np.ndarray, reference: Optional[np.ndarray], *, epsilon: float = 1e-12
+    gradients: ArrayOrBatch, reference: Optional[np.ndarray], *, epsilon: float = 1e-12
 ) -> np.ndarray:
     """Cosine similarity of every gradient to a reference gradient.
 
-    When no reference is available (the first round, or a defense configured
-    without history) the pairwise-median fallback from the paper is used:
-    each gradient's feature is the median cosine similarity to all the other
-    gradients.
+    When no usable reference is available (see :func:`resolve_reference`) the
+    pairwise-median fallback from the paper is used: each gradient's feature
+    is the median cosine similarity to all the other gradients.  With a
+    single client the fallback has no "other" gradients, so the feature is
+    the neutral self-similarity of 1.0.
     """
-    gradients = check_gradient_matrix(gradients)
-    norms = np.linalg.norm(gradients, axis=1)
-    if reference is not None and np.linalg.norm(reference) > epsilon:
-        reference = np.asarray(reference, dtype=np.float64)
-        return (gradients @ reference) / (
+    batch = GradientBatch.wrap(gradients)
+    norms = batch.norms()
+    reference = resolve_reference(reference, batch.dim, epsilon=epsilon)
+    if reference is not None:
+        return (batch.matrix @ reference) / (
             np.maximum(norms, epsilon) * np.linalg.norm(reference)
         )
     # Pairwise-median fallback.
-    normalized = gradients / np.maximum(norms, epsilon)[:, None]
-    similarity = normalized @ normalized.T
+    if batch.n_clients == 1:
+        return np.ones(1)
+    # cosine_similarities() returns a fresh (uncached) matrix — safe to mutate.
+    similarity = batch.cosine_similarities(epsilon=epsilon).astype(
+        np.float64, copy=False
+    )
     np.fill_diagonal(similarity, np.nan)
     return np.nanmedian(similarity, axis=1)
 
 
 def euclidean_distance_feature(
-    gradients: np.ndarray, reference: Optional[np.ndarray]
+    gradients: ArrayOrBatch,
+    reference: Optional[np.ndarray],
+    *,
+    epsilon: float = 1e-12,
 ) -> np.ndarray:
     """Euclidean distance of every gradient to a reference gradient.
 
-    Uses the same pairwise-median fallback as the cosine feature when no
-    reference is available.  Distances are normalized by their median so the
-    feature scale is comparable with the sign fractions.
+    Uses the same reference rule (:func:`resolve_reference`) and
+    pairwise-median fallback as the cosine feature.  Distances are normalized
+    by their median so the feature scale is comparable with the sign
+    fractions.  A single client without a reference gets distance 0.0.
     """
-    gradients = check_gradient_matrix(gradients)
-    if reference is not None and np.asarray(reference).size == gradients.shape[1]:
-        reference = np.asarray(reference, dtype=np.float64)
-        distances = np.linalg.norm(gradients - reference, axis=1)
+    batch = GradientBatch.wrap(gradients)
+    reference = resolve_reference(reference, batch.dim, epsilon=epsilon)
+    if reference is not None:
+        distances = np.linalg.norm(batch.matrix - reference, axis=1)
+    elif batch.n_clients == 1:
+        return np.zeros(1)
     else:
-        sq_norms = np.sum(gradients**2, axis=1)
-        squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
-        np.maximum(squared, 0.0, out=squared)
-        pairwise = np.sqrt(squared)
+        pairwise = np.array(batch.distances(), dtype=np.float64)
         np.fill_diagonal(pairwise, np.nan)
         distances = np.nanmedian(pairwise, axis=1)
     scale = np.median(distances)
@@ -134,7 +175,7 @@ def euclidean_distance_feature(
 
 
 def extract_features(
-    gradients: np.ndarray,
+    gradients: ArrayOrBatch,
     *,
     coordinate_fraction: float = 0.1,
     similarity: str = "none",
@@ -144,7 +185,7 @@ def extract_features(
     """Build the clustering feature matrix used by the sign filter.
 
     Args:
-        gradients: stacked gradients ``(n_clients, dim)``.
+        gradients: stacked gradients ``(n_clients, dim)`` or a batch.
         coordinate_fraction: fraction of coordinates randomly selected for the
             sign statistics (the paper uses 10%).
         similarity: ``"none"`` (plain SignGuard), ``"cosine"``
@@ -153,18 +194,17 @@ def extract_features(
             in practice the previous round's aggregate.
         rng: randomness for the coordinate selection.
     """
-    gradients = check_gradient_matrix(gradients)
+    batch = GradientBatch.wrap(gradients)
     rng = as_rng(rng)
-    dim = gradients.shape[1]
-    coordinates = select_random_coordinates(dim, coordinate_fraction, rng)
-    features = [sign_statistics(gradients, coordinates=coordinates)]
+    coordinates = select_random_coordinates(batch.dim, coordinate_fraction, rng)
+    features = [sign_statistics(batch, coordinates=coordinates)]
     names = ["positive_fraction", "zero_fraction", "negative_fraction"]
 
     if similarity == "cosine":
-        features.append(cosine_similarity_feature(gradients, reference)[:, None])
+        features.append(cosine_similarity_feature(batch, reference)[:, None])
         names.append("cosine_similarity")
     elif similarity == "euclidean":
-        features.append(euclidean_distance_feature(gradients, reference)[:, None])
+        features.append(euclidean_distance_feature(batch, reference)[:, None])
         names.append("euclidean_distance")
     elif similarity != "none":
         raise ValueError(

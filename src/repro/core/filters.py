@@ -4,6 +4,10 @@ Each filter looks at the full set of received gradients and returns a
 :class:`FilterDecision` — the subset of client indices it trusts plus
 diagnostics.  The pipeline (see :mod:`repro.core.pipeline`) intersects the
 decisions of all enabled filters.
+
+Filters accept either a raw ``(n_clients, dim)`` matrix or the round's
+:class:`~repro.utils.batch.GradientBatch`, so norms and pairwise quantities
+computed by one filter are reused by the next.
 """
 
 from __future__ import annotations
@@ -13,11 +17,10 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.aggregators.norms import gradient_norms, median_norm
 from repro.clustering import DBSCAN, KMeans, MeanShift
 from repro.core.features import extract_features
+from repro.utils.batch import ArrayOrBatch, GradientBatch
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import check_gradient_matrix
 
 
 @dataclass
@@ -44,7 +47,7 @@ class GradientFilter:
 
     def apply(
         self,
-        gradients: np.ndarray,
+        gradients: ArrayOrBatch,
         *,
         reference: Optional[np.ndarray] = None,
         rng: RngLike = None,
@@ -52,8 +55,8 @@ class GradientFilter:
         """Return the subset of client indices this filter trusts."""
         raise NotImplementedError
 
-    def __call__(self, gradients: np.ndarray, **kwargs: Any) -> FilterDecision:
-        return self.apply(check_gradient_matrix(gradients), **kwargs)
+    def __call__(self, gradients: ArrayOrBatch, **kwargs: Any) -> FilterDecision:
+        return self.apply(GradientBatch.wrap(gradients), **kwargs)
 
 
 class NormThresholdFilter(GradientFilter):
@@ -77,17 +80,18 @@ class NormThresholdFilter(GradientFilter):
 
     def apply(
         self,
-        gradients: np.ndarray,
+        gradients: ArrayOrBatch,
         *,
         reference: Optional[np.ndarray] = None,
         rng: RngLike = None,
     ) -> FilterDecision:
-        norms = gradient_norms(gradients)
+        batch = GradientBatch.wrap(gradients)
+        norms = batch.norms()
         reference_norm = float(np.median(norms))
         if reference_norm <= 0:
             # All-zero gradients (e.g. the very first round of a fresh model):
             # nothing can be distinguished by norm, so trust everyone.
-            selected = np.arange(len(gradients))
+            selected = np.arange(batch.n_clients)
             ratios = np.zeros_like(norms)
         else:
             ratios = norms / reference_norm
@@ -159,14 +163,14 @@ class SignClusteringFilter(GradientFilter):
 
     def apply(
         self,
-        gradients: np.ndarray,
+        gradients: ArrayOrBatch,
         *,
         reference: Optional[np.ndarray] = None,
         rng: RngLike = None,
     ) -> FilterDecision:
         rng = as_rng(rng)
         features = extract_features(
-            gradients,
+            GradientBatch.wrap(gradients),
             coordinate_fraction=self.coordinate_fraction,
             similarity=self.similarity,
             reference=reference,

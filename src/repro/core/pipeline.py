@@ -4,6 +4,11 @@ The pipeline runs the enabled filters in parallel over the received
 gradients, intersects their trusted sets, and aggregates the survivors with
 a norm-clipped mean.  Each stage can be toggled independently, which is what
 the Table III ablation exercises (thresholding / clustering / norm-clipping).
+
+All per-round derived quantities (row norms, Gram/distance matrices for the
+similarity fallbacks) flow through one :class:`~repro.utils.batch.GradientBatch`,
+so the matrix is validated once and each quantity is computed at most once
+per round no matter how many stages consume it.
 """
 
 from __future__ import annotations
@@ -12,10 +17,10 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.aggregators.norms import clip_gradients_to_norm, median_norm
+from repro.aggregators.norms import clip_scales
 from repro.core.filters import FilterDecision, NormThresholdFilter, SignClusteringFilter
+from repro.utils.batch import ArrayOrBatch, GradientBatch
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import check_gradient_matrix
 
 
 class SignGuardPipeline:
@@ -63,27 +68,27 @@ class SignGuardPipeline:
 
     def filter(
         self,
-        gradients: np.ndarray,
+        gradients: ArrayOrBatch,
         *,
         reference: Optional[np.ndarray] = None,
         rng: RngLike = None,
     ) -> FilterDecision:
         """Run the enabled filters and return the intersected trusted set."""
-        gradients = check_gradient_matrix(gradients)
+        batch = GradientBatch.wrap(gradients)
         rng = as_rng(rng)
-        decision = FilterDecision(selected_indices=np.arange(len(gradients)))
+        decision = FilterDecision(selected_indices=np.arange(batch.n_clients))
         if self.use_norm_threshold:
             decision = decision.intersect(
-                self.norm_filter.apply(gradients, reference=reference, rng=rng)
+                self.norm_filter.apply(batch, reference=reference, rng=rng)
             )
         if self.use_sign_clustering:
             decision = decision.intersect(
-                self.sign_filter.apply(gradients, reference=reference, rng=rng)
+                self.sign_filter.apply(batch, reference=reference, rng=rng)
             )
         if len(decision.selected_indices) == 0:
             # Never let the round fail completely: fall back to trusting the
             # gradient with the median norm (a conservative, norm-robust pick).
-            norms = np.linalg.norm(gradients, axis=1)
+            norms = batch.norms()
             fallback = int(np.argsort(norms)[len(norms) // 2])
             decision = FilterDecision(
                 selected_indices=np.array([fallback]),
@@ -93,7 +98,7 @@ class SignGuardPipeline:
 
     def aggregate(
         self,
-        gradients: np.ndarray,
+        gradients: ArrayOrBatch,
         *,
         reference: Optional[np.ndarray] = None,
         rng: RngLike = None,
@@ -103,15 +108,23 @@ class SignGuardPipeline:
         Returns a dict with keys ``gradient``, ``selected_indices``, ``info``
         (consumed by the aggregator wrappers in :mod:`repro.core.signguard`).
         """
-        gradients = check_gradient_matrix(gradients)
+        batch = GradientBatch.wrap(gradients)
         rng = as_rng(rng)
-        decision = self.filter(gradients, reference=reference, rng=rng)
-        trusted = gradients[decision.selected_indices]
+        decision = self.filter(batch, reference=reference, rng=rng)
+        selected = decision.selected_indices
+        # Clip + mean fused into one weighted vector-matrix product: the
+        # clip scale of each trusted row becomes its mean weight (untrusted
+        # rows get weight 0), so no trusted-row copy and no scaled (k, dim)
+        # intermediate is ever materialized.
         if self.use_norm_clipping:
-            bound = median_norm(gradients)
-            trusted = clip_gradients_to_norm(trusted, bound)
+            bound = batch.median_norm()
+            scales = clip_scales(batch.norms()[selected], bound)
             decision.info["clip_bound"] = bound
-        aggregated = trusted.mean(axis=0)
+        else:
+            scales = np.ones(len(selected))
+        weights = np.zeros(batch.n_clients)
+        weights[selected] = scales / len(selected)
+        aggregated = weights.astype(batch.dtype, copy=False) @ batch.matrix
         return {
             "gradient": aggregated,
             "selected_indices": decision.selected_indices,

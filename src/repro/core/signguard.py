@@ -15,6 +15,7 @@ import numpy as np
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
 from repro.aggregators.factory import AGGREGATOR_REGISTRY
 from repro.core.pipeline import SignGuardPipeline
+from repro.utils.batch import resolve_batch
 
 
 class SignGuard(Aggregator):
@@ -60,7 +61,7 @@ class SignGuard(Aggregator):
         self, gradients: np.ndarray, context: ServerContext
     ) -> AggregationResult:
         outcome = self.pipeline.aggregate(
-            gradients,
+            resolve_batch(gradients, context),
             reference=context.previous_gradient,
             rng=context.rng,
         )

@@ -19,6 +19,7 @@ from repro.data.partition import partition_dataset
 from repro.fl.server import FederatedServer
 from repro.fl.simulation import FederatedSimulation, build_clients
 from repro.nn.models.factory import build_model
+from repro.perf.profiler import RoundProfiler
 from repro.utils.config import ExperimentConfig
 from repro.utils.recording import RunRecorder
 from repro.utils.rng import RngFactory
@@ -31,8 +32,16 @@ def _select_byzantine(num_clients: int, num_byzantine: int, rng) -> np.ndarray:
     return np.sort(rng.choice(num_clients, size=num_byzantine, replace=False))
 
 
-def run_experiment(config: ExperimentConfig) -> RunRecorder:
-    """Run a full federated experiment described by ``config``."""
+def run_experiment(
+    config: ExperimentConfig, *, profiler: Optional["RoundProfiler"] = None
+) -> RunRecorder:
+    """Run a full federated experiment described by ``config``.
+
+    Args:
+        profiler: optional :class:`~repro.perf.profiler.RoundProfiler` shared
+            by the server and the simulation — when given, every round's
+            collect / attack / aggregate / update / evaluate stages are timed.
+    """
     config = config.validate()
     rng_factory = RngFactory(config.seed)
 
@@ -77,6 +86,7 @@ def run_experiment(config: ExperimentConfig) -> RunRecorder:
         weight_decay=config.training.weight_decay,
         num_byzantine_hint=len(byzantine_indices),
         rng=rng_factory.make("server"),
+        profiler=profiler,
     )
 
     simulation = FederatedSimulation(
@@ -88,6 +98,8 @@ def run_experiment(config: ExperimentConfig) -> RunRecorder:
         eval_every=config.training.eval_every,
         lr_decay=config.training.lr_decay,
         description=config.describe(),
+        dtype=config.training.dtype,
+        profiler=profiler,
     )
     recorder = simulation.run(config.training.rounds)
     recorder.metadata["config"] = config.to_dict()

@@ -9,6 +9,7 @@ import numpy as np
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
 from repro.nn.module import Module
 from repro.nn.optim import SGD
+from repro.perf.profiler import NULL_PROFILER, RoundProfiler
 from repro.utils.rng import RngLike, as_rng
 
 
@@ -24,6 +25,9 @@ class FederatedServer:
             (Krum, Bulyan, trimmed mean...).  SignGuard ignores it.
         rng: server-side randomness (SignGuard's coordinate sampling, DnC's
             coordinate subsampling).
+        profiler: optional :class:`~repro.perf.profiler.RoundProfiler`; when
+            given, the defense ("aggregate") and the model update
+            ("model_update") are timed as separate stages every round.
     """
 
     def __init__(
@@ -36,6 +40,7 @@ class FederatedServer:
         weight_decay: float = 5e-4,
         num_byzantine_hint: Optional[int] = None,
         rng: RngLike = None,
+        profiler: Optional[RoundProfiler] = None,
     ):
         self.model = model
         self.aggregator = aggregator
@@ -49,6 +54,7 @@ class FederatedServer:
         self._rng = as_rng(rng)
         self._previous_gradient: Optional[np.ndarray] = None
         self.round_index = 0
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
     @property
     def learning_rate(self) -> float:
@@ -70,8 +76,10 @@ class FederatedServer:
     def aggregate_and_update(self, gradients: np.ndarray) -> AggregationResult:
         """Run the defense on the submitted gradients and update the model."""
         context = self.make_context()
-        result = self.aggregator(gradients, context)
-        self.optimizer.apply_gradient_vector(result.gradient)
+        with self.profiler.stage("aggregate"):
+            result = self.aggregator(gradients, context)
+        with self.profiler.stage("model_update"):
+            self.optimizer.apply_gradient_vector(result.gradient)
         self._previous_gradient = np.asarray(result.gradient, dtype=np.float64).copy()
         self.round_index += 1
         return result

@@ -14,6 +14,7 @@ from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
 from repro.fl.metrics import evaluate_model, selection_confusion
 from repro.fl.server import FederatedServer
 from repro.nn.module import Module
+from repro.perf.profiler import NULL_PROFILER, RoundProfiler
 from repro.utils.recording import RoundRecord, RunRecorder
 from repro.utils.rng import RngFactory
 from repro.utils.validation import check_byzantine_count
@@ -35,6 +36,13 @@ class FederatedSimulation:
         attack_rng: randomness available to the attacker.
         eval_every: evaluate test accuracy every this many rounds.
         lr_decay: multiplicative learning-rate decay applied per round.
+        dtype: dtype of the round gradient buffer (``np.float64`` by
+            default; ``np.float32`` halves memory traffic through the whole
+            filtering/aggregation path at reduced precision).
+        profiler: optional :class:`~repro.perf.profiler.RoundProfiler`; when
+            given, every round records "collect_gradients", "attack", and
+            "evaluate" stages here (the server adds "aggregate" and
+            "model_update" when it shares the profiler).
     """
 
     def __init__(
@@ -48,19 +56,29 @@ class FederatedSimulation:
         eval_every: int = 1,
         lr_decay: float = 1.0,
         description: str = "",
+        dtype=np.float64,
+        profiler: Optional[RoundProfiler] = None,
     ):
         if not clients:
             raise ValueError("at least one client is required")
         if eval_every < 1:
             raise ValueError(f"eval_every must be >= 1, got {eval_every}")
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {dtype}")
         self.server = server
         self.clients: List[FederatedClient] = list(clients)
         self.attack = attack
         self.test_dataset = test_dataset
         self.eval_every = eval_every
         self.lr_decay = lr_decay
+        self.dtype = dtype
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.recorder = RunRecorder(description=description)
         self._attack_rng = attack_rng if attack_rng is not None else np.random.default_rng()
+        # Preallocated (n_clients, dim) round buffer; the model dimension is
+        # only known after the first gradient, so allocation is lazy.
+        self._round_buffer: Optional[np.ndarray] = None
         byzantine = [c.client_id for c in self.clients if c.is_byzantine]
         self.byzantine_indices = np.asarray(sorted(byzantine), dtype=int)
         if len(self.byzantine_indices):
@@ -75,13 +93,27 @@ class FederatedSimulation:
         return self.server.model
 
     def _collect_honest_gradients(self) -> np.ndarray:
-        """Every client's honestly computed gradient at the current global model."""
-        gradients = [client.compute_gradient(self.model) for client in self.clients]
-        return np.vstack(gradients)
+        """Every client's honestly computed gradient at the current global model.
+
+        Gradients are written straight into a preallocated ``(n_clients,
+        dim)`` round buffer (reused across rounds) instead of stacking a list
+        of per-client arrays with ``np.vstack`` every round.
+        """
+        buffer = self._round_buffer
+        for row, client in enumerate(self.clients):
+            gradient = client.compute_gradient(self.model)
+            if buffer is None:
+                buffer = np.empty((self.num_clients, gradient.shape[-1]), dtype=self.dtype)
+                self._round_buffer = buffer
+            buffer[row] = gradient
+        return buffer
 
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one synchronous federated round and return its record."""
-        honest = self._collect_honest_gradients()
+        profiler = self.profiler
+        profiler.begin_round(round_index)
+        with profiler.stage("collect_gradients"):
+            honest = self._collect_honest_gradients()
         context = AttackContext(
             round_index=round_index,
             num_clients=self.num_clients,
@@ -89,7 +121,8 @@ class FederatedSimulation:
             rng=self._attack_rng,
             global_gradient=self.server._previous_gradient,
         )
-        submitted = self.attack.apply(honest, context)
+        with profiler.stage("attack"):
+            submitted = self.attack.apply(honest, context)
         result = self.server.aggregate_and_update(submitted)
 
         confusion = selection_confusion(
@@ -106,11 +139,13 @@ class FederatedSimulation:
             **confusion,
         )
         if (round_index + 1) % self.eval_every == 0:
-            accuracy, test_loss = evaluate_model(self.model, self.test_dataset)
+            with profiler.stage("evaluate"):
+                accuracy, test_loss = evaluate_model(self.model, self.test_dataset)
             record.test_accuracy = accuracy
             record.test_loss = test_loss
         if self.lr_decay != 1.0:
             self.server.learning_rate *= self.lr_decay
+        profiler.end_round()
         return record
 
     def run(self, rounds: int) -> RunRecorder:

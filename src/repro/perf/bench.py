@@ -1,0 +1,116 @@
+"""Micro-benchmark runner with machine-readable JSON output.
+
+The runner deliberately stays tiny: warm up, run ``repeats`` timed
+iterations of a callable, record best/mean/total.  Results are serialized to
+``BENCH_*.json`` files (one per benchmark suite) so each PR can check in
+hard evidence of its speedups and CI can detect regressions by comparing
+files across revisions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.perf.timers import monotonic
+
+
+@dataclass
+class BenchResult:
+    """Timing summary of one micro-benchmark case."""
+
+    name: str
+    repeats: int
+    best_s: float
+    mean_s: float
+    total_s: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "total_s": self.total_s,
+            "extra": dict(self.extra),
+        }
+
+
+def run_benchmark(
+    fn: Callable[[], Any],
+    *,
+    name: str = "benchmark",
+    repeats: int = 3,
+    warmup: int = 1,
+    extra: Optional[Dict[str, Any]] = None,
+) -> BenchResult:
+    """Time ``fn`` over ``repeats`` runs after ``warmup`` untimed runs."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = monotonic()
+        fn()
+        samples.append(monotonic() - start)
+    return BenchResult(
+        name=name,
+        repeats=repeats,
+        best_s=min(samples),
+        mean_s=sum(samples) / len(samples),
+        total_s=sum(samples),
+        extra=dict(extra or {}),
+    )
+
+
+def speedup(reference: BenchResult, optimized: BenchResult) -> float:
+    """Best-over-best wall-clock speedup of ``optimized`` vs ``reference``."""
+    if optimized.best_s <= 0:
+        return float("inf")
+    return reference.best_s / optimized.best_s
+
+
+def _environment_info() -> Dict[str, Any]:
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_json(
+    path: Union[str, Path],
+    results: Iterable[BenchResult],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Serialize benchmark results (plus environment info) to ``path``."""
+    path = Path(path)
+    payload = {
+        "schema": "repro.perf/bench-v1",
+        "environment": _environment_info(),
+        "metadata": dict(metadata or {}),
+        "results": [result.to_dict() for result in results],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_bench_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a ``BENCH_*.json`` payload back into a dict."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

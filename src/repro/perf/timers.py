@@ -1,0 +1,103 @@
+"""Monotonic timers and named stage-timing accumulation.
+
+Everything here measures wall-clock time with ``time.perf_counter`` — a
+monotonic clock with the highest resolution the platform offers — so timings
+are immune to system clock adjustments.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+def monotonic() -> float:
+    """Current monotonic wall-clock time in seconds."""
+    return time.perf_counter()
+
+
+class Timer:
+    """A start/stop stopwatch usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed  # seconds
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = monotonic()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = monotonic() - self._start
+        self._start = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class StageTimings:
+    """Accumulates named duration samples and summarizes them.
+
+    The summary statistics (count / total / mean / min / max) are the
+    machine-readable payload written into ``BENCH_*.json`` files.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        self._samples.setdefault(name, []).append(float(seconds))
+
+    def samples(self, name: str) -> List[float]:
+        return list(self._samples.get(name, []))
+
+    @property
+    def stage_names(self) -> List[str]:
+        return list(self._samples)
+
+    def total(self, name: str) -> float:
+        return sum(self._samples.get(name, []))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage statistics over all recorded samples."""
+        result: Dict[str, Dict[str, float]] = {}
+        for name, samples in self._samples.items():
+            if not samples:
+                continue
+            result[name] = {
+                "count": len(samples),
+                "total_s": sum(samples),
+                "mean_s": sum(samples) / len(samples),
+                "min_s": min(samples),
+                "max_s": max(samples),
+            }
+        return result
+
+    def merge(self, other: "StageTimings") -> "StageTimings":
+        """Fold another accumulator's samples into this one."""
+        for name, samples in other._samples.items():
+            self._samples.setdefault(name, []).extend(samples)
+        return self
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    def __len__(self) -> int:
+        return sum(len(samples) for samples in self._samples.values())

@@ -5,6 +5,7 @@ that every other subsystem (clustering, neural networks, federated
 simulation) can build on them without import cycles.
 """
 
+from repro.utils.batch import GradientBatch, as_batch, resolve_batch
 from repro.utils.config import (
     AttackConfig,
     DataConfig,
@@ -24,6 +25,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "GradientBatch",
+    "as_batch",
+    "resolve_batch",
     "AttackConfig",
     "DataConfig",
     "DefenseConfig",

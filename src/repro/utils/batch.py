@@ -1,0 +1,246 @@
+"""The round-level gradient workspace: one matrix, many memoized views.
+
+Every federated round touches the same stacked ``(n_clients, dim)`` gradient
+matrix from several angles — the norm filter needs L2 norms, Krum/Bulyan/DnC
+and the pairwise-fallback features need a Gram or distance matrix, the sign
+filter needs sign counts, and the final clipped mean needs the norms again.
+Before this module existed each consumer recomputed its quantity from
+scratch, so a single SignGuard round validated the matrix up to six times and
+ran three separate full norm passes.
+
+:class:`GradientBatch` wraps the validated matrix once and memoizes every
+derived quantity lazily.  It is threaded through
+:class:`repro.aggregators.base.ServerContext` so the whole round shares one
+cache; all public entry points still accept a raw ``np.ndarray`` and wrap it
+on the fly (:meth:`GradientBatch.wrap` is idempotent).
+
+The pairwise quantities intentionally mirror the pre-cache implementations
+exactly (``np.sum(g**2, axis=1)`` for squared norms, the expanded quadratic
+form for pairwise distances) so cached scoring paths stay bit-compatible
+with the historical ones; row norms use a faster temp-free ``einsum`` that
+agrees with ``np.linalg.norm`` to within a few ulps.
+
+This module lives in ``repro.utils`` so that both ``repro.core`` and
+``repro.aggregators`` can import it without creating a package cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import check_gradient_matrix
+
+ArrayOrBatch = Union[np.ndarray, "GradientBatch"]
+
+#: dtypes the cache keeps as-is; everything else is coerced to float64.
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+class GradientBatch:
+    """Per-round cache of derived quantities over a stacked gradient matrix.
+
+    Attributes:
+        matrix: the validated ``(n_clients, dim)`` gradient matrix.  Treated
+            as read-only by every cached consumer; mutating it after derived
+            quantities have been computed leaves the cache stale.
+
+    Every derived quantity is computed at most once; ``compute_counts``
+    records how many times each one was *actually* computed, which the perf
+    smoke test uses to prove that optimized code paths never silently fall
+    back to naive recomputation.
+    """
+
+    __slots__ = (
+        "matrix",
+        "_norms",
+        "_sq_norms",
+        "_gram",
+        "_sq_distances",
+        "_distances",
+        "_sign_counts",
+        "compute_counts",
+    )
+
+    def __init__(self, gradients: np.ndarray, *, validate: bool = True):
+        if validate:
+            matrix = check_gradient_matrix(gradients, preserve_dtype=True)
+        else:
+            matrix = np.atleast_2d(np.asarray(gradients))
+            if matrix.dtype not in _FLOAT_DTYPES:
+                matrix = matrix.astype(np.float64)
+        self.matrix = matrix
+        self._norms: Optional[np.ndarray] = None
+        self._sq_norms: Optional[np.ndarray] = None
+        self._gram: Optional[np.ndarray] = None
+        self._sq_distances: Optional[np.ndarray] = None
+        self._distances: Optional[np.ndarray] = None
+        self._sign_counts: Dict[float, np.ndarray] = {}
+        self.compute_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def wrap(cls, gradients: ArrayOrBatch, *, validate: bool = True) -> "GradientBatch":
+        """Wrap ``gradients`` in a batch; a batch passes through unchanged."""
+        if isinstance(gradients, GradientBatch):
+            return gradients
+        return cls(gradients, validate=validate)
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def n_clients(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
+    def __len__(self) -> int:
+        return self.n_clients
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        return self.matrix if dtype is None else self.matrix.astype(dtype)
+
+    def _count(self, name: str) -> None:
+        self.compute_counts[name] = self.compute_counts.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Memoized derived quantities
+    # ------------------------------------------------------------------
+
+    def norms(self) -> np.ndarray:
+        """L2 norm of every row.
+
+        Computed as ``sqrt(einsum('ij,ij->i'))``, which avoids the
+        ``(n, dim)`` squared temporary that ``np.linalg.norm`` materializes —
+        on a 100×100k matrix this is ~4× faster.  Values agree with
+        ``np.linalg.norm`` to within a few ulps (summation order differs).
+        """
+        if self._norms is None:
+            self._count("norms")
+            self._norms = np.sqrt(
+                np.einsum("ij,ij->i", self.matrix, self.matrix)
+            )
+        return self._norms
+
+    def median_norm(self) -> float:
+        """Median row norm — SignGuard's reference norm ``M``."""
+        return float(np.median(self.norms()))
+
+    def sq_norms(self) -> np.ndarray:
+        """Squared L2 norm of every row (``np.sum(g**2, axis=1)`` semantics)."""
+        if self._sq_norms is None:
+            self._count("sq_norms")
+            self._sq_norms = np.sum(self.matrix**2, axis=1)
+        return self._sq_norms
+
+    def gram(self) -> np.ndarray:
+        """The ``(n, n)`` Gram matrix ``G @ G.T``."""
+        if self._gram is None:
+            self._count("gram")
+            self._gram = self.matrix @ self.matrix.T
+        return self._gram
+
+    def sq_distances(self) -> np.ndarray:
+        """Pairwise squared Euclidean distances between rows.
+
+        Computed from the Gram matrix via the expanded quadratic form and
+        clamped at zero, exactly like the historical per-consumer
+        implementations.  The diagonal is exactly zero.  Callers must treat
+        the returned matrix as read-only.
+        """
+        if self._sq_distances is None:
+            self._count("sq_distances")
+            sq_norms = self.sq_norms()
+            squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * self.gram()
+            np.maximum(squared, 0.0, out=squared)
+            np.fill_diagonal(squared, 0.0)
+            self._sq_distances = squared
+        return self._sq_distances
+
+    def distances(self) -> np.ndarray:
+        """Pairwise Euclidean distances between rows (read-only)."""
+        if self._distances is None:
+            self._count("distances")
+            self._distances = np.sqrt(self.sq_distances())
+        return self._distances
+
+    def cosine_similarities(self, *, epsilon: float = 1e-12) -> np.ndarray:
+        """Pairwise cosine similarities computed from the cached Gram matrix.
+
+        Norms are clamped at ``epsilon`` (not at the float64 ``tiny``, whose
+        square underflows to zero): an all-zero gradient row then gets
+        similarity ``0 / epsilon² = 0`` everywhere, matching the historical
+        normalize-then-multiply implementation.
+        """
+        norms = np.maximum(self.norms(), epsilon)
+        return self.gram() / (norms[:, None] * norms[None, :])
+
+    def sign_counts(self, zero_tolerance: float = 0.0) -> np.ndarray:
+        """Per-row (positive, zero, negative) element counts over all coordinates.
+
+        Cached per ``zero_tolerance`` value; used by
+        :func:`repro.core.features.sign_statistics` when no coordinate subset
+        is requested.
+        """
+        key = float(zero_tolerance)
+        if key not in self._sign_counts:
+            self._count("sign_counts")
+            positive = (self.matrix > key).sum(axis=1)
+            negative = (self.matrix < -key).sum(axis=1)
+            zero = self.dim - positive - negative
+            self._sign_counts[key] = np.column_stack([positive, zero, negative])
+        return self._sign_counts[key]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def compute_count(self, name: str) -> int:
+        """How many times the named quantity was actually computed (0 or 1)."""
+        return self.compute_counts.get(name, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        cached = sorted(self.compute_counts)
+        return (
+            f"GradientBatch(n_clients={self.n_clients}, dim={self.dim}, "
+            f"dtype={self.matrix.dtype.name}, cached={cached})"
+        )
+
+
+def as_batch(gradients: ArrayOrBatch) -> GradientBatch:
+    """Module-level alias for :meth:`GradientBatch.wrap` (validating)."""
+    return GradientBatch.wrap(gradients)
+
+
+def resolve_batch(
+    gradients: np.ndarray, context: Optional[object] = None
+) -> GradientBatch:
+    """Return the context's batch when it wraps exactly this matrix.
+
+    Aggregators receive ``(gradients, context)`` where ``context.batch`` is
+    populated by :meth:`repro.aggregators.base.Aggregator.__call__`.  When an
+    aggregator's ``aggregate`` is invoked directly with a raw array (or with a
+    sub-matrix, as Bulyan does internally), the context batch would be stale —
+    the identity check guards against using cached quantities of the wrong
+    matrix.
+    """
+    batch = getattr(context, "batch", None)
+    if isinstance(batch, GradientBatch) and batch.matrix is gradients:
+        return batch
+    return GradientBatch.wrap(gradients)

@@ -36,14 +36,26 @@ def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
     return value
 
 
-def check_gradient_matrix(gradients: np.ndarray, name: str = "gradients") -> np.ndarray:
+def check_gradient_matrix(
+    gradients: np.ndarray, name: str = "gradients", *, preserve_dtype: bool = False
+) -> np.ndarray:
     """Validate a stacked gradient matrix of shape ``(n_clients, dim)``.
 
     Returns the input coerced to a 2-D float64 array.  Empty matrices and
     non-finite entries are rejected because every aggregation rule in the
     library assumes at least one finite gradient.
+
+    Args:
+        preserve_dtype: keep a float32 input as float32 instead of upcasting
+            (the reduced-precision round path); any non-float dtype is still
+            coerced to float64.
     """
-    array = np.asarray(gradients, dtype=np.float64)
+    if preserve_dtype:
+        array = np.asarray(gradients)
+        if array.dtype not in (np.float32, np.float64):
+            array = np.asarray(array, dtype=np.float64)
+    else:
+        array = np.asarray(gradients, dtype=np.float64)
     if array.ndim == 1:
         array = array.reshape(1, -1)
     if array.ndim != 2:

@@ -82,10 +82,53 @@ class TestSimilarityFeatures:
         assert cosines[-1] < cosines[:-1].min()
 
     def test_euclidean_to_reference(self):
-        reference = np.zeros(10)
-        gradients = np.vstack([np.zeros(10), np.ones(10)])
+        reference = np.full(10, 0.1)
+        gradients = np.vstack([np.full(10, 0.1), np.ones(10)])
         distances = euclidean_distance_feature(gradients, reference)
         assert distances[0] < distances[1]
+
+    def test_zero_reference_triggers_fallback_for_both_features(self, rng):
+        """A missing and an all-zero reference must behave identically (and the
+        same way for the cosine and Euclidean features)."""
+        gradients = rng.normal(size=(6, 30))
+        zero = np.zeros(30)
+        np.testing.assert_array_equal(
+            cosine_similarity_feature(gradients, zero),
+            cosine_similarity_feature(gradients, None),
+        )
+        np.testing.assert_array_equal(
+            euclidean_distance_feature(gradients, zero),
+            euclidean_distance_feature(gradients, None),
+        )
+
+    def test_wrong_size_reference_triggers_fallback_for_both_features(self, rng):
+        gradients = rng.normal(size=(6, 30))
+        wrong = np.ones(7)
+        np.testing.assert_array_equal(
+            cosine_similarity_feature(gradients, wrong),
+            cosine_similarity_feature(gradients, None),
+        )
+        np.testing.assert_array_equal(
+            euclidean_distance_feature(gradients, wrong),
+            euclidean_distance_feature(gradients, None),
+        )
+
+    def test_all_zero_gradients_give_zero_cosine_fallback(self):
+        """A fully zero round (fresh model) must yield 0-valued cosine
+        features, not NaN — the clustering filter then trusts everyone."""
+        gradients = np.zeros((4, 10))
+        with np.errstate(all="raise"):
+            cosines = cosine_similarity_feature(gradients, None)
+        np.testing.assert_array_equal(cosines, np.zeros(4))
+
+    def test_single_client_fallback_has_no_nan(self):
+        """One client + no reference must not hit the all-NaN nanmedian path."""
+        gradients = np.ones((1, 12))
+        with np.errstate(all="raise"):
+            cosine = cosine_similarity_feature(gradients, None)
+            distance = euclidean_distance_feature(gradients, None)
+        np.testing.assert_array_equal(cosine, [1.0])
+        np.testing.assert_array_equal(distance, [0.0])
 
     def test_euclidean_pairwise_fallback(self, rng):
         honest = rng.normal(0, 0.1, size=(9, 20))
