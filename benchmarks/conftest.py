@@ -71,10 +71,23 @@ QUICK_PROFILE = BenchProfile(
         "cifar_like": "mlp",
         "agnews_like": "textrnn",
     },
-    learning_rate_by_model={"mlp": 0.1, "textrnn": 0.5, "simple_cnn": 0.05, "resnet_lite": 0.05},
+    learning_rate_by_model={
+        "mlp": 0.1,
+        "textrnn": 0.5,
+        "simple_cnn": 0.05,
+        "resnet_lite": 0.05,
+    },
     datasets=("mnist_like",),
     attacks=("no_attack", "byzmean", "sign_flip", "lie", "min_max", "min_sum"),
-    defenses=("mean", "median", "trimmed_mean", "multi_krum", "dnc", "signguard", "signguard_sim"),
+    defenses=(
+        "mean",
+        "median",
+        "trimmed_mean",
+        "multi_krum",
+        "dnc",
+        "signguard",
+        "signguard_sim",
+    ),
 )
 
 FULL_PROFILE = BenchProfile(
@@ -91,7 +104,12 @@ FULL_PROFILE = BenchProfile(
         "cifar_like": "resnet_lite",
         "agnews_like": "textrnn",
     },
-    learning_rate_by_model={"mlp": 0.1, "textrnn": 0.5, "simple_cnn": 0.05, "resnet_lite": 0.05},
+    learning_rate_by_model={
+        "mlp": 0.1,
+        "textrnn": 0.5,
+        "simple_cnn": 0.05,
+        "resnet_lite": 0.05,
+    },
     datasets=("mnist_like", "fashion_like", "cifar_like", "agnews_like"),
     attacks=(
         "no_attack",
@@ -175,9 +193,7 @@ def print_accuracy_matrix(title: str, rows: Dict[str, Dict[str, float]]) -> None
     header = f"{'GAR':18s}" + "".join(f"{a:>12s}" for a in attacks)
     print(header)
     for defense, row in rows.items():
-        cells = "".join(
-            f"{100 * row.get(a, float('nan')):>11.2f}%" for a in attacks
-        )
+        cells = "".join(f"{100 * row.get(a, float('nan')):>11.2f}%" for a in attacks)
         print(f"{defense:18s}{cells}")
 
 
@@ -185,5 +201,7 @@ def print_series(title: str, series: Dict[str, Dict], x_label: str) -> None:
     """Print one line per series (a figure's curves) as x -> value pairs."""
     print(f"\n=== {title} ===")
     for name, points in series.items():
-        rendered = ", ".join(f"{x_label}={x}: {value:.3f}" for x, value in points.items())
+        rendered = ", ".join(
+            f"{x_label}={x}: {value:.3f}" for x, value in points.items()
+        )
         print(f"{name:24s} {rendered}")

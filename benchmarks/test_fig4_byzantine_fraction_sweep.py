@@ -64,14 +64,20 @@ def test_fig4_byzantine_fraction_sweep(benchmark, profile):
     baseline = impact.pop("baseline_accuracy")
     attacks, defenses = sweep_attacks_and_defenses(profile)
 
-    print(f"\n=== Fig. 4: attack impact vs Byzantine fraction (baseline accuracy {100 * baseline:.2f}%) ===")
+    print(
+        f"\n=== Fig. 4: attack impact vs Byzantine fraction "
+        f"(baseline accuracy {100 * baseline:.2f}%) ==="
+    )
     for defense in defenses:
         print_series(
             f"{defense}", {a: impact[defense][a] for a in attacks}, x_label="beta"
         )
     benchmark.extra_info["baseline_accuracy"] = baseline
     benchmark.extra_info["impact"] = {
-        d: {a: {str(k): v for k, v in points.items()} for a, points in impact[d].items()}
+        d: {
+            a: {str(k): v for k, v in points.items()}
+            for a, points in impact[d].items()
+        }
         for d in defenses
     }
 

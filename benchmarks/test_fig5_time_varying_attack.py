@@ -21,10 +21,14 @@ DEFENSES = ("multi_krum", "bulyan", "dnc", "signguard")
 def run_fig5(profile) -> Dict[str, List[float]]:
     dataset = profile.datasets[0]
     curves: Dict[str, List[float]] = {}
-    baseline_config = make_config(profile, dataset=dataset, attack="no_attack", defense="mean")
+    baseline_config = make_config(
+        profile, dataset=dataset, attack="no_attack", defense="mean"
+    )
     curves["baseline"] = run_experiment(baseline_config).accuracies
     for defense in DEFENSES:
-        config = make_config(profile, dataset=dataset, attack="time_varying", defense=defense)
+        config = make_config(
+            profile, dataset=dataset, attack="time_varying", defense=defense
+        )
         curves[defense] = run_experiment(config).accuracies
     return curves
 

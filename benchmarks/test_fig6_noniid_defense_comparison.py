@@ -53,9 +53,13 @@ def test_fig6_noniid_defense_comparison(benchmark, profile):
     print("\n=== Fig. 6: best accuracy on non-IID data (s = IID fraction) ===")
     for attack in ATTACKS:
         print(f"\n-- attack: {attack} --")
-        print(f"{'defense':16s}" + "".join(f"{'s=' + str(s):>10s}" for s in SKEW_LEVELS))
+        print(
+            f"{'defense':16s}" + "".join(f"{'s=' + str(s):>10s}" for s in SKEW_LEVELS)
+        )
         for defense in defenses_for(profile):
-            cells = "".join(f"{100 * results[defense][attack][s]:>9.1f}%" for s in SKEW_LEVELS)
+            cells = "".join(
+                f"{100 * results[defense][attack][s]:>9.1f}%" for s in SKEW_LEVELS
+            )
             print(f"{defense:16s}{cells}")
     benchmark.extra_info["accuracy"] = {
         d: {a: {str(s): v for s, v in points.items()} for a, points in attacks.items()}
@@ -67,6 +71,8 @@ def test_fig6_noniid_defense_comparison(benchmark, profile):
     for attack in ATTACKS:
         for skew in SKEW_LEVELS:
             best_other = max(
-                results[d][attack][skew] for d in defenses_for(profile) if d != "signguard_sim"
+                results[d][attack][skew]
+                for d in defenses_for(profile)
+                if d != "signguard_sim"
             )
             assert results["signguard_sim"][attack][skew] >= best_other - 0.15

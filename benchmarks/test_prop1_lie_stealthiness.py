@@ -41,7 +41,9 @@ def collect_honest_gradients(profile) -> np.ndarray:
         batch_size=config.training.batch_size,
         rng_factory=rng_factory,
     )
-    model = build_model(config.training.model, split.spec, rng=rng_factory.make("model"))
+    model = build_model(
+        config.training.model, split.spec, rng=rng_factory.make("model")
+    )
     return np.vstack([client.compute_gradient(model) for client in clients])
 
 
@@ -57,9 +59,15 @@ def test_prop1_lie_stealthiness(benchmark, profile):
     honest_stats = sign_statistics(np.atleast_2d(mean))[0]
     crafted_stats = sign_statistics(np.atleast_2d(crafted))[0]
 
-    print("\n=== Proposition 1: LIE stealthiness on real federated gradients (z = 0.3) ===")
+    print(
+        "\n=== Proposition 1: LIE stealthiness on real federated gradients "
+        "(z = 0.3) ==="
+    )
     print(f"malicious distance to mean      : {report.malicious_distance:.4f}")
-    print(f"honest distance range           : [{report.honest_distances.min():.4f}, {report.honest_distances.max():.4f}]")
+    print(
+        f"honest distance range           : "
+        f"[{report.honest_distances.min():.4f}, {report.honest_distances.max():.4f}]"
+    )
     print(f"fraction of honest farther away : {report.closer_than_fraction:.2f}")
     print(f"malicious cosine to mean        : {report.malicious_cosine:.4f}")
     print(f"fraction of honest less similar : {report.more_similar_than_fraction:.2f}")

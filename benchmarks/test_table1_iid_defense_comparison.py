@@ -26,7 +26,9 @@ def run_table1(profile, dataset: str) -> Dict[str, Dict[str, float]]:
     for defense in profile.defenses:
         row: Dict[str, float] = {}
         for attack in profile.attacks:
-            config = make_config(profile, dataset=dataset, attack=attack, defense=defense)
+            config = make_config(
+                profile, dataset=dataset, attack=attack, defense=defense
+            )
             row[attack] = run_experiment(config).best_accuracy()
         results[defense] = row
     return results
@@ -35,7 +37,9 @@ def run_table1(profile, dataset: str) -> Dict[str, Dict[str, float]]:
 @pytest.mark.benchmark(group="table1")
 def test_table1_iid_defense_comparison(benchmark, profile):
     dataset = profile.datasets[0]
-    results = benchmark.pedantic(run_table1, args=(profile, dataset), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        run_table1, args=(profile, dataset), rounds=1, iterations=1
+    )
     print_accuracy_matrix(f"Table I ({dataset}, IID, 20% Byzantine)", results)
     benchmark.extra_info["dataset"] = dataset
     benchmark.extra_info["accuracy"] = results
@@ -56,7 +60,9 @@ def test_table1_iid_defense_comparison(benchmark, profile):
 def test_table1_remaining_datasets_full_profile_only(benchmark, profile):
     """In the full profile, regenerate Table I for the remaining datasets too."""
     if len(profile.datasets) == 1:
-        pytest.skip("quick profile covers a single dataset; set REPRO_BENCH_PROFILE=full")
+        pytest.skip(
+            "quick profile covers a single dataset; set REPRO_BENCH_PROFILE=full"
+        )
 
     def run_rest():
         return {

@@ -23,10 +23,14 @@ VARIANTS = ("signguard", "signguard_sim", "signguard_dist")
 
 def run_table2(profile) -> Dict[Tuple[str, str], Dict[str, float]]:
     results: Dict[Tuple[str, str], Dict[str, float]] = {}
-    dataset = profile.datasets[-1] if "cifar_like" not in profile.datasets else "cifar_like"
+    dataset = (
+        profile.datasets[-1] if "cifar_like" not in profile.datasets else "cifar_like"
+    )
     for attack in ATTACKS:
         for variant in VARIANTS:
-            config = make_config(profile, dataset=dataset, attack=attack, defense=variant)
+            config = make_config(
+                profile, dataset=dataset, attack=attack, defense=variant
+            )
             recorder = run_experiment(config)
             results[(attack, variant)] = {
                 "H": recorder.mean_benign_selection_rate(),
@@ -41,7 +45,9 @@ def test_table2_selection_rates(benchmark, profile):
     results = benchmark.pedantic(run_table2, args=(profile,), rounds=1, iterations=1)
 
     print("\n=== Table II: selected rate of honest (H) and malicious (M) gradients ===")
-    header = f"{'Attack':12s}" + "".join(f"{v + ' H':>16s}{v + ' M':>16s}" for v in VARIANTS)
+    header = f"{'Attack':12s}" + "".join(
+        f"{v + ' H':>16s}{v + ' M':>16s}" for v in VARIANTS
+    )
     print(header)
     for attack in ATTACKS:
         cells = ""

@@ -69,9 +69,16 @@ def test_table3_component_ablation(benchmark, profile):
     results = benchmark.pedantic(run_table3, args=(profile,), rounds=1, iterations=1)
 
     print("\n=== Table III: SignGuard-Sim component ablation (best accuracy %) ===")
-    print(f"{'Thresh':>7s}{'Cluster':>9s}{'NormClip':>10s}" + "".join(f"{a:>18s}" for a in ATTACKS))
+    print(
+        f"{'Thresh':>7s}{'Cluster':>9s}{'NormClip':>10s}"
+        + "".join(f"{a:>18s}" for a in ATTACKS)
+    )
     for (thresholding, clustering, clipping), row in results.items():
-        flags = f"{'yes' if thresholding else '-':>7s}{'yes' if clustering else '-':>9s}{'yes' if clipping else '-':>10s}"
+        flags = (
+            f"{'yes' if thresholding else '-':>7s}"
+            f"{'yes' if clustering else '-':>9s}"
+            f"{'yes' if clipping else '-':>10s}"
+        )
         print(flags + "".join(f"{100 * row[a]:>17.2f}%" for a in ATTACKS))
     benchmark.extra_info["ablation"] = {
         str(row): values for row, values in results.items()

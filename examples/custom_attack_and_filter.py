@@ -59,10 +59,18 @@ class PartialDriftAttack(Attack):
 def collect_one_round_of_gradients():
     """Compute one round of honest client gradients on the MNIST-like task."""
     rng_factory = RngFactory(0)
-    split = build_dataset("mnist_like", num_train=800, num_test=200, rng=rng_factory.make("d"))
-    partitions = partition_dataset(split.train, 20, scheme="iid", rng=rng_factory.make("p"))
+    split = build_dataset(
+        "mnist_like", num_train=800, num_test=200, rng=rng_factory.make("d")
+    )
+    partitions = partition_dataset(
+        split.train, 20, scheme="iid", rng=rng_factory.make("p")
+    )
     clients = build_clients(
-        split.train, partitions, byzantine_indices=[], batch_size=16, rng_factory=rng_factory
+        split.train,
+        partitions,
+        byzantine_indices=[],
+        batch_size=16,
+        rng_factory=rng_factory,
     )
     model = build_model("mlp", split.spec, rng=rng_factory.make("m"))
     return np.vstack([client.compute_gradient(model) for client in clients])
@@ -74,7 +82,9 @@ def main() -> None:
     context = AttackContext.make(
         num_clients=len(honest), byzantine_indices=np.arange(num_byzantine), rng=0
     )
-    submitted = PartialDriftAttack(corrupted_fraction=0.6, scale=6.0).apply(honest, context)
+    submitted = PartialDriftAttack(corrupted_fraction=0.6, scale=6.0).apply(
+        honest, context
+    )
 
     print("Sign-statistics features (positive / zero / negative fractions):")
     features = extract_features(submitted, coordinate_fraction=0.2, rng=1)
@@ -83,7 +93,9 @@ def main() -> None:
         print(f"  client {index:2d}: {np.round(row, 3)} {marker}")
 
     norm_decision = NormThresholdFilter().apply(submitted)
-    sign_decision = SignClusteringFilter(coordinate_fraction=0.2).apply(submitted, rng=1)
+    sign_decision = SignClusteringFilter(coordinate_fraction=0.2).apply(
+        submitted, rng=1
+    )
     print(f"\nNorm filter kept   : {sorted(map(int, norm_decision.selected_indices))}")
     print(f"Sign filter kept   : {sorted(map(int, sign_decision.selected_indices))}")
 

@@ -22,7 +22,14 @@ from repro import (
 )
 
 ATTACKS = ("no_attack", "random", "sign_flip", "lie", "byzmean", "min_max")
-DEFENSES = ("mean", "median", "trimmed_mean", "multi_krum", "signguard", "signguard_sim")
+DEFENSES = (
+    "mean",
+    "median",
+    "trimmed_mean",
+    "multi_krum",
+    "signguard",
+    "signguard_sim",
+)
 
 
 def base_config(dataset: str) -> ExperimentConfig:
@@ -33,7 +40,11 @@ def base_config(dataset: str) -> ExperimentConfig:
         seed=1,
         data=DataConfig(dataset=dataset, num_train=800, num_test=300),
         training=TrainingConfig(
-            model=model, rounds=15, batch_size=16, learning_rate=learning_rate, eval_every=5
+            model=model,
+            rounds=15,
+            batch_size=16,
+            learning_rate=learning_rate,
+            eval_every=5,
         ),
         attack=AttackConfig(name="no_attack", byzantine_fraction=0.2),
         defense=DefenseConfig(name="mean"),
@@ -54,7 +65,11 @@ def main() -> None:
     results = run_grid(base_config(args.dataset), attacks=ATTACKS, defenses=DEFENSES)
 
     print(f"\nBest test accuracy (%) on {args.dataset}, 20% Byzantine clients")
-    print(f"{'defense':16s}" + "".join(f"{attack:>12s}" for attack in ATTACKS) + f"{'worst':>12s}")
+    print(
+        f"{'defense':16s}"
+        + "".join(f"{attack:>12s}" for attack in ATTACKS)
+        + f"{'worst':>12s}"
+    )
     for defense in DEFENSES:
         accuracies = [results[(attack, defense)].best_accuracy() for attack in ATTACKS]
         worst_under_attack = min(accuracies[1:])

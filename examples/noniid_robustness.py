@@ -49,7 +49,9 @@ def main() -> None:
     print(f"Running {total} non-IID experiments (three skew levels)...")
     for attack in ATTACKS:
         print(f"\n== attack: {attack} ==")
-        print(f"{'defense':16s}" + "".join(f"{'s=' + str(s):>10s}" for s in SKEW_LEVELS))
+        print(
+            f"{'defense':16s}" + "".join(f"{'s=' + str(s):>10s}" for s in SKEW_LEVELS)
+        )
         for defense in DEFENSES:
             accuracies = []
             for skew in SKEW_LEVELS:

@@ -56,7 +56,9 @@ def main() -> None:
     defended_acc = defended.best_accuracy()
 
     print("\n--- results -------------------------------------------------------")
-    print(f"no attack, mean aggregation      : {100 * baseline_acc:6.2f}% best accuracy")
+    print(
+        f"no attack, mean aggregation      : {100 * baseline_acc:6.2f}% best accuracy"
+    )
     print(
         f"ByzMean attack, mean aggregation : {100 * undefended_acc:6.2f}% "
         f"(attack impact {100 * attack_impact(baseline_acc, undefended_acc):.2f}%)"
@@ -71,7 +73,10 @@ def main() -> None:
         f"malicious kept {100 * defended.mean_byzantine_selection_rate():.1f}%"
     )
     print("-------------------------------------------------------------------")
-    print("SignGuard should track the baseline closely while the undefended run degrades.")
+    print(
+        "SignGuard should track the baseline closely while the undefended "
+        "run degrades."
+    )
 
 
 if __name__ == "__main__":

@@ -12,7 +12,10 @@ from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
 from repro.aggregators.mean import MeanAggregator
 from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
 from repro.aggregators.median import CoordinateMedianAggregator
-from repro.aggregators.geometric_median import GeometricMedianAggregator, geometric_median
+from repro.aggregators.geometric_median import (
+    GeometricMedianAggregator,
+    geometric_median,
+)
 from repro.aggregators.krum import KrumAggregator, MultiKrumAggregator
 from repro.aggregators.bulyan import BulyanAggregator
 from repro.aggregators.dnc import DivideAndConquerAggregator

@@ -90,9 +90,7 @@ class Aggregator:
         context.batch = batch
         return self.aggregate(batch.matrix, context)
 
-    def _byzantine_count(
-        self, gradients: np.ndarray, context: ServerContext
-    ) -> int:
+    def _byzantine_count(self, gradients: np.ndarray, context: ServerContext) -> int:
         """Resolve the Byzantine-count hint, defaulting to the max tolerable."""
         if context.num_byzantine_hint is not None:
             return int(context.num_byzantine_hint)

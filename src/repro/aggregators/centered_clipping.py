@@ -12,11 +12,14 @@ attacks.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+from repro.aggregators.base import (
+    AggregationResult,
+    Aggregator,
+    ServerContext,
+    all_indices,
+)
 
 
 class CenteredClippingAggregator(Aggregator):

@@ -14,7 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+from repro.aggregators.base import (
+    AggregationResult,
+    Aggregator,
+    ServerContext,
+    all_indices,
+)
 
 
 class FLTrustAggregator(Aggregator):
@@ -41,7 +46,9 @@ class FLTrustAggregator(Aggregator):
                 info={"rule": self.name, "degenerate_reference": True},
             )
         norms = np.linalg.norm(gradients, axis=1)
-        cosines = (gradients @ reference) / (np.maximum(norms, self.epsilon) * reference_norm)
+        cosines = (gradients @ reference) / (
+            np.maximum(norms, self.epsilon) * reference_norm
+        )
         trust_scores = np.maximum(cosines, 0.0)  # ReLU clipping
         if trust_scores.sum() <= self.epsilon:
             aggregated = np.zeros_like(reference)
@@ -49,7 +56,9 @@ class FLTrustAggregator(Aggregator):
         else:
             # Rescale every client gradient to the reference norm, then take
             # the trust-weighted average.
-            rescaled = gradients * (reference_norm / np.maximum(norms, self.epsilon))[:, None]
+            rescaled = (
+                gradients * (reference_norm / np.maximum(norms, self.epsilon))[:, None]
+            )
             weights = trust_scores / trust_scores.sum()
             aggregated = (weights[:, None] * rescaled).sum(axis=0)
             selected = np.flatnonzero(trust_scores > 0)

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+from repro.aggregators.base import (
+    AggregationResult,
+    Aggregator,
+    ServerContext,
+    all_indices,
+)
 from repro.utils.batch import resolve_batch
 
 

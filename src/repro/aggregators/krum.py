@@ -112,7 +112,9 @@ class MultiKrumAggregator(KrumAggregator):
         n = len(gradients)
         f = self._resolve_f(gradients, context)
         scores = _krum_scores(gradients, f, batch=resolve_batch(gradients, context))
-        num_selected = self.num_selected if self.num_selected is not None else max(n - f, 1)
+        num_selected = (
+            self.num_selected if self.num_selected is not None else max(n - f, 1)
+        )
         num_selected = int(min(num_selected, n))
         selected = np.argsort(scores)[:num_selected]
         return AggregationResult(

@@ -12,7 +12,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+from repro.aggregators.base import (
+    AggregationResult,
+    Aggregator,
+    ServerContext,
+    all_indices,
+)
 from repro.aggregators.norms import median_norm
 
 

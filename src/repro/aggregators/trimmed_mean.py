@@ -6,7 +6,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.aggregators.base import AggregationResult, Aggregator, ServerContext, all_indices
+from repro.aggregators.base import (
+    AggregationResult,
+    Aggregator,
+    ServerContext,
+    all_indices,
+)
 
 
 class TrimmedMeanAggregator(Aggregator):
@@ -30,7 +35,11 @@ class TrimmedMeanAggregator(Aggregator):
         self, gradients: np.ndarray, context: ServerContext
     ) -> AggregationResult:
         n = len(gradients)
-        trim = self.trim if self.trim is not None else self._byzantine_count(gradients, context)
+        trim = (
+            self.trim
+            if self.trim is not None
+            else self._byzantine_count(gradients, context)
+        )
         trim = int(min(trim, (n - 1) // 2))
         if trim == 0:
             aggregated = gradients.mean(axis=0)

@@ -29,11 +29,16 @@ def lemma1_deviation_bound(
     check_positive(sigma, "sigma", strict=False)
     if num_clients < 1:
         raise ValueError(f"num_clients must be >= 1, got {num_clients}")
-    return (beta**2 * kappa**2) / (1 - beta) ** 2 + sigma**2 / ((1 - beta) * num_clients)
+    return (beta**2 * kappa**2) / (1 - beta) ** 2 + sigma**2 / (
+        (1 - beta) * num_clients
+    )
 
 
 def max_stable_learning_rate(*, delta: float, beta: float, smoothness: float) -> float:
-    """Theorem 1's learning-rate condition ``eta <= (2 - sqrt(delta) - 2 beta) / (4 L)``."""
+    """Theorem 1's learning-rate condition.
+
+    ``eta <= (2 - sqrt(delta) - 2 beta) / (4 L)``.
+    """
     check_fraction(delta, "delta")
     check_fraction(beta, "beta")
     check_positive(smoothness, "smoothness")

@@ -86,7 +86,8 @@ class LieStealthReport:
 
 
 def _cosine(a: np.ndarray, b: np.ndarray, epsilon: float = 1e-12) -> float:
-    return float(a @ b / (max(np.linalg.norm(a), epsilon) * max(np.linalg.norm(b), epsilon)))
+    denominator = max(np.linalg.norm(a), epsilon) * max(np.linalg.norm(b), epsilon)
+    return float(a @ b / denominator)
 
 
 def lie_stealthiness_report(
@@ -112,7 +113,9 @@ def lie_stealthiness_report(
     malicious_signs = np.sign(malicious)
     relevant = mean_signs != 0
     if relevant.any():
-        sign_disagreement = float(np.mean(malicious_signs[relevant] != mean_signs[relevant]))
+        sign_disagreement = float(
+            np.mean(malicious_signs[relevant] != mean_signs[relevant])
+        )
     else:
         sign_disagreement = 0.0
 

@@ -18,10 +18,16 @@ from repro.core.features import sign_statistics
 from repro.utils.validation import check_gradient_matrix
 
 
-def sign_statistics_of_vector(vector: np.ndarray, *, zero_tolerance: float = 0.0) -> Dict[str, float]:
+def sign_statistics_of_vector(
+    vector: np.ndarray, *, zero_tolerance: float = 0.0
+) -> Dict[str, float]:
     """Positive/zero/negative fractions of a single gradient vector."""
     stats = sign_statistics(np.atleast_2d(vector), zero_tolerance=zero_tolerance)[0]
-    return {"positive": float(stats[0]), "zero": float(stats[1]), "negative": float(stats[2])}
+    return {
+        "positive": float(stats[0]),
+        "zero": float(stats[1]),
+        "negative": float(stats[2]),
+    }
 
 
 @dataclass
@@ -50,7 +56,8 @@ class SignStatisticsTrace:
             raise ValueError(f"which must be 'honest' or 'malicious', got {which!r}")
         if component not in {"positive", "zero", "negative"}:
             raise ValueError(
-                f"component must be 'positive', 'zero', or 'negative', got {component!r}"
+                "component must be 'positive', 'zero', or 'negative', "
+                f"got {component!r}"
             )
         rows = self.honest if which == "honest" else self.malicious
         return np.array([row[component] for row in rows])
@@ -61,5 +68,7 @@ class SignStatisticsTrace:
         for which in ("honest", "malicious"):
             for component in ("positive", "zero", "negative"):
                 series = self.series(which, component)
-                result[f"{which}_{component}"] = float(series.mean()) if len(series) else float("nan")
+                result[f"{which}_{component}"] = (
+                    float(series.mean()) if len(series) else float("nan")
+                )
         return result

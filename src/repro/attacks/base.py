@@ -69,15 +69,11 @@ class Attack:
     #: rather than the submitted gradient.
     poisons_data: bool = False
 
-    def craft(
-        self, honest_gradients: np.ndarray, context: AttackContext
-    ) -> np.ndarray:
+    def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
         """Return malicious gradients of shape ``(num_byzantine, dim)``."""
         raise NotImplementedError
 
-    def apply(
-        self, honest_gradients: np.ndarray, context: AttackContext
-    ) -> np.ndarray:
+    def apply(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
         """Return the full gradient matrix after replacing Byzantine rows.
 
         This is the entry point used by the federated server simulation; it

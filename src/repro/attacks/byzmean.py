@@ -19,7 +19,6 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
 from repro.attacks.lie import LittleIsEnoughAttack
-from repro.attacks.simple import RandomAttack
 
 
 class ByzMeanAttack(Attack):

@@ -20,8 +20,6 @@ original attack implementation.
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
@@ -83,9 +81,7 @@ class _OptimizedPerturbationAttack(Attack):
             vector = -np.ones(benign.shape[1]) / np.sqrt(benign.shape[1])
         return vector
 
-    def _constraint_satisfied(
-        self, candidate: np.ndarray, benign: np.ndarray
-    ) -> bool:
+    def _constraint_satisfied(self, candidate: np.ndarray, benign: np.ndarray) -> bool:
         raise NotImplementedError
 
     def _optimize_gamma(self, benign: np.ndarray) -> float:
@@ -141,7 +137,7 @@ class MinMaxAttack(_OptimizedPerturbationAttack):
 
 
 class MinSumAttack(_OptimizedPerturbationAttack):
-    """Min-Sum attack: bound the sum of squared distances to benign gradients (Eq. 15)."""
+    """Min-Sum attack: bound the sum of squared distances to benign rows (Eq. 15)."""
 
     name = "min_sum"
 

@@ -1,4 +1,7 @@
-"""Simple model-poisoning attacks: no-attack, random, noise, sign-flip, reverse scaling."""
+"""Simple model-poisoning attacks.
+
+No-attack, random, noise, sign-flip, and reverse-scaling transformations.
+"""
 
 from __future__ import annotations
 

@@ -47,7 +47,9 @@ class TimeVaryingAttack(Attack):
     ):
         if switch_every < 1:
             raise ValueError(f"switch_every must be >= 1, got {switch_every}")
-        self.pool: List[Attack] = list(pool) if pool is not None else default_attack_pool()
+        self.pool: List[Attack] = (
+            list(pool) if pool is not None else default_attack_pool()
+        )
         if not self.pool:
             raise ValueError("attack pool must be non-empty")
         self.switch_every = switch_every

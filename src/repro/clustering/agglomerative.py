@@ -31,7 +31,9 @@ class AgglomerativeClustering:
         self.linkage = linkage
         self.labels_: Optional[np.ndarray] = None
 
-    def _merge_distance(self, d_ab: float, d_cb: float, size_a: int, size_c: int) -> float:
+    def _merge_distance(
+        self, d_ab: float, d_cb: float, size_a: int, size_c: int
+    ) -> float:
         if self.linkage == "single":
             return min(d_ab, d_cb)
         if self.linkage == "complete":

@@ -83,9 +83,7 @@ class KMeans:
                     new_centroids[k] = members.mean(axis=0)
             shift = float(np.linalg.norm(new_centroids - centroids))
             centroids = new_centroids
-            inertia = float(
-                np.sum((x - centroids[labels]) ** 2)
-            )
+            inertia = float(np.sum((x - centroids[labels]) ** 2))
             if shift <= self.tol:
                 break
         return centroids, labels, inertia, iteration

@@ -28,7 +28,8 @@ def pairwise_distances(x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
 def _validate_labels(x: np.ndarray, labels: np.ndarray) -> None:
     if len(x) != len(labels):
         raise ValueError(
-            f"features and labels must have the same length, got {len(x)} and {len(labels)}"
+            f"features and labels must have the same length, "
+            f"got {len(x)} and {len(labels)}"
         )
 
 

@@ -134,7 +134,8 @@ class SignClusteringFilter(GradientFilter):
     ):
         if clustering not in {"meanshift", "kmeans", "dbscan"}:
             raise ValueError(
-                f"clustering must be 'meanshift', 'kmeans', or 'dbscan', got {clustering!r}"
+                "clustering must be 'meanshift', 'kmeans', or 'dbscan', "
+                f"got {clustering!r}"
             )
         self.similarity = similarity
         self.coordinate_fraction = coordinate_fraction

@@ -8,8 +8,6 @@ the paper highlights this as a practical advantage.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
@@ -82,7 +80,7 @@ class SignGuardSim(SignGuard):
 
 
 class SignGuardDist(SignGuard):
-    """SignGuard-Dist: sign statistics + Euclidean distance to the previous aggregate."""
+    """SignGuard-Dist: sign statistics + Euclidean distance to previous aggregate."""
 
     name = "signguard_dist"
     similarity = "euclidean"

@@ -30,7 +30,9 @@ class BatchLoader:
 
     def sample(self) -> Tuple[np.ndarray, np.ndarray]:
         """Draw one random mini-batch (without replacement within the batch)."""
-        indices = self._rng.choice(len(self.dataset), size=self.batch_size, replace=False)
+        indices = self._rng.choice(
+            len(self.dataset), size=self.batch_size, replace=False
+        )
         return self.dataset[indices]
 
     def epoch(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:

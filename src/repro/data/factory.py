@@ -5,7 +5,11 @@ from __future__ import annotations
 from typing import Any
 
 from repro.data.datasets import TrainTestSplit
-from repro.data.synthetic_images import make_cifar_like, make_fashion_like, make_mnist_like
+from repro.data.synthetic_images import (
+    make_cifar_like,
+    make_fashion_like,
+    make_mnist_like,
+)
 from repro.data.synthetic_text import make_agnews_like
 from repro.utils.registry import Registry
 from repro.utils.rng import RngLike

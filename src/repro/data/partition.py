@@ -6,7 +6,7 @@ training set; clients then construct their local dataset views from these.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -65,7 +65,8 @@ def sort_and_partition(
 
     # Sort the remaining portion by label and deal shards.
     if len(skewed_indices) > 0:
-        sorted_skewed = skewed_indices[np.argsort(dataset.labels[skewed_indices], kind="stable")]
+        sort_order = np.argsort(dataset.labels[skewed_indices], kind="stable")
+        sorted_skewed = skewed_indices[sort_order]
         num_shards = num_clients * shards_per_client
         shards = np.array_split(sorted_skewed, num_shards)
         shard_order = rng.permutation(num_shards)

@@ -23,7 +23,9 @@ def flip_labels(dataset: ArrayDataset) -> ArrayDataset:
     return dataset.with_labels(flipped)
 
 
-def flip_labels_pairwise(dataset: ArrayDataset, source: int, target: int) -> ArrayDataset:
+def flip_labels_pairwise(
+    dataset: ArrayDataset, source: int, target: int
+) -> ArrayDataset:
     """Targeted variant: relabel every ``source`` sample as ``target``.
 
     Not used by the paper's untargeted evaluation, but provided for backdoor

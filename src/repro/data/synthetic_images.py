@@ -17,7 +17,7 @@ generators satisfy all three at laptop scale.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -54,9 +54,8 @@ def _class_prototypes(
             # Class-specific stripe orientation/frequency.
             angle = np.pi * cls / num_classes
             frequency = 1.0 + (cls % 3)
-            stripes = np.sin(
-                2 * np.pi * frequency * (np.cos(angle) * xs / width + np.sin(angle) * ys / height)
-            )
+            orientation = np.cos(angle) * xs / width + np.sin(angle) * ys / height
+            stripes = np.sin(2 * np.pi * frequency * orientation)
             prototypes[cls, channel] = 0.5 * field + stripes
     # Normalize each prototype to zero mean / unit scale.
     flat = prototypes.reshape(num_classes, -1)

@@ -10,8 +10,6 @@ gradient structure as a real news-topic classifier.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from repro.data.datasets import ArrayDataset, DataSpec, TrainTestSplit

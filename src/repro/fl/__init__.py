@@ -9,6 +9,12 @@ label-flipping attack which poisons the clients' local data instead.
 """
 
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
+from repro.fl.collector import (
+    GradientCollector,
+    ParallelCollector,
+    SequentialCollector,
+    build_collector,
+)
 from repro.fl.server import FederatedServer
 from repro.fl.simulation import FederatedSimulation
 from repro.fl.metrics import attack_impact, evaluate_model
@@ -20,6 +26,10 @@ __all__ = [
     "ByzantineClient",
     "FederatedServer",
     "FederatedSimulation",
+    "GradientCollector",
+    "SequentialCollector",
+    "ParallelCollector",
+    "build_collector",
     "attack_impact",
     "evaluate_model",
     "run_experiment",

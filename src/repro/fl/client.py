@@ -63,12 +63,17 @@ class FederatedClient:
 
         The model's parameters are treated as read-only; only its gradient
         buffers are used as scratch space and are zeroed before returning.
+        The returned gradient has the model's dtype: float32 models compute
+        (not just store) reduced-precision gradients.
         """
         accumulated: Optional[np.ndarray] = None
         losses = []
+        dtype = model.dtype
         model.train()
         for _ in range(self.local_iterations):
             inputs, labels = self.loader.sample()
+            if inputs.dtype.kind == "f" and inputs.dtype != dtype:
+                inputs = inputs.astype(dtype)
             model.zero_grad()
             logits = model(inputs)
             losses.append(self._loss_fn(logits, labels))

@@ -8,7 +8,7 @@ the :class:`~repro.utils.recording.RunRecorder` with per-round metrics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -63,7 +63,14 @@ def run_experiment(
 
     attack = build_attack(config.attack.name, config.attack.params)
     defense = build_aggregator(config.defense.name, config.defense.params)
-    model = build_model(config.training.model, split.spec, rng=rng_factory.make("model"))
+    model = build_model(
+        config.training.model, split.spec, rng=rng_factory.make("model")
+    )
+    # The model computes in the configured precision: with float32 the
+    # clients' gradient computation itself (not just the round buffer) runs
+    # at halved memory traffic.  Weights are drawn in float64 first (see
+    # repro.nn.init) so both precisions start from the same values.
+    model.astype(config.training.dtype)
 
     byzantine_indices = _select_byzantine(
         config.num_clients, config.num_byzantine, rng_factory.make("byzantine")
@@ -99,9 +106,13 @@ def run_experiment(
         lr_decay=config.training.lr_decay,
         description=config.describe(),
         dtype=config.training.dtype,
+        n_workers=config.training.n_workers,
         profiler=profiler,
     )
-    recorder = simulation.run(config.training.rounds)
+    try:
+        recorder = simulation.run(config.training.rounds)
+    finally:
+        simulation.close()
     recorder.metadata["config"] = config.to_dict()
     recorder.metadata["byzantine_indices"] = byzantine_indices.tolist()
     return recorder

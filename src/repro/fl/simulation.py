@@ -6,11 +6,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.aggregators.base import Aggregator
 from repro.attacks.base import Attack, AttackContext
-from repro.attacks.simple import NoAttack
-from repro.data.datasets import ArrayDataset, TrainTestSplit
+from repro.data.datasets import ArrayDataset
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
+from repro.fl.collector import GradientCollector, build_collector
 from repro.fl.metrics import evaluate_model, selection_confusion
 from repro.fl.server import FederatedServer
 from repro.nn.module import Module
@@ -38,11 +37,22 @@ class FederatedSimulation:
         lr_decay: multiplicative learning-rate decay applied per round.
         dtype: dtype of the round gradient buffer (``np.float64`` by
             default; ``np.float32`` halves memory traffic through the whole
-            filtering/aggregation path at reduced precision).
+            filtering/aggregation path at reduced precision).  The global
+            model's own dtype controls the precision clients *compute* in;
+            :func:`~repro.fl.experiment.run_experiment` keeps the two in
+            sync.
+        n_workers: thread count for the collect stage.  1 (the default)
+            keeps the seed's sequential loop; larger values fan the clients
+            over a :class:`~repro.fl.collector.ParallelCollector`, which is
+            bit-identical to the sequential path (see that module's
+            docstring).  Ignored when ``collector`` is given.
+        collector: an explicit :class:`~repro.fl.collector.GradientCollector`
+            strategy, overriding ``n_workers``.
         profiler: optional :class:`~repro.perf.profiler.RoundProfiler`; when
-            given, every round records "collect_gradients", "attack", and
-            "evaluate" stages here (the server adds "aggregate" and
-            "model_update" when it shares the profiler).
+            given, every round records "collect_gradients", per-worker
+            "collect_worker_<i>", "attack", and "evaluate" stages here (the
+            server adds "aggregate" and "model_update" when it shares the
+            profiler).
     """
 
     def __init__(
@@ -57,12 +67,16 @@ class FederatedSimulation:
         lr_decay: float = 1.0,
         description: str = "",
         dtype=np.float64,
+        n_workers: int = 1,
+        collector: Optional[GradientCollector] = None,
         profiler: Optional[RoundProfiler] = None,
     ):
         if not clients:
             raise ValueError("at least one client is required")
         if eval_every < 1:
             raise ValueError(f"eval_every must be >= 1, got {eval_every}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         dtype = np.dtype(dtype)
         if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError(f"dtype must be float32 or float64, got {dtype}")
@@ -73,11 +87,15 @@ class FederatedSimulation:
         self.eval_every = eval_every
         self.lr_decay = lr_decay
         self.dtype = dtype
+        self.collector = (
+            collector if collector is not None else build_collector(n_workers)
+        )
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.recorder = RunRecorder(description=description)
-        self._attack_rng = attack_rng if attack_rng is not None else np.random.default_rng()
-        # Preallocated (n_clients, dim) round buffer; the model dimension is
-        # only known after the first gradient, so allocation is lazy.
+        self._attack_rng = (
+            attack_rng if attack_rng is not None else np.random.default_rng()
+        )
+        # Preallocated (n_clients, dim) round buffer, reused across rounds.
         self._round_buffer: Optional[np.ndarray] = None
         byzantine = [c.client_id for c in self.clients if c.is_byzantine]
         self.byzantine_indices = np.asarray(sorted(byzantine), dtype=int)
@@ -96,16 +114,20 @@ class FederatedSimulation:
         """Every client's honestly computed gradient at the current global model.
 
         Gradients are written straight into a preallocated ``(n_clients,
-        dim)`` round buffer (reused across rounds) instead of stacking a list
-        of per-client arrays with ``np.vstack`` every round.
+        dim)`` round buffer (reused across rounds) by the configured
+        :class:`~repro.fl.collector.GradientCollector` — sequentially by
+        default, or fanned over worker threads when ``n_workers > 1``.
         """
         buffer = self._round_buffer
-        for row, client in enumerate(self.clients):
-            gradient = client.compute_gradient(self.model)
-            if buffer is None:
-                buffer = np.empty((self.num_clients, gradient.shape[-1]), dtype=self.dtype)
-                self._round_buffer = buffer
-            buffer[row] = gradient
+        if buffer is None:
+            dim = self.model.num_parameters()
+            buffer = np.empty((self.num_clients, dim), dtype=self.dtype)
+            self._round_buffer = buffer
+        self.collector.collect(self.clients, self.model, buffer)
+        profiler = self.profiler
+        if profiler.enabled:
+            for worker_index, seconds, _ in self.collector.worker_timings:
+                profiler.record(f"collect_worker_{worker_index}", seconds)
         return buffer
 
     def run_round(self, round_index: int) -> RoundRecord:
@@ -155,6 +177,10 @@ class FederatedSimulation:
         for round_index in range(rounds):
             self.recorder.add(self.run_round(round_index))
         return self.recorder
+
+    def close(self) -> None:
+        """Release the collector's worker threads (idempotent)."""
+        self.collector.close()
 
 
 def build_clients(

@@ -1,10 +1,22 @@
-"""Stateless numerical building blocks: softmax, one-hot, im2col/col2im."""
+"""Stateless numerical building blocks: softmax, one-hot, im2col/col2im.
+
+Every function here is dtype-preserving: float32 inputs produce float32
+intermediates and outputs (softmax, sigmoid, the im2col patch matrix), so a
+float32 model runs its whole forward/backward pass at reduced precision
+instead of silently promoting to float64 in the middle.
+"""
 
 from __future__ import annotations
 
 from typing import Tuple
 
 import numpy as np
+
+
+def floating_dtype(dtype) -> np.dtype:
+    """The working float dtype for an input dtype (non-floats use float64)."""
+    dtype = np.dtype(dtype)
+    return dtype if dtype.kind == "f" else np.dtype(np.float64)
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -20,7 +32,7 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def one_hot(labels: np.ndarray, num_classes: int, *, dtype=np.float64) -> np.ndarray:
     """Convert integer labels of shape ``(n,)`` into one-hot rows."""
     labels = np.asarray(labels, dtype=int)
     if labels.ndim != 1:
@@ -30,14 +42,14 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must be in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros((len(labels), num_classes), dtype=np.float64)
+    encoded = np.zeros((len(labels), num_classes), dtype=dtype)
     encoded[np.arange(len(labels)), labels] = 1.0
     return encoded
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Elementwise logistic function, stable for large |x|."""
-    out = np.empty_like(x, dtype=np.float64)
+    out = np.empty_like(x, dtype=floating_dtype(x.dtype))
     positive = x >= 0
     out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
     exp_x = np.exp(x[~positive])
@@ -72,7 +84,7 @@ def im2col(
         x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
     )
     columns = np.empty(
-        (batch, channels, kernel, kernel, out_h, out_w), dtype=np.float64
+        (batch, channels, kernel, kernel, out_h, out_w), dtype=floating_dtype(x.dtype)
     )
     for ky in range(kernel):
         y_end = ky + stride * out_h
@@ -100,13 +112,16 @@ def col2im(
         0, 3, 4, 5, 1, 2
     )
     padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float64
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=floating_dtype(columns.dtype),
     )
     for ky in range(kernel):
         y_end = ky + stride * out_h
         for kx in range(kernel):
             x_end = kx + stride * out_w
-            padded[:, :, ky:y_end:stride, kx:x_end:stride] += columns[:, :, ky, kx, :, :]
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += columns[
+                :, :, ky, kx, :, :
+            ]
     if padding == 0:
         return padded
     return padded[:, :, padding:-padding, padding:-padding]

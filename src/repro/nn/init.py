@@ -1,4 +1,9 @@
-"""Weight initialization schemes."""
+"""Weight initialization schemes.
+
+Every scheme draws in float64 (so a given seed produces the same values
+regardless of the requested precision) and casts to the target ``dtype`` at
+the end; ``dtype=None`` keeps the library default of float64.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +12,12 @@ from typing import Tuple
 import numpy as np
 
 from repro.utils.rng import RngLike, as_rng
+
+
+def _as_dtype(array: np.ndarray, dtype) -> np.ndarray:
+    if dtype is None:
+        return array
+    return array.astype(dtype, copy=False)
 
 
 def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -24,33 +35,39 @@ def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
     return fan_in, fan_out
 
 
-def xavier_uniform(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: RngLike = None, *, dtype=None
+) -> np.ndarray:
     """Glorot/Xavier uniform initialization."""
     rng = as_rng(rng)
     fan_in, fan_out = _fan_in_out(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _as_dtype(rng.uniform(-limit, limit, size=shape), dtype)
 
 
-def kaiming_normal(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+def kaiming_normal(
+    shape: Tuple[int, ...], rng: RngLike = None, *, dtype=None
+) -> np.ndarray:
     """He/Kaiming normal initialization (ReLU gain)."""
     rng = as_rng(rng)
     fan_in, _ = _fan_in_out(shape)
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return _as_dtype(rng.normal(0.0, std, size=shape), dtype)
 
 
-def normal(shape: Tuple[int, ...], std: float = 0.01, rng: RngLike = None) -> np.ndarray:
+def normal(
+    shape: Tuple[int, ...], std: float = 0.01, rng: RngLike = None, *, dtype=None
+) -> np.ndarray:
     """Zero-mean Gaussian initialization with the given standard deviation."""
     rng = as_rng(rng)
-    return rng.normal(0.0, std, size=shape)
+    return _as_dtype(rng.normal(0.0, std, size=shape), dtype)
 
 
-def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+def zeros(shape: Tuple[int, ...], *, dtype=None) -> np.ndarray:
     """All-zero initialization (biases, batch-norm shifts)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=dtype or np.float64)
 
 
-def ones(shape: Tuple[int, ...]) -> np.ndarray:
+def ones(shape: Tuple[int, ...], *, dtype=None) -> np.ndarray:
     """All-one initialization (batch-norm scales)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=dtype or np.float64)

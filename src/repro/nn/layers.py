@@ -4,11 +4,16 @@ Every layer follows the ``forward`` / ``backward`` contract of
 :class:`repro.nn.module.Module`.  Convolution is implemented with im2col so
 the heavy lifting stays inside a single matrix multiply, which is fast enough
 in numpy for the model sizes used by the reproduction.
+
+Layers that own parameters accept a ``dtype`` argument (float64 by default)
+and allocate their weights, biases, and normalization statistics in that
+precision; the scratch buffers of the stateless layers follow the dtype of
+whatever flows through them, so a float32 model stays float32 end to end.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -38,6 +43,7 @@ class Linear(Module):
         *,
         bias: bool = True,
         rng: RngLike = None,
+        dtype=None,
     ):
         super().__init__()
         if in_features < 1 or out_features < 1:
@@ -46,9 +52,15 @@ class Linear(Module):
         self.out_features = out_features
         rng = as_rng(rng)
         self.weight = Parameter(
-            init.kaiming_normal((out_features, in_features), rng), name="weight"
+            init.kaiming_normal((out_features, in_features), rng),
+            name="weight",
+            dtype=dtype,
         )
-        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        self.bias = (
+            Parameter(init.zeros((out_features,)), name="bias", dtype=dtype)
+            if bias
+            else None
+        )
         self._input: np.ndarray = np.empty(0)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -86,6 +98,7 @@ class Conv2d(Module):
         padding: int = 0,
         bias: bool = True,
         rng: RngLike = None,
+        dtype=None,
     ):
         super().__init__()
         if kernel_size < 1 or stride < 1 or padding < 0:
@@ -101,8 +114,13 @@ class Conv2d(Module):
                 (out_channels, in_channels, kernel_size, kernel_size), rng
             ),
             name="weight",
+            dtype=dtype,
         )
-        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+        self.bias = (
+            Parameter(init.zeros((out_channels,)), name="bias", dtype=dtype)
+            if bias
+            else None
+        )
         self._columns: np.ndarray = np.empty(0)
         self._input_shape: tuple = ()
         self._out_hw: tuple = ()
@@ -110,7 +128,8 @@ class Conv2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
-                f"expected input of shape (batch, {self.in_channels}, H, W), got {x.shape}"
+                f"expected input of shape (batch, {self.in_channels}, H, W), "
+                f"got {x.shape}"
             )
         self._input_shape = x.shape
         columns, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
@@ -160,7 +179,8 @@ class MaxPool2d(Module):
         self._out_hw = (out_h, out_w)
         # Build (batch, channels, out_h, out_w, k*k) windows then take the max.
         windows = np.empty(
-            (batch, channels, out_h, out_w, self.kernel_size * self.kernel_size)
+            (batch, channels, out_h, out_w, self.kernel_size * self.kernel_size),
+            dtype=x.dtype,
         )
         for ky in range(self.kernel_size):
             for kx in range(self.kernel_size):
@@ -176,7 +196,7 @@ class MaxPool2d(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         batch, channels, height, width = self._input_shape
         out_h, out_w = self._out_hw
-        grad_input = np.zeros(self._input_shape, dtype=np.float64)
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
         ky = self._argmax // self.kernel_size
         kx = self._argmax % self.kernel_size
         rows = (np.arange(out_h)[None, None, :, None] * self.stride) + ky
@@ -205,7 +225,7 @@ class AvgPool2d(Module):
         out_h = conv_output_size(height, self.kernel_size, self.stride, 0)
         out_w = conv_output_size(width, self.kernel_size, self.stride, 0)
         self._out_hw = (out_h, out_w)
-        output = np.zeros((batch, channels, out_h, out_w))
+        output = np.zeros((batch, channels, out_h, out_w), dtype=x.dtype)
         for ky in range(self.kernel_size):
             for kx in range(self.kernel_size):
                 output += x[
@@ -218,7 +238,7 @@ class AvgPool2d(Module):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         out_h, out_w = self._out_hw
-        grad_input = np.zeros(self._input_shape, dtype=np.float64)
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
         scaled = grad_output / (self.kernel_size * self.kernel_size)
         for ky in range(self.kernel_size):
             for kx in range(self.kernel_size):
@@ -279,7 +299,8 @@ class Dropout(Module):
             self._mask = np.ones_like(x)
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask.astype(x.dtype, copy=False)
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -289,16 +310,28 @@ class Dropout(Module):
 class _BatchNormBase(Module):
     """Shared batch-norm logic over an arbitrary reduction axis set."""
 
-    def __init__(self, num_features: int, *, momentum: float = 0.1, eps: float = 1e-5):
+    def __init__(
+        self,
+        num_features: int,
+        *,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        dtype=None,
+    ):
         super().__init__()
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
-        self.beta = Parameter(init.zeros((num_features,)), name="beta")
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma", dtype=dtype)
+        self.beta = Parameter(init.zeros((num_features,)), name="beta", dtype=dtype)
+        self.running_mean = np.zeros(num_features, dtype=self.gamma.dtype)
+        self.running_var = np.ones(num_features, dtype=self.gamma.dtype)
         self._cache: tuple = ()
+
+    def _cast_extra_state(self, dtype: np.dtype) -> None:
+        # The running statistics follow the parameter dtype on Module.astype.
+        self.running_mean = self.running_mean.astype(dtype, copy=False)
+        self.running_var = self.running_var.astype(dtype, copy=False)
 
     def _reshape(self, stat: np.ndarray, ndim: int) -> np.ndarray:
         shape = [1] * ndim
@@ -333,7 +366,6 @@ class _BatchNormBase(Module):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         normalized, inv_std, axes, shape = self._cache
-        count = np.prod([shape[axis] for axis in axes])
         self.gamma.grad += (grad_output * normalized).sum(axis=axes)
         self.beta.grad += grad_output.sum(axis=axes)
         gamma_b = self._reshape(self.gamma.data, len(shape))
@@ -374,7 +406,14 @@ class BatchNorm2d(_BatchNormBase):
 class Embedding(Module):
     """Token embedding lookup table."""
 
-    def __init__(self, num_embeddings: int, embedding_dim: int, *, rng: RngLike = None):
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        *,
+        rng: RngLike = None,
+        dtype=None,
+    ):
         super().__init__()
         if num_embeddings < 1 or embedding_dim < 1:
             raise ValueError("num_embeddings and embedding_dim must be >= 1")
@@ -384,6 +423,7 @@ class Embedding(Module):
         self.weight = Parameter(
             init.normal((num_embeddings, embedding_dim), std=0.1, rng=rng),
             name="weight",
+            dtype=dtype,
         )
         self._indices: np.ndarray = np.empty(0, dtype=int)
 
@@ -402,7 +442,7 @@ class Embedding(Module):
         flat_grad = grad_output.reshape(-1, self.embedding_dim)
         np.add.at(self.weight.grad, flat_indices, flat_grad)
         # Token indices are not differentiable; return zeros of the input shape.
-        return np.zeros(self._indices.shape, dtype=np.float64)
+        return np.zeros(self._indices.shape, dtype=self.weight.dtype)
 
 
 class Sequential(Module):

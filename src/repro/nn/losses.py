@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.nn.functional import floating_dtype, log_softmax, one_hot, softmax
 
 
 class CrossEntropyLoss:
@@ -21,7 +21,8 @@ class CrossEntropyLoss:
         self._targets: Optional[np.ndarray] = None
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        logits = np.asarray(logits, dtype=np.float64)
+        logits = np.asarray(logits)
+        logits = logits.astype(floating_dtype(logits.dtype), copy=False)
         targets = np.asarray(targets, dtype=int)
         if logits.ndim != 2:
             raise ValueError(f"logits must be 2-D (batch, classes), got {logits.shape}")
@@ -39,7 +40,9 @@ class CrossEntropyLoss:
         if self._probabilities is None or self._targets is None:
             raise RuntimeError("forward must be called before backward")
         batch = len(self._targets)
-        grad = self._probabilities - one_hot(self._targets, self._probabilities.shape[1])
+        grad = self._probabilities - one_hot(
+            self._targets, self._probabilities.shape[1], dtype=self._probabilities.dtype
+        )
         return grad / batch
 
     def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
@@ -53,11 +56,13 @@ class MSELoss:
         self._difference: Optional[np.ndarray] = None
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions = np.asarray(predictions, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        predictions = np.asarray(predictions)
+        predictions = predictions.astype(floating_dtype(predictions.dtype), copy=False)
+        targets = np.asarray(targets, dtype=predictions.dtype)
         if predictions.shape != targets.shape:
             raise ValueError(
-                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+                f"shape mismatch: predictions {predictions.shape} "
+                f"vs targets {targets.shape}"
             )
         self._difference = predictions - targets
         return float(np.mean(self._difference**2))

@@ -28,12 +28,12 @@ from repro.nn.module import Module
 from repro.utils.rng import RngLike, as_rng
 
 
-def _basic_block(
-    in_channels: int, out_channels: int, stride: int, rng
-) -> Residual:
+def _basic_block(in_channels: int, out_channels: int, stride: int, rng) -> Residual:
     """Standard ResNet basic block (two 3x3 convolutions + shortcut)."""
     body = Sequential(
-        Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng),
+        Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        ),
         BatchNorm2d(out_channels),
         ReLU(),
         Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng),

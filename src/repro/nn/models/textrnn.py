@@ -46,7 +46,9 @@ class TextRNN(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2:
-            raise ValueError(f"expected (batch, time) integer tokens, got shape {x.shape}")
+            raise ValueError(
+                f"expected (batch, time) integer tokens, got shape {x.shape}"
+            )
         embedded = self.embedding(x)
         encoded = self.encoder(embedded)
         return self.head(encoded)

@@ -8,18 +8,54 @@ easy to verify with finite-difference tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+#: Floating dtypes the library allocates parameters, gradients, and
+#: activations in.  Everything else (integer labels, token indices, boolean
+#: masks) keeps its natural dtype.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: Default parameter/activation dtype when none is requested.
+DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def check_dtype(dtype) -> np.dtype:
+    """Validate and normalize a requested floating dtype."""
+    dtype = np.dtype(dtype)
+    if dtype not in SUPPORTED_DTYPES:
+        raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+    return dtype
+
 
 class Parameter:
-    """A trainable tensor with an accumulated gradient."""
+    """A trainable tensor with an accumulated gradient.
 
-    def __init__(self, data: np.ndarray, name: str = "param"):
-        self.data = np.asarray(data, dtype=np.float64)
+    Args:
+        data: initial values; cast to ``dtype``.
+        name: human-readable identifier used in state dicts.
+        dtype: floating dtype of the value and gradient buffers
+            (``float64`` by default; ``float32`` halves the memory traffic
+            of every gradient computed against this parameter).
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param", *, dtype=None):
+        dtype = DEFAULT_DTYPE if dtype is None else check_dtype(dtype)
+        self.data = np.asarray(data, dtype=dtype)
         self.grad = np.zeros_like(self.data)
         self.name = name
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def astype(self, dtype) -> "Parameter":
+        """Cast the value and gradient buffers to ``dtype`` (in place)."""
+        dtype = check_dtype(dtype)
+        self.data = self.data.astype(dtype, copy=False)
+        self.grad = self.grad.astype(dtype, copy=False)
+        return self
 
     @property
     def shape(self) -> Tuple[int, ...]:
@@ -91,6 +127,32 @@ class Module:
         """Zero every parameter gradient in the module tree."""
         for param in self.parameters():
             param.zero_grad()
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the module's parameters (``float64`` if none)."""
+        for param in self.parameters():
+            return param.dtype
+        return DEFAULT_DTYPE
+
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter (and extra state) in the tree to ``dtype``.
+
+        This is the conversion entry point used by
+        :func:`repro.fl.experiment.run_experiment` when
+        ``TrainingConfig(dtype="float32")`` is requested: casting the model
+        makes the clients *compute* reduced-precision gradients instead of
+        converting float64 results after the fact.
+        """
+        dtype = check_dtype(dtype)
+        for module in self.modules():
+            for _, param in module._own_parameters():
+                param.astype(dtype)
+            module._cast_extra_state(dtype)
+        return self
+
+    def _cast_extra_state(self, dtype: np.dtype) -> None:
+        """Cast non-parameter floating buffers (overridden by e.g. BatchNorm)."""
 
     def train(self) -> "Module":
         """Switch the module tree into training mode."""

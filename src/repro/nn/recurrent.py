@@ -8,7 +8,7 @@ full output sequence or only the final hidden state.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ class RNN(Module):
         return_sequences: bool = False,
         reverse: bool = False,
         rng: RngLike = None,
+        dtype=None,
     ):
         super().__init__()
         self.input_size = input_size
@@ -44,12 +45,16 @@ class RNN(Module):
         self.reverse = reverse
         rng = as_rng(rng)
         self.w_ih = Parameter(
-            init.xavier_uniform((hidden_size, input_size), rng), name="w_ih"
+            init.xavier_uniform((hidden_size, input_size), rng),
+            name="w_ih",
+            dtype=dtype,
         )
         self.w_hh = Parameter(
-            init.xavier_uniform((hidden_size, hidden_size), rng), name="w_hh"
+            init.xavier_uniform((hidden_size, hidden_size), rng),
+            name="w_hh",
+            dtype=dtype,
         )
-        self.bias = Parameter(init.zeros((hidden_size,)), name="bias")
+        self.bias = Parameter(init.zeros((hidden_size,)), name="bias", dtype=dtype)
         self._cache: Tuple = ()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -60,11 +65,16 @@ class RNN(Module):
         if self.reverse:
             x = x[:, ::-1, :]
         batch, time_steps, _ = x.shape
-        hidden = np.zeros((batch, self.hidden_size))
-        hiddens = np.zeros((batch, time_steps, self.hidden_size))
+        dtype = self.w_ih.dtype
+        hidden = np.zeros((batch, self.hidden_size), dtype=dtype)
+        hiddens = np.zeros((batch, time_steps, self.hidden_size), dtype=dtype)
         pre_activations = np.zeros_like(hiddens)
         for t in range(time_steps):
-            pre = x[:, t, :] @ self.w_ih.data.T + hidden @ self.w_hh.data.T + self.bias.data
+            pre = (
+                x[:, t, :] @ self.w_ih.data.T
+                + hidden @ self.w_hh.data.T
+                + self.bias.data
+            )
             hidden = np.tanh(pre)
             pre_activations[:, t, :] = pre
             hiddens[:, t, :] = hidden
@@ -76,18 +86,21 @@ class RNN(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         x, hiddens, _ = self._cache
         batch, time_steps, _ = x.shape
+        dtype = self.w_ih.dtype
         if self.return_sequences:
             grad_seq = grad_output[:, ::-1, :] if self.reverse else grad_output
         else:
-            grad_seq = np.zeros((batch, time_steps, self.hidden_size))
+            grad_seq = np.zeros((batch, time_steps, self.hidden_size), dtype=dtype)
             grad_seq[:, -1, :] = grad_output
         grad_x = np.zeros_like(x)
-        grad_hidden_next = np.zeros((batch, self.hidden_size))
+        grad_hidden_next = np.zeros((batch, self.hidden_size), dtype=dtype)
         for t in reversed(range(time_steps)):
             grad_hidden = grad_seq[:, t, :] + grad_hidden_next
             grad_pre = grad_hidden * (1.0 - hiddens[:, t, :] ** 2)
             previous_hidden = (
-                hiddens[:, t - 1, :] if t > 0 else np.zeros((batch, self.hidden_size))
+                hiddens[:, t - 1, :]
+                if t > 0
+                else np.zeros((batch, self.hidden_size), dtype=dtype)
             )
             self.w_ih.grad += grad_pre.T @ x[:, t, :]
             self.w_hh.grad += grad_pre.T @ previous_hidden
@@ -115,6 +128,7 @@ class LSTM(Module):
         return_sequences: bool = False,
         reverse: bool = False,
         rng: RngLike = None,
+        dtype=None,
     ):
         super().__init__()
         self.input_size = input_size
@@ -123,19 +137,28 @@ class LSTM(Module):
         self.reverse = reverse
         rng = as_rng(rng)
         self.w_ih = Parameter(
-            init.xavier_uniform((4 * hidden_size, input_size), rng), name="w_ih"
+            init.xavier_uniform((4 * hidden_size, input_size), rng),
+            name="w_ih",
+            dtype=dtype,
         )
         self.w_hh = Parameter(
-            init.xavier_uniform((4 * hidden_size, hidden_size), rng), name="w_hh"
+            init.xavier_uniform((4 * hidden_size, hidden_size), rng),
+            name="w_hh",
+            dtype=dtype,
         )
         bias = init.zeros((4 * hidden_size,))
         bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate bias
-        self.bias = Parameter(bias, name="bias")
+        self.bias = Parameter(bias, name="bias", dtype=dtype)
         self._cache: Tuple = ()
 
     def _split(self, stacked: np.ndarray) -> Tuple[np.ndarray, ...]:
         h = self.hidden_size
-        return stacked[:, :h], stacked[:, h : 2 * h], stacked[:, 2 * h : 3 * h], stacked[:, 3 * h :]
+        return (
+            stacked[:, :h],
+            stacked[:, h : 2 * h],
+            stacked[:, 2 * h : 3 * h],
+            stacked[:, 3 * h :],
+        )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3 or x.shape[2] != self.input_size:
@@ -145,14 +168,17 @@ class LSTM(Module):
         if self.reverse:
             x = x[:, ::-1, :]
         batch, time_steps, _ = x.shape
-        hidden = np.zeros((batch, self.hidden_size))
-        cell = np.zeros((batch, self.hidden_size))
+        dtype = self.w_ih.dtype
+        hidden = np.zeros((batch, self.hidden_size), dtype=dtype)
+        cell = np.zeros((batch, self.hidden_size), dtype=dtype)
         gates_cache: List[Tuple[np.ndarray, ...]] = []
-        hiddens = np.zeros((batch, time_steps, self.hidden_size))
-        cells = np.zeros((batch, time_steps, self.hidden_size))
+        hiddens = np.zeros((batch, time_steps, self.hidden_size), dtype=dtype)
+        cells = np.zeros((batch, time_steps, self.hidden_size), dtype=dtype)
         for t in range(time_steps):
             stacked = (
-                x[:, t, :] @ self.w_ih.data.T + hidden @ self.w_hh.data.T + self.bias.data
+                x[:, t, :] @ self.w_ih.data.T
+                + hidden @ self.w_hh.data.T
+                + self.bias.data
             )
             i_pre, f_pre, g_pre, o_pre = self._split(stacked)
             i_gate = sigmoid(i_pre)
@@ -173,14 +199,15 @@ class LSTM(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         x, hiddens, cells, gates_cache = self._cache
         batch, time_steps, _ = x.shape
+        dtype = self.w_ih.dtype
         if self.return_sequences:
             grad_seq = grad_output[:, ::-1, :] if self.reverse else grad_output
         else:
-            grad_seq = np.zeros((batch, time_steps, self.hidden_size))
+            grad_seq = np.zeros((batch, time_steps, self.hidden_size), dtype=dtype)
             grad_seq[:, -1, :] = grad_output
         grad_x = np.zeros_like(x)
-        grad_hidden_next = np.zeros((batch, self.hidden_size))
-        grad_cell_next = np.zeros((batch, self.hidden_size))
+        grad_hidden_next = np.zeros((batch, self.hidden_size), dtype=dtype)
+        grad_cell_next = np.zeros((batch, self.hidden_size), dtype=dtype)
         for t in reversed(range(time_steps)):
             i_gate, f_gate, g_gate, o_gate, previous_cell = gates_cache[t]
             cell = cells[:, t, :]
@@ -200,7 +227,9 @@ class LSTM(Module):
                 [grad_i_pre, grad_f_pre, grad_g_pre, grad_o_pre], axis=1
             )
             previous_hidden = (
-                hiddens[:, t - 1, :] if t > 0 else np.zeros((batch, self.hidden_size))
+                hiddens[:, t - 1, :]
+                if t > 0
+                else np.zeros((batch, self.hidden_size), dtype=dtype)
             )
             self.w_ih.grad += grad_stacked.T @ x[:, t, :]
             self.w_hh.grad += grad_stacked.T @ previous_hidden
@@ -227,6 +256,7 @@ class BiRNN(Module):
         *,
         cell: str = "rnn",
         rng: RngLike = None,
+        dtype=None,
     ):
         super().__init__()
         rng = as_rng(rng)
@@ -238,10 +268,20 @@ class BiRNN(Module):
         else:
             raise ValueError(f"cell must be 'rnn' or 'lstm', got {cell!r}")
         self.forward_cell = factory(
-            input_size, hidden_size, return_sequences=False, reverse=False, rng=rng
+            input_size,
+            hidden_size,
+            return_sequences=False,
+            reverse=False,
+            rng=rng,
+            dtype=dtype,
         )
         self.backward_cell = factory(
-            input_size, hidden_size, return_sequences=False, reverse=True, rng=rng
+            input_size,
+            hidden_size,
+            return_sequences=False,
+            reverse=True,
+            rng=rng,
+            dtype=dtype,
         )
         self.hidden_size = hidden_size
 

@@ -28,8 +28,12 @@ def get_flat_parameters(model: Module) -> np.ndarray:
 
 
 def set_flat_parameters(model: Module, flat: np.ndarray) -> None:
-    """Write a flat parameter vector back into the model (in place)."""
-    flat = np.asarray(flat, dtype=np.float64)
+    """Write a flat parameter vector back into the model (in place).
+
+    The values are cast to each parameter's own dtype as they are scattered,
+    so float32 models stay float32.
+    """
+    flat = np.asarray(flat)
     offset = 0
     for param in model.parameters():
         size = param.size
@@ -51,7 +55,7 @@ def get_flat_gradients(model: Module) -> np.ndarray:
 
 def set_flat_gradients(model: Module, flat: np.ndarray) -> None:
     """Write a flat gradient vector back into the model parameters (in place)."""
-    flat = np.asarray(flat, dtype=np.float64)
+    flat = np.asarray(flat)
     offset = 0
     for param in model.parameters():
         size = param.size

@@ -30,6 +30,9 @@ class NullProfiler:
     def stage(self, name: str) -> Iterator[None]:
         yield
 
+    def record(self, name: str, seconds: float) -> None:
+        pass
+
     def begin_round(self, round_index: Optional[int] = None) -> None:
         pass
 
@@ -74,6 +77,15 @@ class RoundProfiler:
         finally:
             self.timings.add(name, monotonic() - start)
 
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration sample for ``name``.
+
+        Used for stages that are not timed around a ``with`` block — e.g.
+        the per-worker chunk durations reported by a
+        :class:`~repro.fl.collector.ParallelCollector`.
+        """
+        self.timings.add(name, float(seconds))
+
     def begin_round(self, round_index: Optional[int] = None) -> None:
         """Mark the start of a federated round."""
         self._round_start = monotonic()
@@ -87,9 +99,7 @@ class RoundProfiler:
             return
         elapsed = monotonic() - self._round_start
         self.timings.add("round_total", elapsed)
-        self.round_totals.append(
-            {"round_index": self._round_index, "total_s": elapsed}
-        )
+        self.round_totals.append({"round_index": self._round_index, "total_s": elapsed})
         self._round_start = None
         self._round_index = None
 

@@ -196,7 +196,9 @@ def meanshift_reference(
     return {"labels": labels, "cluster_centers": refined, "n_clusters": len(centers)}
 
 
-def meanshift_largest_cluster_reference(labels: np.ndarray, n_clusters: int) -> np.ndarray:
+def meanshift_largest_cluster_reference(
+    labels: np.ndarray, n_clusters: int
+) -> np.ndarray:
     counts = np.bincount(labels, minlength=n_clusters)
     winner = int(np.argmax(counts))
     return np.flatnonzero(labels == winner)
@@ -245,7 +247,9 @@ def _euclidean_feature_reference(
         distances = np.linalg.norm(gradients - reference, axis=1)
     else:
         sq_norms = np.sum(gradients**2, axis=1)
-        squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
+        squared = (
+            sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
+        )
         np.maximum(squared, 0.0, out=squared)
         pairwise = np.sqrt(squared)
         np.fill_diagonal(pairwise, np.nan)
@@ -311,9 +315,7 @@ def signguard_pipeline_reference(
             keep = np.arange(n)
         else:
             fit = meanshift_reference(matrix, quantile=bandwidth_quantile)
-            keep = meanshift_largest_cluster_reference(
-                fit["labels"], fit["n_clusters"]
-            )
+            keep = meanshift_largest_cluster_reference(fit["labels"], fit["n_clusters"])
         selected = np.intersect1d(selected, np.sort(keep))
 
     if len(selected) == 0:
@@ -322,7 +324,9 @@ def signguard_pipeline_reference(
 
     trusted = gradients[selected]
     if use_norm_clipping:
-        bound = float(np.median(np.linalg.norm(check_gradient_matrix(gradients), axis=1)))
+        bound = float(
+            np.median(np.linalg.norm(check_gradient_matrix(gradients), axis=1))
+        )
         clip_norms = np.linalg.norm(np.atleast_2d(trusted), axis=1)
         scales = np.ones_like(clip_norms)
         positive = clip_norms > 0

@@ -133,9 +133,7 @@ class GradientBatch:
         """
         if self._norms is None:
             self._count("norms")
-            self._norms = np.sqrt(
-                np.einsum("ij,ij->i", self.matrix, self.matrix)
-            )
+            self._norms = np.sqrt(np.einsum("ij,ij->i", self.matrix, self.matrix))
         return self._norms
 
     def median_norm(self) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.utils.validation import (
     check_fraction,
@@ -62,9 +62,16 @@ class TrainingConfig:
     Mirrors the paper's defaults: momentum SGD (0.9) with weight decay
     5e-4 and one local iteration per round.
 
-    ``dtype`` selects the precision of the round gradient buffer that flows
-    through the attack → defense → aggregation path: ``"float64"`` (default)
-    or ``"float32"`` (halved memory traffic on the round hot path).
+    ``dtype`` selects the precision of the whole round: the global model's
+    parameters, the clients' gradient computation, and the round gradient
+    buffer that flows through the attack → defense → aggregation path.
+    ``"float64"`` (default) or ``"float32"`` (halved memory traffic on the
+    round hot path, including the collect stage).
+
+    ``n_workers`` sets the thread count of the collect stage (1 = the
+    sequential seed behaviour; higher values fan independent clients over a
+    :class:`~repro.fl.collector.ParallelCollector` with results bit-identical
+    to the sequential path).
     """
 
     model: str = "simple_cnn"
@@ -77,6 +84,7 @@ class TrainingConfig:
     lr_decay: float = 1.0
     eval_every: int = 1
     dtype: str = "float64"
+    n_workers: int = 1
 
     def validate(self) -> "TrainingConfig":
         check_integer_in_range(self.rounds, "rounds", minimum=1)
@@ -91,6 +99,7 @@ class TrainingConfig:
             raise ValueError(
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
             )
+        check_integer_in_range(self.n_workers, "n_workers", minimum=1)
         return self
 
 
@@ -210,8 +219,12 @@ def default_paper_config(
     """
     training_by_dataset = {
         "mnist_like": TrainingConfig(model="simple_cnn", rounds=40, learning_rate=0.05),
-        "fashion_like": TrainingConfig(model="simple_cnn", rounds=40, learning_rate=0.05),
-        "cifar_like": TrainingConfig(model="resnet_lite", rounds=40, learning_rate=0.05),
+        "fashion_like": TrainingConfig(
+            model="simple_cnn", rounds=40, learning_rate=0.05
+        ),
+        "cifar_like": TrainingConfig(
+            model="resnet_lite", rounds=40, learning_rate=0.05
+        ),
         "agnews_like": TrainingConfig(model="textrnn", rounds=30, learning_rate=0.5),
     }
     if dataset not in training_by_dataset:

@@ -103,9 +103,7 @@ class RunRecorder:
 
     def mean_benign_selection_rate(self) -> float:
         """Average fraction of honest gradients kept (Table II "H" column)."""
-        rates = [
-            r.benign_selection_rate for r in self.rounds if r.benign_total > 0
-        ]
+        rates = [r.benign_selection_rate for r in self.rounds if r.benign_total > 0]
         if not rates:
             return float("nan")
         return float(np.mean(rates))

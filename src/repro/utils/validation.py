@@ -60,7 +60,8 @@ def check_gradient_matrix(
         array = array.reshape(1, -1)
     if array.ndim != 2:
         raise ValueError(
-            f"{name} must be a 2-D array of shape (n_clients, dim), got shape {array.shape}"
+            f"{name} must be a 2-D array of shape (n_clients, dim), "
+            f"got shape {array.shape}"
         )
     if array.shape[0] == 0 or array.shape[1] == 0:
         raise ValueError(f"{name} must be non-empty, got shape {array.shape}")

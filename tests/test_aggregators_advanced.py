@@ -83,7 +83,9 @@ class TestCenteredClipping:
     def test_uses_previous_gradient_as_center(self, benign_gradients, rng):
         previous = benign_gradients.mean(axis=0)
         context = ServerContext.make(rng=rng, previous_gradient=previous)
-        result = CenteredClippingAggregator(clip_threshold=1e-9)(benign_gradients, context)
+        result = CenteredClippingAggregator(clip_threshold=1e-9)(
+            benign_gradients, context
+        )
         np.testing.assert_allclose(result.gradient, previous, atol=1e-6)
 
     def test_parameter_validation(self):
@@ -112,7 +114,9 @@ class TestFLTrust:
             np.linalg.norm(reference), rel=1e-6
         )
 
-    def test_without_reference_falls_back_to_median_proxy(self, benign_gradients, context):
+    def test_without_reference_falls_back_to_median_proxy(
+        self, benign_gradients, context
+    ):
         result = FLTrustAggregator()(benign_gradients, context)
         assert np.all(np.isfinite(result.gradient))
 

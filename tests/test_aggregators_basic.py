@@ -38,7 +38,9 @@ class TestMean:
 
 class TestTrimmedMean:
     def test_removes_extreme_values(self, context):
-        gradients = np.vstack([np.ones((8, 3)), 100.0 * np.ones((1, 3)), -100.0 * np.ones((1, 3))])
+        gradients = np.vstack(
+            [np.ones((8, 3)), 100.0 * np.ones((1, 3)), -100.0 * np.ones((1, 3))]
+        )
         result = TrimmedMeanAggregator(trim=1)(gradients, context)
         np.testing.assert_allclose(result.gradient, 1.0)
 

@@ -43,7 +43,9 @@ class TestKrum:
         )
         assert matches.any()
 
-    def test_uses_context_hint_when_not_configured(self, population_with_outliers, context):
+    def test_uses_context_hint_when_not_configured(
+        self, population_with_outliers, context
+    ):
         result = KrumAggregator()(population_with_outliers, context)
         assert result.info["num_byzantine"] == 3
 
@@ -90,7 +92,9 @@ class TestBulyan:
         assert result.info["theta"] >= 1
         assert result.info["beta"] >= 1
 
-    def test_no_byzantine_behaves_like_trimmed_mean_center(self, benign_gradients, context):
+    def test_no_byzantine_behaves_like_trimmed_mean_center(
+        self, benign_gradients, context
+    ):
         result = BulyanAggregator(num_byzantine=0)(benign_gradients, context)
         mean = benign_gradients.mean(axis=0)
         assert np.linalg.norm(result.gradient - mean) < np.linalg.norm(mean)

@@ -17,7 +17,9 @@ from repro.analysis import (
 
 class TestLieSignReversalThreshold:
     def test_median_rule_matches_equation_three(self):
-        assert lie_sign_reversal_threshold(0.5, 2.0, rule="median") == pytest.approx(0.25)
+        assert lie_sign_reversal_threshold(0.5, 2.0, rule="median") == pytest.approx(
+            0.25
+        )
 
     def test_mean_rule_needs_larger_z(self):
         median_z = lie_sign_reversal_threshold(0.5, 2.0, rule="median")
@@ -139,7 +141,7 @@ class TestTheorem1:
         assert long.delta2 == pytest.approx(short.delta2)
 
     def test_remark2_nonzero_floor_with_byzantine_noniid(self):
-        """Remark 2: beta > 0 with non-IID data leaves a bias floor even if delta = 0."""
+        """Remark 2: beta > 0 with non-IID data leaves a bias floor at delta = 0."""
         bound = theorem1_bound(
             initial_gap=1.0,
             learning_rate=0.05,

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.attacks import AttackContext, ByzMeanAttack, LittleIsEnoughAttack, RandomAttack
+from repro.attacks import (
+    AttackContext,
+    ByzMeanAttack,
+    LittleIsEnoughAttack,
+    RandomAttack,
+)
 
 
 @pytest.fixture

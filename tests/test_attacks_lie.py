@@ -47,7 +47,9 @@ class TestLittleIsEnoughAttack:
         for row in malicious[1:]:
             np.testing.assert_array_equal(row, malicious[0])
 
-    def test_benign_statistics_mode_excludes_byzantine_rows(self, benign_gradients, context):
+    def test_benign_statistics_mode_excludes_byzantine_rows(
+        self, benign_gradients, context
+    ):
         attack = LittleIsEnoughAttack(z=0.5, use_benign_statistics=True)
         malicious = attack.craft(benign_gradients, context)
         benign = benign_gradients[4:]

@@ -42,7 +42,9 @@ class TestMinMaxAttack:
         benign = attack.benign_rows(benign_gradients, context)
         gamma = attack._optimize_gamma(benign)
         assert gamma > 0
-        candidate = benign.mean(axis=0) + (gamma * 1.5) * attack._perturbation_vector(benign)
+        candidate = benign.mean(axis=0) + (gamma * 1.5) * attack._perturbation_vector(
+            benign
+        )
         assert not attack._constraint_satisfied(candidate, benign)
 
     def test_all_byzantine_rows_identical(self, benign_gradients, context):
@@ -76,7 +78,9 @@ class TestMinSumAttack:
 
 class TestPerturbationOptions:
     @pytest.mark.parametrize("perturbation", ["std", "unit", "sign"])
-    def test_all_perturbation_directions_work(self, benign_gradients, context, perturbation):
+    def test_all_perturbation_directions_work(
+        self, benign_gradients, context, perturbation
+    ):
         attack = MinMaxAttack(perturbation=perturbation)
         malicious = attack.craft(benign_gradients, context)
         assert malicious.shape == (4, benign_gradients.shape[1])

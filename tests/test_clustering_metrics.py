@@ -63,4 +63,6 @@ class TestDaviesBouldinScore:
         )
 
     def test_single_cluster_returns_zero(self, rng):
-        assert davies_bouldin_score(rng.normal(size=(8, 2)), np.zeros(8, dtype=int)) == 0.0
+        assert (
+            davies_bouldin_score(rng.normal(size=(8, 2)), np.zeros(8, dtype=int)) == 0.0
+        )

@@ -148,8 +148,13 @@ class TestExtractFeatures:
         )
 
     def test_similarity_variants_add_a_column(self, benign_gradients, rng):
-        for similarity, name in (("cosine", "cosine_similarity"), ("euclidean", "euclidean_distance")):
-            features = extract_features(benign_gradients, similarity=similarity, rng=rng)
+        for similarity, name in (
+            ("cosine", "cosine_similarity"),
+            ("euclidean", "euclidean_distance"),
+        ):
+            features = extract_features(
+                benign_gradients, similarity=similarity, rng=rng
+            )
             assert features.matrix.shape == (len(benign_gradients), 4)
             assert features.feature_names[-1] == name
 

@@ -61,7 +61,9 @@ class TestSignClusteringFilter:
         return np.vstack([honest, flipped])
 
     @pytest.mark.parametrize("clustering", ["meanshift", "kmeans", "dbscan"])
-    def test_majority_cluster_is_honest(self, gradients_with_sign_flipped, clustering, rng):
+    def test_majority_cluster_is_honest(
+        self, gradients_with_sign_flipped, clustering, rng
+    ):
         decision = SignClusteringFilter(
             clustering=clustering, coordinate_fraction=0.5
         ).apply(gradients_with_sign_flipped, rng=rng)
@@ -90,9 +92,8 @@ class TestSignClusteringFilter:
         honest = signal[None, :] + rng.normal(0, 0.1, size=(16, 600))
         noise = rng.normal(0, 1.0, size=(4, 600))
         gradients = np.vstack([honest, noise])
-        decision = SignClusteringFilter(similarity="cosine", coordinate_fraction=0.5).apply(
-            gradients, reference=signal, rng=rng
-        )
+        sign_filter = SignClusteringFilter(similarity="cosine", coordinate_fraction=0.5)
+        decision = sign_filter.apply(gradients, reference=signal, rng=rng)
         selected = set(decision.selected_indices)
         assert len(selected & set(range(16))) >= 12
         assert len(selected & set(range(16, 20))) <= 1

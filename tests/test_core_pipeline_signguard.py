@@ -54,8 +54,12 @@ class TestSignGuardPipeline:
         outcome = SignGuardPipeline().aggregate(realistic_gradients, rng=rng)
         assert outcome["info"]["clip_bound"] > 0
 
-    def test_norm_threshold_removes_scaled_reverse_attack(self, realistic_gradients, rng):
-        submitted = attacked(realistic_gradients, "reverse_scaling", rng, params={"scale": 100.0})
+    def test_norm_threshold_removes_scaled_reverse_attack(
+        self, realistic_gradients, rng
+    ):
+        submitted = attacked(
+            realistic_gradients, "reverse_scaling", rng, params={"scale": 100.0}
+        )
         pipeline = SignGuardPipeline(use_sign_clustering=False)
         decision = pipeline.filter(submitted, rng=rng)
         assert set(decision.selected_indices).isdisjoint(set(range(4)))
@@ -64,10 +68,14 @@ class TestSignGuardPipeline:
         self, realistic_gradients, rng
     ):
         """Table III: single components are weak, combinations are strong."""
-        submitted = attacked(realistic_gradients, "reverse_scaling", rng, params={"scale": 100.0})
+        submitted = attacked(
+            realistic_gradients, "reverse_scaling", rng, params={"scale": 100.0}
+        )
         full = SignGuardPipeline().aggregate(submitted, rng=rng)
         benign_mean = realistic_gradients[4:].mean(axis=0)
-        assert np.linalg.norm(full["gradient"] - benign_mean) < np.linalg.norm(benign_mean)
+        assert np.linalg.norm(full["gradient"] - benign_mean) < np.linalg.norm(
+            benign_mean
+        )
 
     def test_never_returns_empty_selection(self, rng):
         """Even for pathological inputs some gradient must be selected."""
@@ -78,16 +86,22 @@ class TestSignGuardPipeline:
 
 class TestSignGuardAggregators:
     @pytest.mark.parametrize("attack_name", ["lie", "byzmean", "min_max", "min_sum"])
-    def test_filters_stealthy_attacks(self, realistic_gradients, rng, server_context, attack_name):
+    def test_filters_stealthy_attacks(
+        self, realistic_gradients, rng, server_context, attack_name
+    ):
         params = {"z": 1.5} if attack_name == "lie" else None
         submitted = attacked(realistic_gradients, attack_name, rng, params=params)
         result = SignGuard()(submitted, server_context)
         byzantine_selected = set(result.selected_indices) & set(range(4))
         assert len(byzantine_selected) == 0
         benign_mean = realistic_gradients[4:].mean(axis=0)
-        assert np.linalg.norm(result.gradient - benign_mean) < 0.5 * np.linalg.norm(benign_mean)
+        assert np.linalg.norm(result.gradient - benign_mean) < 0.5 * np.linalg.norm(
+            benign_mean
+        )
 
-    def test_random_attack_filtered_by_norm_or_cluster(self, realistic_gradients, rng, server_context):
+    def test_random_attack_filtered_by_norm_or_cluster(
+        self, realistic_gradients, rng, server_context
+    ):
         submitted = attacked(realistic_gradients, "random", rng, params={"std": 0.5})
         result = SignGuard()(submitted, server_context)
         benign_mean = realistic_gradients[4:].mean(axis=0)
@@ -97,7 +111,9 @@ class TestSignGuardAggregators:
             undefended - benign_mean
         )
 
-    def test_no_attack_keeps_most_honest_gradients(self, realistic_gradients, server_context):
+    def test_no_attack_keeps_most_honest_gradients(
+        self, realistic_gradients, server_context
+    ):
         result = SignGuard()(realistic_gradients, server_context)
         assert len(result.selected_indices) >= 0.6 * len(realistic_gradients)
 
@@ -133,4 +149,5 @@ class TestSignGuardAggregators:
             assert np.all(np.isfinite(result.gradient))
 
     def test_result_info_names_rule(self, realistic_gradients, server_context):
-        assert SignGuard()(realistic_gradients, server_context).info["rule"] == "signguard"
+        result = SignGuard()(realistic_gradients, server_context)
+        assert result.info["rule"] == "signguard"

@@ -44,9 +44,7 @@ class TestBatchLoader:
 class TestLabelPoisoning:
     def test_flip_labels_rule(self, tiny_image_dataset):
         flipped = flip_labels(tiny_image_dataset)
-        np.testing.assert_array_equal(
-            flipped.labels, 2 - tiny_image_dataset.labels
-        )
+        np.testing.assert_array_equal(flipped.labels, 2 - tiny_image_dataset.labels)
 
     def test_flip_is_involution(self, tiny_image_dataset):
         twice = flip_labels(flip_labels(tiny_image_dataset))

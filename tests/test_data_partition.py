@@ -72,8 +72,12 @@ class TestDirichletPartition:
         assert_valid_partition(partitions, len(dataset))
 
     def test_small_alpha_is_more_skewed(self, dataset):
-        skew_small = partition_skew(dataset, dirichlet_partition(dataset, 10, alpha=0.1, rng=0))
-        skew_large = partition_skew(dataset, dirichlet_partition(dataset, 10, alpha=100.0, rng=0))
+        skew_small = partition_skew(
+            dataset, dirichlet_partition(dataset, 10, alpha=0.1, rng=0)
+        )
+        skew_large = partition_skew(
+            dataset, dirichlet_partition(dataset, 10, alpha=100.0, rng=0)
+        )
         assert skew_small > skew_large
 
     def test_every_client_gets_min_samples(self, dataset):

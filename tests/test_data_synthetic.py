@@ -5,7 +5,11 @@ import pytest
 
 from repro.data import build_dataset
 from repro.data.datasets import ArrayDataset, DataSpec
-from repro.data.synthetic_images import make_cifar_like, make_mnist_like, make_synthetic_images
+from repro.data.synthetic_images import (
+    make_cifar_like,
+    make_mnist_like,
+    make_synthetic_images,
+)
 from repro.data.synthetic_text import make_agnews_like, make_synthetic_text
 
 
@@ -53,7 +57,12 @@ class TestArrayDataset:
 class TestSyntheticImages:
     def test_shapes_and_spec(self):
         split = make_synthetic_images(
-            num_train=100, num_test=40, num_classes=5, channels=2, image_size=(9, 9), rng=0
+            num_train=100,
+            num_test=40,
+            num_classes=5,
+            channels=2,
+            image_size=(9, 9),
+            rng=0,
         )
         assert split.train.inputs.shape == (100, 2, 9, 9)
         assert split.test.inputs.shape == (40, 2, 9, 9)

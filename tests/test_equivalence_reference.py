@@ -117,7 +117,9 @@ class TestMeanShiftEquivalence:
 
 class TestSignGuardEquivalence:
     @pytest.mark.parametrize("similarity", ["none", "cosine", "euclidean"])
-    def test_all_variants_same_selection_and_aggregate(self, population, rng, similarity):
+    def test_all_variants_same_selection_and_aggregate(
+        self, population, rng, similarity
+    ):
         reference_gradient = population[:30].mean(axis=0)
         pipeline = SignGuardPipeline(similarity=similarity)
         optimized = pipeline.aggregate(

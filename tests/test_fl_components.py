@@ -5,7 +5,6 @@ import pytest
 
 from repro.aggregators import MeanAggregator
 from repro.core import SignGuard
-from repro.data.datasets import DataSpec
 from repro.fl.client import BenignClient, ByzantineClient
 from repro.fl.metrics import attack_impact, evaluate_model, selection_confusion
 from repro.fl.server import FederatedServer
@@ -31,13 +30,17 @@ class TestBenignClient:
         assert np.all(np.isfinite(gradient))
         assert np.isfinite(client.last_loss)
 
-    def test_model_parameters_unchanged_by_gradient_computation(self, tiny_image_dataset, model):
+    def test_model_parameters_unchanged_by_gradient_computation(
+        self, tiny_image_dataset, model
+    ):
         before = get_flat_parameters(model).copy()
         BenignClient(0, tiny_image_dataset, batch_size=8, rng=0).compute_gradient(model)
         np.testing.assert_array_equal(get_flat_parameters(model), before)
 
     def test_local_iterations_average_gradients(self, tiny_image_dataset, model):
-        client = BenignClient(0, tiny_image_dataset, batch_size=8, local_iterations=3, rng=0)
+        client = BenignClient(
+            0, tiny_image_dataset, batch_size=8, local_iterations=3, rng=0
+        )
         gradient = client.compute_gradient(model)
         assert np.all(np.isfinite(gradient))
 
@@ -52,7 +55,9 @@ class TestBenignClient:
 class TestByzantineClient:
     def test_label_poisoning_flips_local_labels(self, tiny_image_dataset):
         client = ByzantineClient(1, tiny_image_dataset, poison_labels=True, rng=0)
-        np.testing.assert_array_equal(client.dataset.labels, 2 - tiny_image_dataset.labels)
+        np.testing.assert_array_equal(
+            client.dataset.labels, 2 - tiny_image_dataset.labels
+        )
         assert client.is_byzantine
 
     def test_without_poisoning_data_is_untouched(self, tiny_image_dataset):
@@ -61,7 +66,9 @@ class TestByzantineClient:
 
     def test_poisoned_gradient_differs_from_honest(self, tiny_image_dataset, model):
         honest = BenignClient(0, tiny_image_dataset, batch_size=60, rng=0)
-        poisoned = ByzantineClient(0, tiny_image_dataset, batch_size=60, poison_labels=True, rng=0)
+        poisoned = ByzantineClient(
+            0, tiny_image_dataset, batch_size=60, poison_labels=True, rng=0
+        )
         assert not np.allclose(
             honest.compute_gradient(model), poisoned.compute_gradient(model)
         )

@@ -1,9 +1,14 @@
 """Integration tests for the high-level experiment runner."""
 
-import numpy as np
 import pytest
 
-from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig, AttackConfig
+from repro import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+)
 from repro.fl import run_experiment, run_grid
 
 

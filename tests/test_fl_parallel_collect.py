@@ -1,0 +1,272 @@
+"""Tests for the parallel collect stage (repro.fl.collector).
+
+The contract under test: the threaded collector is *bit-identical* to the
+sequential one at float64 (the per-client RNG streams are fixed before
+dispatch, so scheduling cannot change results), equivalent within tolerance
+at float32, robust across worker-count edge cases, and propagates client
+exceptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig
+from repro.data.factory import build_dataset
+from repro.fl.client import BenignClient
+from repro.fl.collector import (
+    ParallelCollector,
+    SequentialCollector,
+    build_collector,
+    default_worker_count,
+)
+from repro.fl.experiment import run_experiment
+from repro.nn.models.mlp import MLP
+from repro.utils.rng import RngFactory
+
+
+def make_clients(n_clients, *, num_train=200, batch_size=16, seed=0):
+    """A small benign population with RngFactory-derived client streams."""
+    split = build_dataset(
+        "mnist_like", num_train=num_train, num_test=40, rng=np.random.default_rng(seed)
+    )
+    rng_factory = RngFactory(seed)
+    indices = np.array_split(np.arange(num_train), n_clients)
+    return [
+        BenignClient(
+            cid,
+            split.train.subset(idx),
+            batch_size=batch_size,
+            rng=rng_factory.make(f"client-{cid}"),
+        )
+        for cid, idx in enumerate(indices)
+    ]
+
+
+def make_model(seed=1, dtype=None):
+    model = MLP(14 * 14, 10, hidden_dims=(24,), rng=np.random.default_rng(seed))
+    if dtype is not None:
+        model.astype(dtype)
+    return model
+
+
+def collect_with(collector, n_clients, *, dtype=np.float64, model_dtype=None):
+    clients = make_clients(n_clients)
+    model = make_model(dtype=model_dtype)
+    out = np.empty((n_clients, model.num_parameters()), dtype=dtype)
+    try:
+        result = collector.collect(clients, model, out)
+    finally:
+        collector.close()
+    assert result is out
+    return out
+
+
+class TestBitEquality:
+    def test_threaded_float64_bit_identical_to_sequential(self):
+        n_clients = 10
+        sequential = collect_with(SequentialCollector(), n_clients)
+        threaded = collect_with(ParallelCollector(4), n_clients)
+        # Bit-for-bit, not allclose: scheduling must not change anything.
+        assert np.array_equal(sequential, threaded)
+
+    def test_threaded_collect_repeatable_across_runs(self):
+        first = collect_with(ParallelCollector(3), 8)
+        second = collect_with(ParallelCollector(3), 8)
+        assert np.array_equal(first, second)
+
+    def test_full_experiment_equivalent_with_workers(self):
+        def run(n_workers):
+            config = ExperimentConfig(
+                num_clients=8,
+                seed=5,
+                data=DataConfig(dataset="mnist_like", num_train=160, num_test=40),
+                training=TrainingConfig(
+                    model="mlp", rounds=3, batch_size=16, n_workers=n_workers
+                ),
+                defense=DefenseConfig(name="signguard"),
+            )
+            return run_experiment(config)
+
+        sequential = run(1)
+        threaded = run(3)
+        for a, b in zip(sequential.rounds, threaded.rounds):
+            assert a.train_loss == b.train_loss
+            assert a.test_accuracy == b.test_accuracy
+            assert a.selected_clients == b.selected_clients
+
+
+class TestFloat32:
+    def test_float32_threaded_matches_sequential_bitwise(self):
+        # Determinism is dtype-independent: even at float32 the threaded
+        # path is bit-identical to the sequential float32 path.
+        sequential = collect_with(
+            SequentialCollector(), 6, dtype=np.float32, model_dtype=np.float32
+        )
+        threaded = collect_with(
+            ParallelCollector(3), 6, dtype=np.float32, model_dtype=np.float32
+        )
+        assert sequential.dtype == np.float32
+        assert np.array_equal(sequential, threaded)
+
+    def test_float32_close_to_float64_reference(self):
+        reference = collect_with(SequentialCollector(), 6)
+        reduced = collect_with(
+            ParallelCollector(3), 6, dtype=np.float32, model_dtype=np.float32
+        )
+        scale = np.abs(reference).max()
+        assert np.allclose(reference, reduced, atol=1e-5 * max(scale, 1.0))
+
+
+class TestWorkerCounts:
+    @pytest.mark.parametrize("n_workers", [1, 7, 20])
+    def test_edge_worker_counts_match_sequential(self, n_workers):
+        # 1 worker (degenerate pool), exactly n_clients, and > n_clients.
+        n_clients = 7
+        sequential = collect_with(SequentialCollector(), n_clients)
+        threaded = collect_with(ParallelCollector(n_workers), n_clients)
+        assert np.array_equal(sequential, threaded)
+
+    def test_worker_timings_cover_all_clients(self):
+        collector = ParallelCollector(3)
+        clients = make_clients(8)
+        model = make_model()
+        out = np.empty((8, model.num_parameters()))
+        try:
+            collector.collect(clients, model, out)
+            timings = collector.worker_timings
+        finally:
+            collector.close()
+        assert len(timings) == 3
+        assert sorted(w for w, _, _ in timings) == [0, 1, 2]
+        assert sum(count for _, _, count in timings) == 8
+        assert all(seconds >= 0 for _, seconds, _ in timings)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ParallelCollector(0)
+
+    def test_build_collector_dispatch(self):
+        assert isinstance(build_collector(1), SequentialCollector)
+        assert isinstance(build_collector(4), ParallelCollector)
+        assert default_worker_count() >= 1
+
+    def test_collector_reusable_after_close(self):
+        collector = ParallelCollector(2)
+        first = collect_with_collector_twice(collector)
+        assert first
+
+
+def collect_with_collector_twice(collector):
+    clients = make_clients(5)
+    model = make_model()
+    out = np.empty((5, model.num_parameters()))
+    collector.collect(clients, model, out)
+    collector.close()
+    # After close() the executor and replicas are rebuilt on demand.
+    collector.collect(clients, model, out)
+    collector.close()
+    return True
+
+
+class TestExceptionPropagation:
+    def test_failing_client_raises(self):
+        class ExplodingClient(BenignClient):
+            def compute_gradient(self, model):
+                raise RuntimeError("client 3 went Byzantine for real")
+
+        clients = make_clients(6)
+        bad = ExplodingClient(
+            3, clients[3].dataset, batch_size=4, rng=np.random.default_rng(0)
+        )
+        clients[3] = bad
+        model = make_model()
+        out = np.zeros((6, model.num_parameters()))
+        collector = ParallelCollector(3)
+        try:
+            with pytest.raises(RuntimeError, match="went Byzantine"):
+                collector.collect(clients, model, out)
+        finally:
+            collector.close()
+
+    def test_other_clients_still_collected_on_failure(self):
+        class ExplodingClient(BenignClient):
+            def compute_gradient(self, model):
+                raise RuntimeError("boom")
+
+        clients = make_clients(4)
+        clients[0] = ExplodingClient(
+            0, clients[0].dataset, batch_size=4, rng=np.random.default_rng(0)
+        )
+        model = make_model()
+        out = np.zeros((4, model.num_parameters()))
+        collector = ParallelCollector(2)
+        try:
+            with pytest.raises(RuntimeError):
+                collector.collect(clients, model, out)
+        finally:
+            collector.close()
+        # Worker 1 (clients 1 and 3) finished its chunk before the error
+        # surfaced; its rows are populated.
+        assert np.any(out[1] != 0)
+        assert np.any(out[3] != 0)
+
+
+class TestStochasticForwardModels:
+    def test_dropout_model_rejected_by_parallel_collector(self):
+        from repro.nn.layers import Dropout, Flatten, Linear, Sequential
+        from repro.nn.module import Module
+
+        class DropoutMLP(Module):
+            def __init__(self):
+                super().__init__()
+                self.network = Sequential(
+                    Flatten(), Linear(14 * 14, 10, rng=0), Dropout(0.5, rng=0)
+                )
+
+            def forward(self, x):
+                return self.network(x)
+
+            def backward(self, grad_output):
+                return self.network.backward(grad_output)
+
+        clients = make_clients(4)
+        model = DropoutMLP()
+        out = np.empty((4, model.num_parameters()))
+        collector = ParallelCollector(2)
+        try:
+            # Dropout draws masks from a model-owned RNG; replicas would
+            # consume that stream per chunk instead of in client order, so
+            # the collector must refuse rather than silently diverge.
+            with pytest.raises(ValueError, match="RNG-consuming"):
+                collector.collect(clients, model, out)
+        finally:
+            collector.close()
+        # The sequential strategy (n_workers=1) still accepts the model.
+        SequentialCollector().collect(clients, model, out)
+        assert np.all(np.isfinite(out))
+
+
+class TestProfilerIntegration:
+    def test_per_worker_stages_recorded(self):
+        from repro.perf.profiler import RoundProfiler
+
+        profiler = RoundProfiler()
+        config = ExperimentConfig(
+            num_clients=6,
+            seed=0,
+            data=DataConfig(dataset="mnist_like", num_train=120, num_test=40),
+            training=TrainingConfig(model="mlp", rounds=2, batch_size=16, n_workers=3),
+            defense=DefenseConfig(name="signguard"),
+        )
+        run_experiment(config, profiler=profiler)
+        summary = profiler.summary()
+        assert "collect_gradients" in summary
+        worker_stages = [s for s in summary if s.startswith("collect_worker_")]
+        assert sorted(worker_stages) == [
+            "collect_worker_0",
+            "collect_worker_1",
+            "collect_worker_2",
+        ]
+        assert summary["collect_worker_0"]["count"] == 2  # one sample per round

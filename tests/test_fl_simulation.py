@@ -19,7 +19,9 @@ def split():
     return make_mnist_like(num_train=300, num_test=80, rng=0)
 
 
-def make_simulation(split, attack, aggregator, num_clients=10, byzantine=(0, 1), **kwargs):
+def make_simulation(
+    split, attack, aggregator, num_clients=10, byzantine=(0, 1), **kwargs
+):
     rng_factory = RngFactory(0)
     partitions = iid_partition(split.train, num_clients, rng=rng_factory.make("p"))
     clients = build_clients(
@@ -35,7 +37,12 @@ def make_simulation(split, attack, aggregator, num_clients=10, byzantine=(0, 1),
         model, aggregator, learning_rate=0.1, num_byzantine_hint=len(byzantine), rng=0
     )
     return FederatedSimulation(
-        server, clients, attack, split.test, attack_rng=np.random.default_rng(0), **kwargs
+        server,
+        clients,
+        attack,
+        split.test,
+        attack_rng=np.random.default_rng(0),
+        **kwargs,
     )
 
 
@@ -78,7 +85,9 @@ class TestFederatedSimulation:
         assert evaluated == [False, False, True, False, False, True]
 
     def test_selection_bookkeeping_under_signguard(self, split):
-        simulation = make_simulation(split, SignFlipAttack(), SignGuard(), byzantine=(0, 1))
+        simulation = make_simulation(
+            split, SignFlipAttack(), SignGuard(), byzantine=(0, 1)
+        )
         recorder = simulation.run(4)
         record = recorder.rounds[0]
         assert record.benign_total == 8
@@ -87,7 +96,9 @@ class TestFederatedSimulation:
 
     def test_byzantine_majority_rejected(self, split):
         with pytest.raises(ValueError):
-            make_simulation(split, SignFlipAttack(), MeanAggregator(), byzantine=tuple(range(5)))
+            make_simulation(
+                split, SignFlipAttack(), MeanAggregator(), byzantine=tuple(range(5))
+            )
 
     def test_lr_decay_applied(self, split):
         simulation = make_simulation(
@@ -103,6 +114,8 @@ class TestFederatedSimulation:
             simulation.run(0)
 
     def test_attack_name_recorded(self, split):
-        simulation = make_simulation(split, SignFlipAttack(), SignGuard(), byzantine=(0,))
+        simulation = make_simulation(
+            split, SignFlipAttack(), SignGuard(), byzantine=(0,)
+        )
         recorder = simulation.run(1)
         assert recorder.rounds[0].attack_name == "sign_flip"

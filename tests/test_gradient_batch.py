@@ -71,9 +71,7 @@ class TestDerivedQuantities:
 
     def test_distances_are_sqrt_of_sq_distances(self, matrix):
         batch = GradientBatch(matrix)
-        np.testing.assert_array_equal(
-            batch.distances(), np.sqrt(batch.sq_distances())
-        )
+        np.testing.assert_array_equal(batch.distances(), np.sqrt(batch.sq_distances()))
 
     def test_cosine_similarities(self, matrix):
         batch = GradientBatch(matrix)

@@ -11,10 +11,15 @@ assert the paper's headline qualitative claims:
   SignGuard is.
 """
 
-import numpy as np
 import pytest
 
-from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig, AttackConfig
+from repro import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+)
 from repro.fl import run_experiment
 
 
@@ -41,7 +46,9 @@ class TestSignGuardEffectiveness:
         assert baseline_accuracy > 0.6
 
     @pytest.mark.parametrize("attack", ["lie", "byzmean", "min_max"])
-    def test_signguard_tracks_baseline_under_stealthy_attacks(self, attack, baseline_accuracy):
+    def test_signguard_tracks_baseline_under_stealthy_attacks(
+        self, attack, baseline_accuracy
+    ):
         recorder = run_experiment(small_config(attack, "signguard"))
         assert recorder.best_accuracy() > baseline_accuracy - 0.15
 

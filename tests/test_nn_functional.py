@@ -27,15 +27,15 @@ class TestSoftmax:
 
     def test_log_softmax_consistent_with_softmax(self, rng):
         logits = rng.normal(size=(3, 5))
-        np.testing.assert_allclose(np.exp(log_softmax(logits)), softmax(logits), atol=1e-12)
+        np.testing.assert_allclose(
+            np.exp(log_softmax(logits)), softmax(logits), atol=1e-12
+        )
 
 
 class TestOneHot:
     def test_encoding(self):
         encoded = one_hot(np.array([0, 2, 1]), 3)
-        np.testing.assert_array_equal(
-            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
-        )
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
 
     def test_rejects_out_of_range(self):
         with pytest.raises(ValueError):

@@ -72,19 +72,25 @@ class TestLearning:
     def test_simple_cnn_overfits_small_batch(self, rng):
         inputs = rng.normal(size=(12, 1, 8, 8))
         labels = rng.integers(0, 4, size=12)
-        first, last = train_steps(SimpleCNN(1, (8, 8), 4, rng=rng), inputs, labels, steps=40, lr=0.05)
+        first, last = train_steps(
+            SimpleCNN(1, (8, 8), 4, rng=rng), inputs, labels, steps=40, lr=0.05
+        )
         assert last < first * 0.6
 
     def test_resnet_lite_overfits_small_batch(self, rng):
         inputs = rng.normal(size=(10, 3, 8, 8))
         labels = rng.integers(0, 5, size=10)
-        first, last = train_steps(ResNetLite(3, (8, 8), 5, rng=rng), inputs, labels, steps=40, lr=0.05)
+        first, last = train_steps(
+            ResNetLite(3, (8, 8), 5, rng=rng), inputs, labels, steps=40, lr=0.05
+        )
         assert last < first * 0.8
 
     def test_textrnn_overfits_small_batch(self, rng):
         inputs = rng.integers(0, 30, size=(12, 6))
         labels = rng.integers(0, 3, size=12)
-        first, last = train_steps(TextRNN(30, 3, rng=rng), inputs, labels, steps=60, lr=0.3)
+        first, last = train_steps(
+            TextRNN(30, 3, rng=rng), inputs, labels, steps=60, lr=0.3
+        )
         assert last < first * 0.7
 
 

@@ -90,7 +90,12 @@ class TestSchedulers:
         optimizer = SGD([make_param()], lr=1.0)
         scheduler = MultiStepLR(optimizer, milestones=[1, 3], gamma=0.5)
         lrs = [scheduler.step() for _ in range(4)]
-        assert lrs == [pytest.approx(0.5), pytest.approx(0.5), pytest.approx(0.25), pytest.approx(0.25)]
+        assert lrs == [
+            pytest.approx(0.5),
+            pytest.approx(0.5),
+            pytest.approx(0.25),
+            pytest.approx(0.25),
+        ]
 
     def test_step_lr_validation(self):
         optimizer = SGD([make_param()], lr=1.0)

@@ -51,7 +51,9 @@ class TestRNN:
 
     def test_parameter_gradients(self, rng, gradcheck):
         layer = RNN(2, 3, rng=rng)
-        check_recurrent_parameter_gradients(layer, rng.normal(size=(2, 3, 2)), gradcheck)
+        check_recurrent_parameter_gradients(
+            layer, rng.normal(size=(2, 3, 2)), gradcheck
+        )
 
     def test_reverse_processes_sequence_backwards(self, rng):
         forward = RNN(2, 3, rng=1)

@@ -21,7 +21,8 @@ def small_model(rng):
 
 class TestVectorize:
     def test_count_matches_module(self, small_model):
-        assert count_parameters(small_model) == small_model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+        expected = 4 * 3 + 3 + 3 * 2 + 2
+        assert count_parameters(small_model) == small_model.num_parameters() == expected
 
     def test_parameter_round_trip(self, small_model, rng):
         new_values = rng.normal(size=count_parameters(small_model))

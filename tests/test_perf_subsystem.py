@@ -177,9 +177,7 @@ class TestProfilerIntegration:
         from repro.attacks.simple import NoAttack, SignFlipAttack
 
         honest = rng.normal(size=(6, 20)).astype(np.float32)
-        context = AttackContext.make(
-            num_clients=6, byzantine_indices=[0, 1], rng=0
-        )
+        context = AttackContext.make(num_clients=6, byzantine_indices=[0, 1], rng=0)
         for attack in (NoAttack(), SignFlipAttack()):
             assert attack.apply(honest, context).dtype == np.float32
 
@@ -190,7 +188,9 @@ class TestProfilerIntegration:
         from repro.fl.simulation import FederatedSimulation, build_clients
         from repro.nn.models.factory import build_model
 
-        model = build_model("logistic", tiny_image_dataset.spec, rng=np.random.default_rng(0))
+        model = build_model(
+            "logistic", tiny_image_dataset.spec, rng=np.random.default_rng(0)
+        )
         clients = build_clients(
             tiny_image_dataset, [np.arange(30), np.arange(30, 60)], []
         )

@@ -7,7 +7,6 @@ normalization, and partition completeness.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -117,7 +116,8 @@ class TestClippingProperties:
         clipped = clip_gradients_to_norm(gradients, bound)
         for original, result in zip(gradients, clipped):
             norm = np.linalg.norm(original)
-            if norm > 1e-6:  # skip (sub)normal rows where cosine is numerically meaningless
+            # Skip (sub)normal rows where cosine is numerically meaningless.
+            if norm > 1e-6:
                 cosine = original @ result / (norm * np.linalg.norm(result))
                 assert cosine > 1 - 1e-6
 
@@ -177,7 +177,9 @@ class TestPartitionProperties:
         seed=st.integers(0, 1000),
     )
     @settings(**SETTINGS)
-    def test_partitions_are_exact_covers(self, num_samples, num_clients, iid_fraction, seed):
+    def test_partitions_are_exact_covers(
+        self, num_samples, num_clients, iid_fraction, seed
+    ):
         rng = np.random.default_rng(seed)
         spec = DataSpec(kind="image", num_classes=4, channels=1, height=2, width=2)
         dataset = ArrayDataset(
