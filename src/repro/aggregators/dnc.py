@@ -58,9 +58,12 @@ class DivideAndConquerAggregator(Aggregator):
         num_removed = int(round(self.filter_fraction * f))
         good = np.arange(n)
 
+        # Removal *compounds*: every iteration drops ``num_removed`` of the
+        # still-surviving clients (down to a floor of one), so the final
+        # survivor count is roughly ``n - num_iterations * num_removed``.
+        # This matches the seed and the frozen reference implementation
+        # (tests/test_aggregators_advanced.py pins it).
         for _ in range(self.num_iterations):
-            if num_removed == 0 or len(good) <= max(n - num_removed, 1):
-                pass  # still run the scoring so ties are broken consistently
             subset_dim = min(self.subsample_dim, dim)
             coords = context.rng.choice(dim, size=subset_dim, replace=False)
             sampled = gradients[good][:, coords]
@@ -73,7 +76,9 @@ class DivideAndConquerAggregator(Aggregator):
                 top_direction = np.ones(subset_dim) / np.sqrt(subset_dim)
             scores = (centered @ top_direction) ** 2
             keep = max(len(good) - num_removed, 1)
-            order = np.argsort(scores)
+            # Stable sort so exact score ties (e.g. identical gradients)
+            # break by client index on every platform.
+            order = np.argsort(scores, kind="stable")
             good = good[order[:keep]]
 
         good = np.sort(good)

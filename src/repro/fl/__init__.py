@@ -12,6 +12,7 @@ from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
 from repro.fl.collector import (
     GradientCollector,
     ParallelCollector,
+    ProcessCollector,
     SequentialCollector,
     build_collector,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "GradientCollector",
     "SequentialCollector",
     "ParallelCollector",
+    "ProcessCollector",
     "build_collector",
     "attack_impact",
     "evaluate_model",

@@ -9,67 +9,138 @@ collect stage as a pluggable strategy:
 * :class:`ParallelCollector` — fans ``compute_gradient`` calls over a
   persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  Each worker
   owns a private replica of the model (gradient buffers and layer caches are
-  per-worker scratch space), synchronized with the global parameters before
-  dispatch, and writes each client's gradient directly into that client's
-  row of the preallocated round buffer.
+  per-worker scratch space), synchronized with the global parameters *and
+  buffers* before dispatch, and writes each client's gradient directly into
+  that client's row of the preallocated round buffer.  Best when clients
+  spend their time waiting (simulated dispatch latency, BLAS calls that
+  release the GIL); pure-Python compute stays serialized by the GIL.
+* :class:`ProcessCollector` — persistent worker *processes*, each holding a
+  replica of the model and its chunk of the client population.  Per round the
+  parent ships the global ``Module.state_dict()`` (parameters + buffers)
+  through a pipe; workers write gradients straight into a
+  ``multiprocessing.shared_memory`` round buffer, so no per-round gradient
+  pickling occurs in either direction.  This recovers *compute* parallelism
+  on GIL-bound hosts at the cost of a per-round parameter broadcast — it wins
+  once per-round client compute dwarfs ``n_workers × model size`` of
+  pickling.
 
 Determinism
 -----------
 
-The threaded path is **bit-identical** to the sequential path at float64 (and
-at float32), regardless of scheduling, because
+The parallel paths are **bit-identical** to the sequential path at float64
+(and at float32), regardless of scheduling, because
 
 1. every client owns its batch-sampling RNG — a
    :class:`~repro.utils.rng.RngFactory` child stream seeded at construction
    time, *before* any dispatch — and is invoked exactly once per round, so
-   its stream advances identically however work is interleaved; and
-2. worker replicas carry parameter values copied verbatim from the global
-   model, so every client evaluates the same function in either mode.
-
-The one intentional divergence: layers with non-parameter state updated
-during the forward pass (BatchNorm running statistics) update their
-*replica's* buffers in parallel mode instead of the global model's.  Client
-gradients are unaffected (training mode normalizes with batch statistics),
-but the global model's running statistics then reflect only server-side
-activity.  Models used by the paper's experiments that contain BatchNorm
-(``resnet_lite``) may therefore report slightly different *evaluation*
-metrics between the two modes.
+   its stream advances identically however work is interleaved;
+2. worker replicas carry parameter and buffer values copied verbatim from
+   the global model, so every client evaluates the same function in any
+   mode; and
+3. layers with non-parameter state updated during the forward pass
+   (BatchNorm running statistics) log their per-batch statistics on the
+   replicas, and the collector replays those updates onto the *global*
+   model in client order after the round — the same floating-point
+   operations, in the same order, the sequential path performs.  Evaluation
+   metrics therefore match exactly between all backends.
 
 Models whose *forward pass itself* draws randomness from model-owned
 generators (a ``Dropout`` layer holding its own RNG) cannot satisfy the
 guarantee: the mask stream is consumed in client-visit order on the shared
 sequential model but per-chunk on each replica.  Rather than silently
-diverging, :class:`ParallelCollector` detects such models and raises
+diverging, the parallel collectors detect such models and raise
 ``ValueError`` — run them with ``n_workers=1``.  (No built-in model uses
 Dropout in federated rounds.)
+
+Failure semantics
+-----------------
+
+Every backend NaN-fills the round buffer before dispatch.  The buffer is
+preallocated and reused across rounds, so without invalidation a client
+exception would leave it partially filled with the *previous* round's
+gradients — a caller that catches the exception and keeps going would
+silently aggregate stale rows.  With invalidation, rows the failed round
+never produced are NaN and poison any downstream aggregate instead.
 """
 
 from __future__ import annotations
 
 import copy
+import multiprocessing
 import os
+import pickle
 from concurrent.futures import ThreadPoolExecutor, wait
-from typing import List, Optional, Sequence, Tuple
+from multiprocessing import shared_memory
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.fl.client import FederatedClient
+from repro.nn.layers import _BatchNormBase
 from repro.nn.module import Module
 from repro.perf.timers import monotonic
 
 #: (worker_index, seconds, clients_processed) for one collect call.
 WorkerTiming = Tuple[int, float, int]
 
+#: Per-client batch-norm statistics: one ``[(mean, var), ...]`` list (one
+#: entry per training forward) per batch-norm module, in module order.
+ClientBatchStats = List[List[Tuple[np.ndarray, np.ndarray]]]
+
 
 def default_worker_count(limit: int = 8) -> int:
-    """A reasonable thread count for the current machine, capped at ``limit``."""
+    """A reasonable worker count for the current machine, capped at ``limit``."""
     return max(1, min(limit, os.cpu_count() or 1))
+
+
+def invalidate_buffer(out: np.ndarray) -> None:
+    """NaN-fill a round buffer so stale rows from a prior round cannot leak."""
+    out.fill(np.nan)
+
+
+def _batch_stat_modules(model: Module) -> List[_BatchNormBase]:
+    """Sub-modules whose training forward updates running statistics."""
+    return [m for m in model.modules() if isinstance(m, _BatchNormBase)]
+
+
+def _replay_batch_stats(
+    model: Module, stats_by_row: List[Tuple[int, ClientBatchStats]]
+) -> None:
+    """Replay recorded per-client batch statistics onto ``model``.
+
+    Applies the exact exponential-moving-average updates the sequential path
+    would have performed, in client order, so the global model's buffers are
+    bit-identical between backends.
+    """
+    modules = _batch_stat_modules(model)
+    for _, per_module in sorted(stats_by_row, key=lambda item: item[0]):
+        for module, forwards in zip(modules, per_module):
+            for mean, var in forwards:
+                module.apply_batch_stats(mean, var)
+
+
+def _collect_client(
+    client: FederatedClient,
+    model: Module,
+    row_out: np.ndarray,
+    stat_modules: List[_BatchNormBase],
+) -> ClientBatchStats:
+    """One client's gradient into ``row_out``, recording its batch stats."""
+    for module in stat_modules:
+        module.stats_log = []
+    try:
+        row_out[...] = client.compute_gradient(model)
+        return [module.stats_log for module in stat_modules]
+    finally:
+        for module in stat_modules:
+            module.stats_log = None
 
 
 def _collect_sequential(
     clients: Sequence[FederatedClient], model: Module, out: np.ndarray
 ) -> List[WorkerTiming]:
     """The shared sequential loop; returns a single pseudo-worker timing."""
+    invalidate_buffer(out)
     start = monotonic()
     for row, client in enumerate(clients):
         out[row] = client.compute_gradient(model)
@@ -85,6 +156,17 @@ def _stochastic_forward_modules(model: Module) -> List[str]:
             isinstance(value, np.random.Generator) for value in vars(module).values()
         )
     ]
+
+
+def _check_deterministic_forward(model: Module, backend: str) -> None:
+    stochastic = _stochastic_forward_modules(model)
+    if stochastic:
+        raise ValueError(
+            f"{backend} cannot guarantee sequential-equivalent results for "
+            f"models with RNG-consuming layers ({stochastic}): the mask "
+            "stream would be consumed per worker replica instead of in "
+            "client order. Use n_workers=1 for this model."
+        )
 
 
 class GradientCollector:
@@ -145,13 +227,14 @@ class ParallelCollector(GradientCollector):
 
     The executor and the replicas persist across rounds: thread spawn and
     model deep-copy are paid once, and each round only copies the current
-    global parameters into the replicas (a memcpy that is negligible next to
-    the gradient computation itself).
+    global parameters and buffers into the replicas (a memcpy that is
+    negligible next to the gradient computation itself).
 
     Client ``i`` is assigned to worker ``i % n_workers``; the mapping is
     deterministic but irrelevant to the results (see the module docstring).
     Exceptions raised by any client propagate to the caller after the
-    round's remaining workers finish their chunks.
+    round's remaining workers finish their chunks; the round buffer rows the
+    failed round did not produce are left NaN-invalidated.
     """
 
     def __init__(self, n_workers: Optional[int] = None):
@@ -180,10 +263,11 @@ class ParallelCollector(GradientCollector):
             self._source = model
 
     def _sync_replicas(self, model: Module, workers: int) -> None:
-        source = model.named_parameters()
+        # One state dict (parameters + buffers) loaded into every replica:
+        # BatchNorm running statistics cannot drift across rounds.
+        state = model.state_dict()
         for replica in self._replicas[:workers]:
-            for (_, src), (_, dst) in zip(source, replica.named_parameters()):
-                dst.data[...] = src.data
+            replica.load_state_dict(state)
 
     def collect(
         self,
@@ -197,23 +281,22 @@ class ParallelCollector(GradientCollector):
             self.worker_timings = _collect_sequential(clients, model, out)
             return out
 
-        stochastic = _stochastic_forward_modules(model)
-        if stochastic:
-            raise ValueError(
-                "ParallelCollector cannot guarantee sequential-equivalent "
-                f"results for models with RNG-consuming layers ({stochastic}): "
-                "the mask stream would be consumed per worker replica instead "
-                "of in client order. Use n_workers=1 for this model."
-            )
+        _check_deterministic_forward(model, type(self).__name__)
         self._ensure_workers(model, workers)
         self._sync_replicas(model, workers)
+        invalidate_buffer(out)
+        track_stats = bool(_batch_stat_modules(model))
+        stats_by_row: List[Tuple[int, ClientBatchStats]] = []
 
         def run_chunk(worker_index: int) -> WorkerTiming:
             replica = self._replicas[worker_index]
+            stat_modules = _batch_stat_modules(replica) if track_stats else []
             start = monotonic()
             count = 0
             for row in range(worker_index, n_clients, workers):
-                out[row] = clients[row].compute_gradient(replica)
+                stats = _collect_client(clients[row], replica, out[row], stat_modules)
+                if track_stats:
+                    stats_by_row.append((row, stats))
                 count += 1
             return worker_index, monotonic() - start, count
 
@@ -221,6 +304,8 @@ class ParallelCollector(GradientCollector):
         wait(futures)  # let every worker finish its chunk before reporting
         # result() re-raises the first failing client's exception.
         self.worker_timings = [future.result() for future in futures]
+        if track_stats:
+            _replay_batch_stats(model, stats_by_row)
         return out
 
     def close(self) -> None:
@@ -231,8 +316,287 @@ class ParallelCollector(GradientCollector):
         self._source = None
 
 
-def build_collector(n_workers: int = 1) -> GradientCollector:
-    """``n_workers <= 1`` gives the sequential strategy, else a thread pool."""
-    if n_workers <= 1:
+def _process_worker_main(
+    conn,
+    worker_index: int,
+    rows: List[int],
+    clients: List[FederatedClient],
+    model: Module,
+    shm_name: str,
+    shape: Tuple[int, int],
+    dtype_str: str,
+) -> None:
+    """Loop of one persistent collect worker process.
+
+    Receives a model state dict per round (``None`` = shut down), computes
+    its chunk of client gradients into the shared-memory round buffer, and
+    replies with timings, per-client losses, recorded batch statistics, and
+    the first client exception (if any).
+    """
+    # Workers share the parent's resource tracker (the fd travels through
+    # both fork and spawn), so attaching here is tracker-idempotent and the
+    # parent's single unlink() owns the segment's lifetime.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    buffer = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+    stat_modules = _batch_stat_modules(model)
+    try:
+        while True:
+            state = conn.recv()
+            if state is None:
+                break
+            model.load_state_dict(state)
+            start = monotonic()
+            count = 0
+            losses: List[Tuple[int, float]] = []
+            stats: List[Tuple[int, ClientBatchStats]] = []
+            error: Optional[BaseException] = None
+            for row, client in zip(rows, clients):
+                try:
+                    client_stats = _collect_client(
+                        client, model, buffer[row], stat_modules
+                    )
+                except BaseException as exc:  # propagate to the parent
+                    error = exc
+                    break
+                count += 1
+                losses.append((row, client.last_loss))
+                stats.append((row, client_stats))
+            if error is not None:
+                try:
+                    pickle.dumps(error)
+                except Exception:
+                    error = RuntimeError(
+                        f"unpicklable client exception in collect worker "
+                        f"{worker_index}: {error!r}"
+                    )
+            conn.send((worker_index, monotonic() - start, count, losses, stats, error))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        del buffer
+        shm.close()
+        conn.close()
+
+
+class ProcessCollector(GradientCollector):
+    """Process-pool collect stage over a shared-memory round buffer.
+
+    Args:
+        n_workers: process count.  ``None`` picks
+            :func:`default_worker_count`.  A value of 1 degenerates to the
+            in-process sequential strategy.
+        mp_context: multiprocessing start method (``"fork"`` where available
+            — cheap, and test-local client classes need no pickling — else
+            ``"spawn"``).
+
+    The workers persist across rounds.  At first use each worker receives —
+    once — its chunk of the client population (client ``i`` goes to worker
+    ``i % n_workers``, the same mapping the threaded backend uses) and a
+    replica of the model.  Per round the parent broadcasts the global
+    ``state_dict()`` (parameters + buffers) and NaN-invalidates the
+    shared-memory buffer; workers load the state, compute their clients'
+    gradients directly into the shared buffer, and reply with timings,
+    per-client losses, and recorded BatchNorm batch statistics (replayed
+    onto the global model in client order, see the module docstring).
+
+    Client batch-sampling RNG streams live *inside* the owning worker and
+    advance exactly once per round, so results are bit-identical to the
+    sequential path at any worker count.  The parent's client objects only
+    mirror ``last_loss``.
+
+    Exceptions raised by any client are re-raised in the parent after all
+    workers finish their chunks, matching the threaded backend.
+    """
+
+    def __init__(
+        self, n_workers: Optional[int] = None, *, mp_context: Optional[str] = None
+    ):
+        super().__init__()
+        if n_workers is None:
+            n_workers = default_worker_count()
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._shm_array: Optional[np.ndarray] = None
+        # Strong references to the population/model the workers were built
+        # from (identity comparison only — never by id(), which CPython
+        # recycles after garbage collection) plus the buffer geometry.
+        self._source_clients: Optional[Tuple[FederatedClient, ...]] = None
+        self._source_model: Optional[Module] = None
+        self._source_geometry: Optional[tuple] = None
+
+    def _workers_current(
+        self,
+        clients: Sequence[FederatedClient],
+        model: Module,
+        out: np.ndarray,
+        workers: int,
+    ) -> bool:
+        return bool(
+            self._procs
+            and self._source_model is model
+            and self._source_clients is not None
+            and len(self._source_clients) == len(clients)
+            and all(a is b for a, b in zip(self._source_clients, clients))
+            and self._source_geometry
+            == (model.dtype, out.shape, out.dtype, workers)
+        )
+
+    def _ensure_workers(
+        self,
+        clients: Sequence[FederatedClient],
+        model: Module,
+        out: np.ndarray,
+        workers: int,
+    ) -> None:
+        if self._workers_current(clients, model, out, workers):
+            return
+        self._teardown()
+        n_clients = len(clients)
+        self._shm = shared_memory.SharedMemory(create=True, size=out.nbytes)
+        self._shm_array = np.ndarray(out.shape, dtype=out.dtype, buffer=self._shm.buf)
+        for worker_index in range(workers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            rows = list(range(worker_index, n_clients, workers))
+            process = self._ctx.Process(
+                target=_process_worker_main,
+                args=(
+                    child_conn,
+                    worker_index,
+                    rows,
+                    [clients[row] for row in rows],
+                    model,
+                    self._shm.name,
+                    out.shape,
+                    out.dtype.str,
+                ),
+                daemon=True,
+                name=f"collect-{worker_index}",
+            )
+            process.start()
+            child_conn.close()
+            self._procs.append(process)
+            self._conns.append(parent_conn)
+        self._source_clients = tuple(clients)
+        self._source_model = model
+        self._source_geometry = (model.dtype, out.shape, out.dtype, workers)
+
+    def collect(
+        self,
+        clients: Sequence[FederatedClient],
+        model: Module,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        n_clients = len(clients)
+        workers = min(self.n_workers, n_clients)
+        if workers <= 1:
+            self.worker_timings = _collect_sequential(clients, model, out)
+            return out
+
+        _check_deterministic_forward(model, type(self).__name__)
+        self._ensure_workers(clients, model, out, workers)
+        assert self._shm_array is not None
+        # Invalidate the caller's buffer as well as the shared one: if a
+        # worker dies before replying, ``out`` must not keep the previous
+        # round's rows.
+        invalidate_buffer(out)
+        invalidate_buffer(self._shm_array)
+        state = model.state_dict()
+        replies = []
+        try:
+            for conn in self._conns:
+                conn.send(state)
+            for conn in self._conns:
+                replies.append(conn.recv())
+        except (EOFError, ConnectionError, OSError) as exc:
+            self._teardown()
+            raise RuntimeError(
+                "a collect worker died mid-round (crashed or was killed); "
+                "the round buffer is NaN-invalidated"
+            ) from exc
+        # Completed rows plus NaN-invalidated rows become the caller's view,
+        # even when a client failed.
+        out[...] = self._shm_array
+        self.worker_timings = []
+        stats_by_row: List[Tuple[int, ClientBatchStats]] = []
+        first_error: Optional[BaseException] = None
+        for worker_index, seconds, count, losses, stats, error in replies:
+            self.worker_timings.append((worker_index, seconds, count))
+            for row, loss in losses:
+                clients[row].last_loss = loss
+            stats_by_row.extend(stats)
+            if error is not None and first_error is None:
+                first_error = error
+        if first_error is not None:
+            raise first_error
+        _replay_batch_stats(model, stats_by_row)
+        return out
+
+    def _teardown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._procs = []
+        self._conns = []
+        self._shm_array = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - defensive
+                pass
+            self._shm = None
+        self._source_clients = None
+        self._source_model = None
+        self._source_geometry = None
+
+    def close(self) -> None:
+        self._teardown()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self._teardown()
+        except Exception:
+            pass
+
+
+#: Collect backend names accepted by :func:`build_collector` and
+#: :class:`~repro.utils.config.TrainingConfig`.
+COLLECT_BACKENDS = ("sequential", "thread", "process")
+
+
+def build_collector(n_workers: int = 1, backend: str = "thread") -> GradientCollector:
+    """Build the collect strategy for ``backend`` at ``n_workers``.
+
+    ``n_workers <= 1`` (or ``backend="sequential"``) gives the sequential
+    strategy; otherwise ``"thread"`` gives :class:`ParallelCollector` and
+    ``"process"`` gives :class:`ProcessCollector`.
+    """
+    if backend not in COLLECT_BACKENDS:
+        raise ValueError(
+            f"collect backend must be one of {COLLECT_BACKENDS}, got {backend!r}"
+        )
+    if n_workers <= 1 or backend == "sequential":
         return SequentialCollector()
+    if backend == "process":
+        return ProcessCollector(n_workers)
     return ParallelCollector(n_workers)

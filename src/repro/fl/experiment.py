@@ -107,6 +107,7 @@ def run_experiment(
         description=config.describe(),
         dtype=config.training.dtype,
         n_workers=config.training.n_workers,
+        collect_backend=config.training.collect_backend,
         profiler=profiler,
     )
     try:

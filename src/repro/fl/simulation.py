@@ -41,13 +41,17 @@ class FederatedSimulation:
             model's own dtype controls the precision clients *compute* in;
             :func:`~repro.fl.experiment.run_experiment` keeps the two in
             sync.
-        n_workers: thread count for the collect stage.  1 (the default)
+        n_workers: worker count for the collect stage.  1 (the default)
             keeps the seed's sequential loop; larger values fan the clients
-            over a :class:`~repro.fl.collector.ParallelCollector`, which is
-            bit-identical to the sequential path (see that module's
-            docstring).  Ignored when ``collector`` is given.
+            over the configured backend, which is bit-identical to the
+            sequential path (see :mod:`repro.fl.collector`).  Ignored when
+            ``collector`` is given.
+        collect_backend: collect strategy — ``"thread"`` (default),
+            ``"process"`` (shared-memory worker processes, for GIL-bound
+            compute), or ``"sequential"`` (force the seed loop).  Ignored
+            when ``collector`` is given.
         collector: an explicit :class:`~repro.fl.collector.GradientCollector`
-            strategy, overriding ``n_workers``.
+            strategy, overriding ``n_workers`` and ``collect_backend``.
         profiler: optional :class:`~repro.perf.profiler.RoundProfiler`; when
             given, every round records "collect_gradients", per-worker
             "collect_worker_<i>", "attack", and "evaluate" stages here (the
@@ -68,6 +72,7 @@ class FederatedSimulation:
         description: str = "",
         dtype=np.float64,
         n_workers: int = 1,
+        collect_backend: str = "thread",
         collector: Optional[GradientCollector] = None,
         profiler: Optional[RoundProfiler] = None,
     ):
@@ -88,7 +93,9 @@ class FederatedSimulation:
         self.lr_decay = lr_decay
         self.dtype = dtype
         self.collector = (
-            collector if collector is not None else build_collector(n_workers)
+            collector
+            if collector is not None
+            else build_collector(n_workers, collect_backend)
         )
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.recorder = RunRecorder(description=description)

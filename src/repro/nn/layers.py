@@ -308,7 +308,15 @@ class Dropout(Module):
 
 
 class _BatchNormBase(Module):
-    """Shared batch-norm logic over an arbitrary reduction axis set."""
+    """Shared batch-norm logic over an arbitrary reduction axis set.
+
+    The running statistics are *buffers* (non-parameter state updated by the
+    training forward pass); they participate in ``state_dict`` /
+    ``load_state_dict`` via :meth:`_own_buffers`.  When ``stats_log`` is a
+    list, every training forward also appends its ``(batch_mean, batch_var)``
+    pair there — the parallel collect backends use this to replay client
+    batch-statistics updates onto the global model in client order.
+    """
 
     def __init__(
         self,
@@ -326,12 +334,31 @@ class _BatchNormBase(Module):
         self.beta = Parameter(init.zeros((num_features,)), name="beta", dtype=dtype)
         self.running_mean = np.zeros(num_features, dtype=self.gamma.dtype)
         self.running_var = np.ones(num_features, dtype=self.gamma.dtype)
+        self.stats_log: Optional[list] = None
         self._cache: tuple = ()
 
     def _cast_extra_state(self, dtype: np.dtype) -> None:
         # The running statistics follow the parameter dtype on Module.astype.
         self.running_mean = self.running_mean.astype(dtype, copy=False)
         self.running_var = self.running_var.astype(dtype, copy=False)
+
+    def _own_buffers(self):
+        yield "running_mean", self.running_mean
+        yield "running_var", self.running_var
+
+    def apply_batch_stats(self, mean: np.ndarray, var: np.ndarray) -> None:
+        """Fold one batch's statistics into the running estimates.
+
+        This is the exact update the training forward performs, factored out
+        so a recorded ``stats_log`` can be replayed on another module with
+        bit-identical floating-point results.
+        """
+        self.running_mean = (
+            (1 - self.momentum) * self.running_mean + self.momentum * mean
+        )
+        self.running_var = (
+            (1 - self.momentum) * self.running_var + self.momentum * var
+        )
 
     def _reshape(self, stat: np.ndarray, ndim: int) -> np.ndarray:
         shape = [1] * ndim
@@ -346,12 +373,9 @@ class _BatchNormBase(Module):
         if self.training:
             mean = x.mean(axis=axes)
             var = x.var(axis=axes)
-            self.running_mean = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean
-            )
-            self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var
-            )
+            self.apply_batch_stats(mean, var)
+            if self.stats_log is not None:
+                self.stats_log.append((mean, var))
         else:
             mean = self.running_mean
             var = self.running_var

@@ -99,6 +99,15 @@ class Module:
             if isinstance(value, Parameter):
                 yield name, value
 
+    def _own_buffers(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """(name, array) pairs of non-parameter state updated during forward.
+
+        Layers with such state (BatchNorm running statistics) override this;
+        the arrays yielded must be the module's *live* buffers so that
+        :meth:`load_state_dict` can write into them in place.
+        """
+        return iter(())
+
     # -- public API ------------------------------------------------------------
     def parameters(self) -> List[Parameter]:
         """All trainable parameters of this module and its sub-modules."""
@@ -114,6 +123,20 @@ class Module:
             named.append((f"{prefix}{name}", param))
         for child_name, child in self._children():
             named.extend(child.named_parameters(prefix=f"{prefix}{child_name}."))
+        return named
+
+    def named_buffers(self, prefix: str = "") -> List[Tuple[str, np.ndarray]]:
+        """(name, array) pairs of non-parameter buffers with dotted paths.
+
+        Buffers are state the forward pass updates outside of gradient
+        descent — BatchNorm running statistics are the one built-in example.
+        Modules without such state contribute nothing.
+        """
+        named: List[Tuple[str, np.ndarray]] = []
+        for name, buffer in self._own_buffers():
+            named.append((f"{prefix}{name}", buffer))
+        for child_name, child in self._children():
+            named.extend(child.named_buffers(prefix=f"{prefix}{child_name}."))
         return named
 
     def modules(self) -> List["Module"]:
@@ -166,27 +189,43 @@ class Module:
             module.training = False
         return self
 
-    def state_dict(self) -> Dict[str, np.ndarray]:
-        """Copy of every named parameter's data."""
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+    def state_dict(self, *, include_buffers: bool = True) -> Dict[str, np.ndarray]:
+        """Copy of every named parameter's data (and, by default, buffers).
+
+        The result is a plain ``{name: ndarray}`` mapping — picklable, so it
+        doubles as the wire format the process-pool collect backend uses to
+        ship per-round parameter updates to its worker replicas.
+        """
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        if include_buffers:
+            for name, buffer in self.named_buffers():
+                state[name] = buffer.copy()
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values previously produced by :meth:`state_dict`."""
+        """Load values previously produced by :meth:`state_dict`.
+
+        Every parameter must be present; buffer entries are optional (a
+        parameters-only dict from ``state_dict(include_buffers=False)`` loads
+        cleanly), but unknown keys are rejected.  Values are written in place,
+        so dtypes follow the destination arrays.
+        """
         own = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
         missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        unexpected = set(state) - set(own) - set(buffers)
         if missing or unexpected:
             raise KeyError(
                 f"state dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
         for name, values in state.items():
-            if own[name].data.shape != values.shape:
+            target = own[name].data if name in own else buffers[name]
+            if target.shape != values.shape:
                 raise ValueError(
-                    f"shape mismatch for {name}: "
-                    f"{own[name].data.shape} vs {values.shape}"
+                    f"shape mismatch for {name}: {target.shape} vs {values.shape}"
                 )
-            own[name].data[...] = values
+            target[...] = values
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""

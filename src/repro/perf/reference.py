@@ -115,7 +115,9 @@ def dnc_reference(
             top_direction = np.ones(subset_dim) / np.sqrt(subset_dim)
         scores = (centered @ top_direction) ** 2
         keep = max(len(good) - num_removed, 1)
-        order = np.argsort(scores)
+        # Stable, like the optimized implementation: exact score ties break
+        # by client index on every platform.
+        order = np.argsort(scores, kind="stable")
         good = good[order[:keep]]
 
     good = np.sort(good)

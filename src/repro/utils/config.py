@@ -68,10 +68,15 @@ class TrainingConfig:
     ``"float64"`` (default) or ``"float32"`` (halved memory traffic on the
     round hot path, including the collect stage).
 
-    ``n_workers`` sets the thread count of the collect stage (1 = the
-    sequential seed behaviour; higher values fan independent clients over a
-    :class:`~repro.fl.collector.ParallelCollector` with results bit-identical
-    to the sequential path).
+    ``n_workers`` sets the worker count of the collect stage (1 = the
+    sequential seed behaviour) and ``collect_backend`` picks the strategy the
+    workers run on: ``"thread"`` (default — a
+    :class:`~repro.fl.collector.ParallelCollector`, best when clients wait on
+    dispatch latency or GIL-releasing BLAS), ``"process"`` (a
+    :class:`~repro.fl.collector.ProcessCollector` over shared memory —
+    recovers compute parallelism on GIL-bound hosts), or ``"sequential"``
+    (force the seed loop regardless of ``n_workers``).  Every backend is
+    bit-identical to the sequential path at any worker count.
     """
 
     model: str = "simple_cnn"
@@ -85,6 +90,7 @@ class TrainingConfig:
     eval_every: int = 1
     dtype: str = "float64"
     n_workers: int = 1
+    collect_backend: str = "thread"
 
     def validate(self) -> "TrainingConfig":
         check_integer_in_range(self.rounds, "rounds", minimum=1)
@@ -100,6 +106,15 @@ class TrainingConfig:
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
             )
         check_integer_in_range(self.n_workers, "n_workers", minimum=1)
+        # Function-scope import: repro.fl.collector owns the backend registry
+        # and importing it at module level would cycle (fl imports config).
+        from repro.fl.collector import COLLECT_BACKENDS
+
+        if self.collect_backend not in COLLECT_BACKENDS:
+            raise ValueError(
+                f"collect_backend must be one of {COLLECT_BACKENDS}, "
+                f"got {self.collect_backend!r}"
+            )
         return self
 
 

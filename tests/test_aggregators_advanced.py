@@ -49,6 +49,53 @@ class TestDnC:
         with pytest.raises(ValueError):
             DivideAndConquerAggregator(filter_fraction=0.0)
 
+    def test_removal_compounds_across_iterations(self, rng):
+        # Every iteration removes ``filter_fraction * f`` of the *surviving*
+        # clients, so three iterations with f=2 shrink 12 clients to 6.
+        # This pins the seed behaviour (shared with dnc_reference) that a
+        # once-dead guard in the loop suggested might have been intended to
+        # stop early.
+        gradients = rng.normal(size=(12, 30))
+        context = ServerContext.make(rng=0)
+        aggregator = DivideAndConquerAggregator(
+            num_byzantine=2, num_iterations=3, subsample_dim=30
+        )
+        result = aggregator(gradients, context)
+        assert len(result.selected_indices) == 12 - 3 * 2
+
+    def test_removal_floors_at_one_survivor(self, rng):
+        gradients = rng.normal(size=(5, 20))
+        context = ServerContext.make(rng=0)
+        aggregator = DivideAndConquerAggregator(
+            num_byzantine=2, num_iterations=10, subsample_dim=20
+        )
+        result = aggregator(gradients, context)
+        assert len(result.selected_indices) == 1
+
+    def test_tied_scores_break_by_client_index(self):
+        # Identical gradients give identical (zero) outlier scores; the
+        # stable argsort must then remove the highest indices first so the
+        # selection is platform-deterministic.
+        gradients = np.tile(np.linspace(0.1, 1.0, 20), (10, 1))
+        context = ServerContext.make(rng=0)
+        aggregator = DivideAndConquerAggregator(
+            num_byzantine=2, num_iterations=3, subsample_dim=20
+        )
+        result = aggregator(gradients, context)
+        np.testing.assert_array_equal(result.selected_indices, np.arange(4))
+
+    def test_matches_reference_on_ties(self):
+        from repro.perf import reference as ref
+
+        gradients = np.tile(np.linspace(-1.0, 1.0, 25), (9, 1))
+        result = DivideAndConquerAggregator(num_byzantine=3, subsample_dim=25)(
+            gradients, ServerContext.make(rng=123)
+        )
+        expected = ref.dnc_reference(gradients, 3, np.random.default_rng(123))
+        np.testing.assert_array_equal(
+            result.selected_indices, expected["selected_indices"]
+        )
+
 
 class TestSignSGD:
     def test_majority_sign_direction(self, context):

@@ -30,6 +30,20 @@ class TestDBSCAN:
         assert model.n_clusters_ == 0
         assert len(model.largest_cluster()) == len(spread)
 
+    def test_all_noise_labels_and_fallback_order(self, rng):
+        # Every sample is labeled noise (-1) and the fallback returns the
+        # full index range in order, so a defense never discards the round.
+        spread = rng.uniform(-50, 50, size=(6, 3))
+        model = DBSCAN(eps=1e-6, min_samples=2).fit(spread)
+        assert np.all(model.labels_ == -1)
+        np.testing.assert_array_equal(model.largest_cluster(), np.arange(6))
+
+    def test_identical_points_form_single_cluster(self):
+        model = DBSCAN(eps=0.5, min_samples=3).fit(np.ones((9, 4)))
+        assert model.n_clusters_ == 1
+        assert np.all(model.labels_ == 0)
+        np.testing.assert_array_equal(model.largest_cluster(), np.arange(9))
+
     def test_core_samples_identified(self, blobs_with_outlier):
         model = DBSCAN(eps=0.5, min_samples=3).fit(blobs_with_outlier)
         assert 30 not in model.core_sample_indices_

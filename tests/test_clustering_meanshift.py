@@ -24,6 +24,19 @@ class TestEstimateBandwidth:
     def test_identical_points_get_positive_floor(self):
         assert estimate_bandwidth(np.zeros((5, 3))) > 0
 
+    def test_all_coincident_points_hit_exact_floor(self):
+        # Every pairwise distance is zero, so there is no positive distance
+        # to fall back on: the hard floor of 1e-3 applies.
+        assert estimate_bandwidth(np.ones((6, 4))) == 1e-3
+
+    def test_partially_coincident_points_use_min_positive_distance(self):
+        # The quantile lands on a zero distance (most pairs coincide), so
+        # the bandwidth falls back to the smallest positive distance.
+        points = np.zeros((6, 2))
+        points[5] = [0.25, 0.0]
+        bandwidth = estimate_bandwidth(points, quantile=0.3)
+        assert bandwidth == pytest.approx(0.25)
+
     def test_invalid_quantile_rejected(self, feature_blobs):
         with pytest.raises(ValueError):
             estimate_bandwidth(feature_blobs, quantile=0.0)
@@ -54,6 +67,13 @@ class TestMeanShift:
     def test_identical_points_form_one_cluster(self):
         model = MeanShift().fit(np.zeros((6, 3)))
         assert model.n_clusters_ == 1
+
+    def test_identical_points_largest_cluster_covers_everyone(self):
+        # The degenerate zero-bandwidth case must not split or drop points:
+        # the positive floor keeps every coincident point in one cluster.
+        model = MeanShift().fit(np.full((7, 2), 0.4))
+        assert len(model.largest_cluster()) == 7
+        assert np.all(model.labels_ == model.labels_[0])
 
     def test_labels_cover_all_samples(self, feature_blobs):
         model = MeanShift(bandwidth=0.1).fit(feature_blobs)

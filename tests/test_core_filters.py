@@ -51,6 +51,43 @@ class TestNormThresholdFilter:
             NormThresholdFilter(lower=2.0, upper=1.0)
 
 
+class TestSignClusteringDegenerateInputs:
+    """Degenerate feature geometries must never crash or empty the round.
+
+    Identical gradient rows produce identical feature rows — the zero-
+    bandwidth case for Mean-Shift (``estimate_bandwidth``'s positive floor)
+    and the single-dense-cluster case for DBSCAN — and mutually distant
+    feature rows exercise DBSCAN's all-noise fallback.
+    """
+
+    @pytest.mark.parametrize("clustering", ["meanshift", "dbscan", "kmeans"])
+    def test_identical_gradients_select_everyone(self, clustering):
+        gradients = np.tile(np.linspace(-1.0, 1.0, 50), (6, 1))
+        decision = SignClusteringFilter(clustering=clustering).apply(
+            gradients, rng=np.random.default_rng(0)
+        )
+        np.testing.assert_array_equal(decision.selected_indices, np.arange(6))
+
+    def test_identical_gradients_with_similarity_feature(self):
+        gradients = np.tile(np.linspace(-1.0, 1.0, 50), (5, 1))
+        decision = SignClusteringFilter(similarity="cosine").apply(
+            gradients, rng=np.random.default_rng(1)
+        )
+        np.testing.assert_array_equal(decision.selected_indices, np.arange(5))
+
+    def test_dbscan_all_noise_keeps_everyone(self):
+        # All-positive / all-negative / all-zero gradients map to the three
+        # corners of the sign-fraction simplex — mutually farther apart than
+        # the spread-derived eps, so DBSCAN labels every client noise and
+        # the largest-cluster fallback keeps the whole round.
+        dim = 90
+        gradients = np.vstack([np.ones(dim), -np.ones(dim), np.zeros(dim)])
+        decision = SignClusteringFilter(clustering="dbscan").apply(
+            gradients, rng=np.random.default_rng(0)
+        )
+        np.testing.assert_array_equal(decision.selected_indices, np.arange(3))
+
+
 class TestSignClusteringFilter:
     @pytest.fixture
     def gradients_with_sign_flipped(self, rng):

@@ -3,8 +3,13 @@
 The contract under test: the threaded collector is *bit-identical* to the
 sequential one at float64 (the per-client RNG streams are fixed before
 dispatch, so scheduling cannot change results), equivalent within tolerance
-at float32, robust across worker-count edge cases, and propagates client
-exceptions.
+at float32, robust across worker-count edge cases, propagates client
+exceptions, NaN-invalidates the reused round buffer so stale rows cannot
+leak, and replays BatchNorm running-statistics updates onto the global model
+so evaluation metrics match the sequential path exactly.
+
+(The process-pool backend shares these contracts; its tests live in
+``test_fl_process_collect.py``.)
 """
 
 from __future__ import annotations
@@ -17,12 +22,17 @@ from repro.data.factory import build_dataset
 from repro.fl.client import BenignClient
 from repro.fl.collector import (
     ParallelCollector,
+    ProcessCollector,
     SequentialCollector,
     build_collector,
     default_worker_count,
 )
 from repro.fl.experiment import run_experiment
+from repro.fl.metrics import evaluate_model
+from repro.nn.activations import ReLU
+from repro.nn.layers import BatchNorm1d, Flatten, Linear, Sequential
 from repro.nn.models.mlp import MLP
+from repro.nn.module import Module
 from repro.utils.rng import RngFactory
 
 
@@ -49,6 +59,27 @@ def make_model(seed=1, dtype=None):
     if dtype is not None:
         model.astype(dtype)
     return model
+
+
+class BatchNormMLP(Module):
+    """A small model with BatchNorm running statistics (buffer state)."""
+
+    def __init__(self, seed=1):
+        rng = np.random.default_rng(seed)
+        super().__init__()
+        self.network = Sequential(
+            Flatten(),
+            Linear(14 * 14, 16, rng=rng),
+            BatchNorm1d(16),
+            ReLU(),
+            Linear(16, 10, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.network(x)
+
+    def backward(self, grad_output):
+        return self.network.backward(grad_output)
 
 
 def collect_with(collector, n_clients, *, dtype=np.float64, model_dtype=None):
@@ -150,7 +181,15 @@ class TestWorkerCounts:
     def test_build_collector_dispatch(self):
         assert isinstance(build_collector(1), SequentialCollector)
         assert isinstance(build_collector(4), ParallelCollector)
+        assert isinstance(build_collector(4, "thread"), ParallelCollector)
+        assert isinstance(build_collector(4, "process"), ProcessCollector)
+        assert isinstance(build_collector(4, "sequential"), SequentialCollector)
+        assert isinstance(build_collector(1, "process"), SequentialCollector)
         assert default_worker_count() >= 1
+
+    def test_build_collector_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="collect backend"):
+            build_collector(4, "greenlet")
 
     def test_collector_reusable_after_close(self):
         collector = ParallelCollector(2)
@@ -208,9 +247,12 @@ class TestExceptionPropagation:
         finally:
             collector.close()
         # Worker 1 (clients 1 and 3) finished its chunk before the error
-        # surfaced; its rows are populated.
-        assert np.any(out[1] != 0)
-        assert np.any(out[3] != 0)
+        # surfaced; its rows are populated.  Worker 0's rows (the failing
+        # client and everything after it in the chunk) are NaN-invalidated.
+        assert np.all(np.isfinite(out[1]))
+        assert np.all(np.isfinite(out[3]))
+        assert np.all(np.isnan(out[0]))
+        assert np.all(np.isnan(out[2]))
 
 
 class TestStochasticForwardModels:
@@ -270,3 +312,104 @@ class TestProfilerIntegration:
             "collect_worker_2",
         ]
         assert summary["collect_worker_0"]["count"] == 2  # one sample per round
+
+
+class TestBufferInvalidation:
+    """A failed round must never leave stale gradients in the reused buffer."""
+
+    class ExplodingClient(BenignClient):
+        def compute_gradient(self, model):
+            raise RuntimeError("boom")
+
+    @pytest.mark.parametrize("make_collector", [SequentialCollector, None])
+    def test_stale_rows_are_nan_after_failure(self, make_collector):
+        collector = make_collector() if make_collector else ParallelCollector(2)
+        clients = make_clients(4)
+        clients[2] = self.ExplodingClient(
+            2, clients[2].dataset, batch_size=4, rng=np.random.default_rng(0)
+        )
+        model = make_model()
+        # Simulate a buffer still holding the previous round's gradients.
+        out = np.full((4, model.num_parameters()), 7.0)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                collector.collect(clients, model, out)
+        finally:
+            collector.close()
+        # No row may still hold the previous round's values: each row is
+        # either this round's gradient or NaN.
+        assert not np.any(out == 7.0)
+        assert np.all(np.isnan(out[2]))
+
+    def test_successful_round_overwrites_invalidation(self):
+        clients = make_clients(5)
+        model = make_model()
+        out = np.full((5, model.num_parameters()), np.nan)
+        SequentialCollector().collect(clients, model, out)
+        assert np.all(np.isfinite(out))
+
+
+def run_batchnorm_rounds(make_collector, rounds=3, n_clients=6, seed=0):
+    """Collect ``rounds`` rounds with a BatchNorm model; return the final
+    round buffer, evaluation metrics, and the global model's buffers.
+
+    Shared with ``test_fl_process_collect.py`` so every backend is checked
+    against the same sequential reference.
+    """
+    split = build_dataset(
+        "mnist_like",
+        num_train=180,
+        num_test=60,
+        rng=np.random.default_rng(seed),
+    )
+    rng_factory = RngFactory(seed)
+    indices = np.array_split(np.arange(180), n_clients)
+    clients = [
+        BenignClient(
+            cid,
+            split.train.subset(idx),
+            batch_size=16,
+            rng=rng_factory.make(f"client-{cid}"),
+        )
+        for cid, idx in enumerate(indices)
+    ]
+    model = BatchNormMLP()
+    out = np.empty((n_clients, model.num_parameters()))
+    with make_collector() as collector:
+        for _ in range(rounds):
+            collector.collect(clients, model, out)
+    accuracy, loss = evaluate_model(model, split.test)
+    buffers = {name: value.copy() for name, value in model.named_buffers()}
+    return out.copy(), accuracy, loss, buffers
+
+
+class TestBatchNormBufferParity:
+    """Sequential and threaded collect agree on BatchNorm buffers and eval.
+
+    Worker replicas log their per-batch statistics and the collector replays
+    them onto the global model in client order, so running statistics — and
+    therefore evaluation metrics — are bit-identical between backends.
+    """
+
+    def test_threaded_buffers_and_eval_match_sequential(self):
+        seq_out, seq_acc, seq_loss, seq_buffers = run_batchnorm_rounds(
+            SequentialCollector
+        )
+        par_out, par_acc, par_loss, par_buffers = run_batchnorm_rounds(
+            lambda: ParallelCollector(3)
+        )
+        assert np.array_equal(seq_out, par_out)
+        assert seq_acc == par_acc
+        assert seq_loss == par_loss
+        assert set(seq_buffers) == set(par_buffers)
+        for name in seq_buffers:
+            assert np.array_equal(seq_buffers[name], par_buffers[name]), name
+
+    def test_global_model_buffers_actually_updated(self):
+        # The replay must reach the *global* model: after collect rounds the
+        # running statistics have moved away from their (0, 1) init.
+        _, _, _, buffers = run_batchnorm_rounds(
+            lambda: ParallelCollector(2), rounds=2
+        )
+        mean_name = next(name for name in buffers if "running_mean" in name)
+        assert not np.allclose(buffers[mean_name], 0.0)

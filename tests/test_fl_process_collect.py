@@ -1,0 +1,286 @@
+"""Tests for the process-pool collect backend (repro.fl.ProcessCollector).
+
+Contract: persistent worker processes each own a chunk of the client
+population (and those clients' RNG streams) plus a model replica; per round
+the parent broadcasts the global ``state_dict()`` and the workers write
+gradients into a shared-memory round buffer.  Results must be bit-identical
+to the sequential path at any worker count, across rounds, including
+BatchNorm buffer state and evaluation metrics; client exceptions propagate;
+the buffer is NaN-invalidated against stale rows.
+
+The suite uses 2 workers and tiny populations so it stays fast on one core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig
+from repro.fl.collector import ProcessCollector, SequentialCollector
+from repro.fl.experiment import run_experiment
+from test_fl_parallel_collect import (
+    BatchNormMLP,
+    make_clients,
+    make_model,
+    run_batchnorm_rounds,
+)
+
+
+def collect_rounds(make_collector, *, n_clients=6, rounds=3, dtype=np.float64):
+    """Round buffers from ``rounds`` successive collects with one collector."""
+    clients = make_clients(n_clients)
+    model = make_model(dtype=None if dtype == np.float64 else dtype)
+    out = np.empty((n_clients, model.num_parameters()), dtype=dtype)
+    buffers = []
+    with make_collector() as collector:
+        for _ in range(rounds):
+            collector.collect(clients, model, out)
+            buffers.append(out.copy())
+    losses = [client.last_loss for client in clients]
+    return buffers, losses
+
+
+class TestBitEquality:
+    def test_process_float64_bit_identical_to_sequential(self):
+        sequential, seq_losses = collect_rounds(SequentialCollector)
+        process, proc_losses = collect_rounds(lambda: ProcessCollector(2))
+        for seq_round, proc_round in zip(sequential, process):
+            assert np.array_equal(seq_round, proc_round)
+        # Worker-side client state (the loss of the round's batch) is
+        # mirrored back onto the parent's client objects.
+        assert seq_losses == proc_losses
+
+    def test_process_float32_bit_identical_to_sequential(self):
+        sequential, _ = collect_rounds(SequentialCollector, dtype=np.float32)
+        process, _ = collect_rounds(lambda: ProcessCollector(2), dtype=np.float32)
+        assert sequential[0].dtype == np.float32
+        for seq_round, proc_round in zip(sequential, process):
+            assert np.array_equal(seq_round, proc_round)
+
+    def test_worker_count_does_not_change_results(self):
+        two, _ = collect_rounds(lambda: ProcessCollector(2), rounds=2)
+        three, _ = collect_rounds(lambda: ProcessCollector(3), rounds=2)
+        for a, b in zip(two, three):
+            assert np.array_equal(a, b)
+
+    def test_single_worker_degenerates_to_sequential_inline(self):
+        # n_workers=1 never spawns processes; the in-process loop runs.
+        collector = ProcessCollector(1)
+        clients = make_clients(4)
+        model = make_model()
+        out = np.empty((4, model.num_parameters()))
+        try:
+            collector.collect(clients, model, out)
+            assert collector._procs == []
+        finally:
+            collector.close()
+        assert np.all(np.isfinite(out))
+
+    def test_full_experiment_equivalent_with_process_backend(self):
+        def run(backend, n_workers):
+            config = ExperimentConfig(
+                num_clients=6,
+                seed=5,
+                data=DataConfig(dataset="mnist_like", num_train=120, num_test=40),
+                training=TrainingConfig(
+                    model="mlp",
+                    rounds=2,
+                    batch_size=16,
+                    n_workers=n_workers,
+                    collect_backend=backend,
+                ),
+                defense=DefenseConfig(name="signguard"),
+            )
+            return run_experiment(config)
+
+        sequential = run("thread", 1)
+        process = run("process", 2)
+        for a, b in zip(sequential.rounds, process.rounds):
+            assert a.train_loss == b.train_loss
+            assert a.test_accuracy == b.test_accuracy
+            assert a.selected_clients == b.selected_clients
+
+
+class TestWorkerLifecycle:
+    def test_workers_persist_across_rounds(self):
+        collector = ProcessCollector(2)
+        clients = make_clients(4)
+        model = make_model()
+        out = np.empty((4, model.num_parameters()))
+        try:
+            collector.collect(clients, model, out)
+            first_pids = [process.pid for process in collector._procs]
+            collector.collect(clients, model, out)
+            assert [process.pid for process in collector._procs] == first_pids
+        finally:
+            collector.close()
+
+    def test_collector_reusable_after_close(self):
+        collector = ProcessCollector(2)
+        clients = make_clients(4)
+        model = make_model()
+        out = np.empty((4, model.num_parameters()))
+        try:
+            collector.collect(clients, model, out)
+            collector.close()
+            assert collector._procs == []
+            collector.collect(clients, model, out)
+        finally:
+            collector.close()
+        assert np.all(np.isfinite(out))
+
+    def test_worker_timings_cover_all_clients(self):
+        collector = ProcessCollector(3)
+        clients = make_clients(8)
+        model = make_model()
+        out = np.empty((8, model.num_parameters()))
+        try:
+            collector.collect(clients, model, out)
+            timings = collector.worker_timings
+        finally:
+            collector.close()
+        assert sorted(worker for worker, _, _ in timings) == [0, 1, 2]
+        assert sum(count for _, _, count in timings) == 8
+        assert all(seconds >= 0 for _, seconds, _ in timings)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ProcessCollector(0)
+
+    def test_profiler_records_per_worker_stages(self):
+        from repro.perf.profiler import RoundProfiler
+
+        profiler = RoundProfiler()
+        config = ExperimentConfig(
+            num_clients=4,
+            seed=0,
+            data=DataConfig(dataset="mnist_like", num_train=80, num_test=40),
+            training=TrainingConfig(
+                model="mlp",
+                rounds=2,
+                batch_size=16,
+                n_workers=2,
+                collect_backend="process",
+            ),
+            defense=DefenseConfig(name="signguard"),
+        )
+        run_experiment(config, profiler=profiler)
+        summary = profiler.summary()
+        worker_stages = [s for s in summary if s.startswith("collect_worker_")]
+        assert sorted(worker_stages) == ["collect_worker_0", "collect_worker_1"]
+
+
+class TestFailureSemantics:
+    def test_client_exception_propagates_and_invalidates(self):
+        from repro.fl.client import BenignClient
+
+        class ExplodingClient(BenignClient):
+            def compute_gradient(self, model):
+                raise RuntimeError("client 0 went Byzantine for real")
+
+        clients = make_clients(4)
+        clients[0] = ExplodingClient(
+            0, clients[0].dataset, batch_size=4, rng=np.random.default_rng(0)
+        )
+        model = make_model()
+        out = np.full((4, model.num_parameters()), 7.0)
+        collector = ProcessCollector(2)
+        try:
+            with pytest.raises(RuntimeError, match="went Byzantine"):
+                collector.collect(clients, model, out)
+        finally:
+            collector.close()
+        # Stale previous-round values cannot survive a failed round: the
+        # failing worker's remaining rows are NaN, the other worker's rows
+        # hold this round's gradients.
+        assert not np.any(out == 7.0)
+        assert np.all(np.isnan(out[0]))
+        assert np.all(np.isnan(out[2]))
+        assert np.all(np.isfinite(out[1]))
+        assert np.all(np.isfinite(out[3]))
+
+    def test_dead_worker_raises_and_invalidates(self):
+        clients = make_clients(4)
+        model = make_model()
+        out = np.empty((4, model.num_parameters()))
+        collector = ProcessCollector(2)
+        try:
+            collector.collect(clients, model, out)  # spawns the workers
+            for process in collector._procs:
+                process.terminate()
+                process.join(timeout=5)
+            out.fill(7.0)  # the "previous round" a caller might aggregate
+            with pytest.raises(RuntimeError, match="died mid-round"):
+                collector.collect(clients, model, out)
+        finally:
+            collector.close()
+        # The caller's buffer must not keep stale rows when workers die
+        # before replying.
+        assert np.all(np.isnan(out))
+
+    def test_dropout_model_rejected(self):
+        from repro.nn.layers import Dropout, Flatten, Linear, Sequential
+        from repro.nn.module import Module
+
+        class DropoutMLP(Module):
+            def __init__(self):
+                super().__init__()
+                self.network = Sequential(
+                    Flatten(), Linear(14 * 14, 10, rng=0), Dropout(0.5, rng=0)
+                )
+
+            def forward(self, x):
+                return self.network(x)
+
+            def backward(self, grad_output):
+                return self.network.backward(grad_output)
+
+        clients = make_clients(4)
+        model = DropoutMLP()
+        out = np.empty((4, model.num_parameters()))
+        collector = ProcessCollector(2)
+        try:
+            with pytest.raises(ValueError, match="RNG-consuming"):
+                collector.collect(clients, model, out)
+        finally:
+            collector.close()
+
+
+class TestBatchNormParity:
+    def test_process_buffers_and_eval_match_sequential(self):
+        seq_out, seq_acc, seq_loss, seq_buffers = run_batchnorm_rounds(
+            SequentialCollector
+        )
+        proc_out, proc_acc, proc_loss, proc_buffers = run_batchnorm_rounds(
+            lambda: ProcessCollector(2)
+        )
+        assert np.array_equal(seq_out, proc_out)
+        assert seq_acc == proc_acc
+        assert seq_loss == proc_loss
+        for name in seq_buffers:
+            assert np.array_equal(seq_buffers[name], proc_buffers[name]), name
+
+    def test_batchnorm_model_collects_without_nan(self):
+        clients = make_clients(5)
+        model = BatchNormMLP()
+        out = np.empty((5, model.num_parameters()))
+        with ProcessCollector(2) as collector:
+            collector.collect(clients, model, out)
+        assert np.all(np.isfinite(out))
+
+
+class TestConfigValidation:
+    def test_collect_backend_validated(self):
+        config = TrainingConfig(collect_backend="process", n_workers=2)
+        assert config.validate() is config
+        with pytest.raises(ValueError, match="collect_backend"):
+            TrainingConfig(collect_backend="gevent").validate()
+
+    def test_collect_backend_serialization_round_trip(self):
+        config = ExperimentConfig(
+            training=TrainingConfig(collect_backend="process", n_workers=4)
+        )
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored.training.collect_backend == "process"
+        assert restored.training.n_workers == 4

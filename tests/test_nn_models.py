@@ -139,3 +139,34 @@ class TestBuildModel:
         np.testing.assert_array_equal(
             get_flat_parameters(model), get_flat_parameters(other)
         )
+
+    def test_state_dict_includes_batchnorm_buffers(self):
+        model = build_model("resnet_lite", IMAGE_SPEC, rng=0)
+        buffer_names = [name for name, _ in model.named_buffers()]
+        assert buffer_names  # resnet_lite has BatchNorm layers
+        assert all(
+            name.endswith(("running_mean", "running_var")) for name in buffer_names
+        )
+        state = model.state_dict()
+        assert set(buffer_names) <= set(state)
+        params_only = model.state_dict(include_buffers=False)
+        assert set(buffer_names).isdisjoint(params_only)
+
+    def test_buffer_round_trip_restores_running_stats(self):
+        model = build_model("resnet_lite", IMAGE_SPEC, rng=0)
+        name, buffer = model.named_buffers()[0]
+        buffer[...] = 0.25
+        state = model.state_dict()
+        other = build_model("resnet_lite", IMAGE_SPEC, rng=1)
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(dict(other.named_buffers())[name], 0.25)
+
+    def test_params_only_state_dict_still_loads(self):
+        # Buffers are optional on load (backwards compatible with dicts
+        # produced before buffers joined the state), unknown keys are not.
+        model = build_model("resnet_lite", IMAGE_SPEC, rng=0)
+        model.load_state_dict(model.state_dict(include_buffers=False))
+        state = model.state_dict()
+        state["not_a_real_key"] = np.zeros(3)
+        with pytest.raises(KeyError, match="unexpected"):
+            model.load_state_dict(state)
