@@ -12,7 +12,10 @@ repo's round-level speedups:
 * ``bulyan``               — full Bulyan aggregation vs the seed's
   per-iteration Gram rebuild.
 * ``meanshift``            — vectorized Mean-Shift fit vs the seed's
-  per-iteration full recompute + Python merge loop.
+  per-iteration full recompute + Python merge loop; a ``meanshift/binned``
+  row records the grid-seeded (``bin_seeding=True``) fit vs the unbinned
+  one at the same n=400 feature set, after asserting both discover the
+  same trusted majority.
 * ``collect_gradients``    — the round's collect stage at n=100 clients:
   sequential loop vs :class:`repro.fl.ParallelCollector` with 4 workers.
   Clients carry a small simulated dispatch latency (``time.sleep``, GIL
@@ -29,6 +32,11 @@ repo's round-level speedups:
   process pool cannot beat sequential and the floor is reported as
   skipped).  The threaded and process float64 buffers are verified
   **bit-identical** to the sequential one before any timing is trusted.
+* ``collect_gradients_sampled`` — the same collect stage under partial
+  participation (a 20% cohort via ``rows=``): a sampled round must be
+  measurably cheaper than a full round (>= 2x floor), because collect cost
+  scales with the cohort, not the population.  Non-contiguous subsets are
+  first verified **bit-identical** across all three backends.
 * ``profiled_round``       — per-stage timings of real federated rounds via
   :class:`repro.perf.RoundProfiler`, including per-worker collect stages
   (context, not a speedup claim).
@@ -198,6 +206,29 @@ def check_collect_equivalence(n_clients: int) -> None:
     )
 
 
+def check_sampled_collect_equivalence(n_clients: int) -> None:
+    """A non-contiguous participation subset must be bit-identical across
+    all three backends (round-1 rows also match a full collect's rows)."""
+    rows = list(range(1, n_clients, 3))
+    clients_full, model, buffer_full = make_collect_population(n_clients, latency_s=0.0)
+    SequentialCollector().collect(clients_full, model, buffer_full)
+    reference = buffer_full[rows]
+    for label, make_collector in (
+        ("sequential", SequentialCollector),
+        ("threaded", lambda: ParallelCollector(4)),
+        ("process", lambda: ProcessCollector(2)),
+    ):
+        clients, _, _ = make_collect_population(n_clients, latency_s=0.0)
+        subset = np.empty((len(rows), model.num_parameters()))
+        with make_collector() as collector:
+            collector.collect(clients, model, subset, rows=rows)
+        _require(
+            bool(np.array_equal(reference, subset)),
+            f"{label} sampled collect is not bit-identical to the "
+            "sequential full collect's sampled rows",
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -334,6 +365,31 @@ def main(argv=None) -> int:
         f"({meanshift_speedup:.2f}x)"
     )
 
+    # Binned seeding (sklearn-style bin_seeding): the shift iterations run
+    # from occupied grid cells instead of every sample.  Must discover the
+    # same trusted majority as the unbinned fit on these features.
+    unbinned_fit = MeanShift(quantile=0.5).fit(features)
+    binned_fit = MeanShift(quantile=0.5, bin_seeding=True).fit(features)
+    _require(
+        bool(
+            np.array_equal(
+                unbinned_fit.largest_cluster(), binned_fit.largest_cluster()
+            )
+        ),
+        "binned Mean-Shift trusted majority diverged from the unbinned fit",
+    )
+    binned_meanshift = run_benchmark(
+        lambda: MeanShift(quantile=0.5, bin_seeding=True).fit(features),
+        name="meanshift/binned",
+        repeats=repeats,
+    )
+    binned_meanshift_speedup = speedup(optimized_meanshift, binned_meanshift)
+    print(
+        f"meanshift_binned: unbinned {optimized_meanshift.best_s * 1e3:.1f} ms -> "
+        f"binned {binned_meanshift.best_s * 1e3:.1f} ms "
+        f"({binned_meanshift_speedup:.2f}x, n={len(features)} features)"
+    )
+
     # ------------------------------------------------------------------
     # Collect stage: sequential loop vs 4-worker thread pool at n=100
     # ------------------------------------------------------------------
@@ -341,6 +397,11 @@ def main(argv=None) -> int:
     print(
         "collect equivalence: OK "
         "(threaded + process float64 bit-identical to sequential)"
+    )
+    check_sampled_collect_equivalence(16)
+    print(
+        "sampled collect equivalence: OK "
+        "(non-contiguous subsets bit-identical across all three backends)"
     )
 
     clients, collect_model, collect_buffer = make_collect_population(
@@ -365,6 +426,35 @@ def main(argv=None) -> int:
         f"threaded({collect_workers}) {threaded_collect.best_s * 1e3:.0f} ms "
         f"({collect_speedup:.2f}x, n={collect_clients}, "
         f"{collect_latency_s * 1e3:.0f} ms simulated client latency)"
+    )
+
+    # Sampled round (participation_fraction=0.2): the collect stage's cost
+    # must scale with the cohort, not the population — the acceptance
+    # criterion of the participation-aware round engine.
+    sampled_fraction = 0.2
+    sampled_rows = np.sort(
+        np.random.default_rng(0).choice(
+            collect_clients,
+            size=max(1, int(round(sampled_fraction * collect_clients))),
+            replace=False,
+        )
+    )
+    sampled_buffer = np.empty(
+        (len(sampled_rows), collect_model.num_parameters()), dtype=np.float64
+    )
+    sampled_collect = run_benchmark(
+        lambda: sequential_collector.collect(
+            clients, collect_model, sampled_buffer, rows=sampled_rows
+        ),
+        name=f"collect_gradients_sampled/cohort{len(sampled_rows)}",
+        repeats=repeats,
+    )
+    sampled_collect_speedup = speedup(seed_collect, sampled_collect)
+    print(
+        f"collect_gradients_sampled: full {seed_collect.best_s * 1e3:.0f} ms -> "
+        f"cohort({len(sampled_rows)}/{collect_clients}) "
+        f"{sampled_collect.best_s * 1e3:.0f} ms "
+        f"({sampled_collect_speedup:.2f}x cheaper per round)"
     )
 
     # Compute-bound variant (no latency): context only, no floor — on a
@@ -460,12 +550,21 @@ def main(argv=None) -> int:
         (optimized_bulyan, {"speedup_vs_seed": bulyan_speedup}),
         (seed_meanshift, {}),
         (optimized_meanshift, {"speedup_vs_seed": meanshift_speedup}),
+        (binned_meanshift, {"speedup_vs_unbinned": binned_meanshift_speedup}),
     ):
         bench.extra.update({"n_clients": n_clients, "dim": dim, **extra})
         results.append(bench)
     seed_collect.extra.update(collect_extra)
     threaded_collect.extra.update(
         {**collect_extra, "speedup_vs_sequential": collect_speedup}
+    )
+    sampled_collect.extra.update(
+        {
+            **collect_extra,
+            "participation_fraction": sampled_fraction,
+            "cohort_size": int(len(sampled_rows)),
+            "speedup_vs_full_round": sampled_collect_speedup,
+        }
     )
     cpu_sequential.extra.update(cpu_extra)
     cpu_threaded.extra.update(
@@ -483,6 +582,7 @@ def main(argv=None) -> int:
         [
             seed_collect,
             threaded_collect,
+            sampled_collect,
             cpu_sequential,
             cpu_threaded,
             process_collect,
@@ -503,13 +603,20 @@ def main(argv=None) -> int:
             "cpu_count": cpu_count,
             "process_floor_enforced": enforce_process_floor,
         },
+        "participation": {
+            "sampled_fraction": sampled_fraction,
+            "cohort_size": int(len(sampled_rows)),
+            "subset_bit_identical_across_backends": True,
+        },
         "round_profile": profile["stages"],
         "speedups": {
             "signguard_pipeline": pipeline_speedup,
             "krum_scoring_round": krum_speedup,
             "bulyan": bulyan_speedup,
             "meanshift": meanshift_speedup,
+            "meanshift_binned_vs_unbinned": binned_meanshift_speedup,
             "collect_gradients": collect_speedup,
+            "collect_gradients_sampled_vs_full": sampled_collect_speedup,
             "collect_gradients_cpu_bound": cpu_collect_speedup,
             "collect_gradients_cpu_bound_process": process_collect_speedup,
         },
@@ -543,6 +650,17 @@ def main(argv=None) -> int:
         collect_speedup >= 2.0,
         f"threaded collect speedup regressed: {collect_speedup:.2f}x < 2.0x "
         f"(n={collect_clients}, {collect_workers} workers)",
+    )
+    _require(
+        sampled_collect_speedup >= 2.0,
+        "sampled round collect is not measurably cheaper than a full round: "
+        f"{sampled_collect_speedup:.2f}x < 2.0x "
+        f"(cohort {len(sampled_rows)}/{collect_clients})",
+    )
+    _require(
+        binned_meanshift_speedup >= 1.0,
+        "binned Mean-Shift regressed below the unbinned fit: "
+        f"{binned_meanshift_speedup:.2f}x",
     )
     if enforce_process_floor:
         _require(

@@ -31,8 +31,8 @@ class _TracingSimulation(FederatedSimulation):
         super().__init__(*args, **kwargs)
         self.trace = trace
 
-    def _collect_honest_gradients(self) -> np.ndarray:
-        gradients = super()._collect_honest_gradients()
+    def _collect_honest_gradients(self, plan) -> np.ndarray:
+        gradients = super()._collect_honest_gradients(plan)
         self.trace.record(gradients)
         return gradients
 

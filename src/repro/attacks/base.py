@@ -15,12 +15,26 @@ from repro.utils.validation import check_gradient_matrix
 class AttackContext:
     """Everything an (omniscient) attacker can see in one round.
 
+    Under partial participation the context is *cohort-scoped*: the attacker
+    only controls the Byzantine clients that were sampled and reported this
+    round, and every index refers to a row of the round's gradient matrix,
+    not to a global client id.
+
     Attributes:
         round_index: current federated round (0-based).
-        num_clients: total number of clients ``n``.
-        byzantine_indices: indices of the clients controlled by the attacker.
+        num_clients: number of gradient rows this round — the full
+            population ``n`` under full participation, the active cohort
+            size under sampling.
+        byzantine_indices: row indices (within this round's gradient
+            matrix) of the clients controlled by the attacker.
         rng: the attacker's random generator.
         global_gradient: previous round's aggregated gradient, if any.
+        population_size: total number of clients in the federation (equals
+            ``num_clients`` under full participation; ``None`` when the
+            context was built outside the simulation).
+        cohort_client_ids: global client id of each gradient row, so
+            attacks that track clients across rounds can map row positions
+            back to the population (``None`` outside the simulation).
         extra: free-form channel for attack-specific knowledge.
     """
 
@@ -29,6 +43,8 @@ class AttackContext:
     byzantine_indices: np.ndarray
     rng: np.random.Generator
     global_gradient: Optional[np.ndarray] = None
+    population_size: Optional[int] = None
+    cohort_client_ids: Optional[np.ndarray] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -44,6 +60,8 @@ class AttackContext:
         byzantine_indices,
         rng: RngLike = None,
         global_gradient: Optional[np.ndarray] = None,
+        population_size: Optional[int] = None,
+        cohort_client_ids=None,
     ) -> "AttackContext":
         """Convenience constructor used by tests and the simulator."""
         return cls(
@@ -52,6 +70,12 @@ class AttackContext:
             byzantine_indices=np.asarray(byzantine_indices, dtype=int),
             rng=as_rng(rng),
             global_gradient=global_gradient,
+            population_size=population_size,
+            cohort_client_ids=(
+                None
+                if cohort_client_ids is None
+                else np.asarray(cohort_client_ids, dtype=int)
+            ),
         )
 
 
@@ -102,7 +126,14 @@ class Attack:
     def benign_rows(
         self, honest_gradients: np.ndarray, context: AttackContext
     ) -> np.ndarray:
-        """Honest gradients of the clients *not* controlled by the attacker."""
+        """Honest gradients of the clients *not* controlled by the attacker.
+
+        Under partial participation a sampled cohort can consist entirely
+        of Byzantine clients, making this **empty** — callers that estimate
+        statistics from it (mean/std) must handle that case themselves
+        (sums over an empty matrix are legitimately zero, so e.g. ByzMean's
+        Eq. 8 needs no special-casing).
+        """
         mask = np.ones(len(honest_gradients), dtype=bool)
         mask[np.asarray(context.byzantine_indices, dtype=int)] = False
         return honest_gradients[mask]

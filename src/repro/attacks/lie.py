@@ -67,6 +67,12 @@ class LittleIsEnoughAttack(Attack):
         """The ``z`` used this round."""
         if self.z is not None:
             return self.z
+        if context.num_clients < 2 or context.num_byzantine >= context.num_clients:
+            # Degenerate sampled cohorts (a single reporting client, or all
+            # of them Byzantine) leave the z_max formula undefined — there
+            # is no benign majority to hide among, so submit the plain mean
+            # (z = 0) instead of crashing the run.
+            return 0.0
         return lie_z_max(context.num_clients, context.num_byzantine)
 
     def malicious_gradient(
@@ -75,6 +81,11 @@ class LittleIsEnoughAttack(Attack):
         """The single crafted vector that every Byzantine client submits."""
         if self.use_benign_statistics:
             reference = self.benign_rows(honest_gradients, context)
+            if len(reference) == 0:
+                # All-Byzantine cohort (possible under partial
+                # participation): the colluders' own honest gradients are
+                # the only statistics left to disguise the shift with.
+                reference = honest_gradients
         else:
             reference = honest_gradients
         mu = reference.mean(axis=0)

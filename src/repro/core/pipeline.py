@@ -9,6 +9,13 @@ All per-round derived quantities (row norms, Gram/distance matrices for the
 similarity fallbacks) flow through one :class:`~repro.utils.batch.GradientBatch`,
 so the matrix is validated once and each quantity is computed at most once
 per round no matter how many stages consume it.
+
+The pipeline makes no assumption about the matrix's row count: under
+partial participation the simulation submits one row per *reporting* client
+(the active cohort), which varies round to round — every threshold, sign
+statistic, clustering pass, and the clipped mean are sized from the batch
+itself, and the per-round ``GradientBatch`` is built fresh each aggregation
+call so a cohort-size change can never reuse stale-shape cached quantities.
 """
 
 from __future__ import annotations

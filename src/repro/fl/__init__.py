@@ -1,11 +1,16 @@
 """Federated-learning simulation: clients, server, and the experiment runner.
 
-The simulation follows Algorithm 1 of the paper: synchronous rounds with full
-client participation, one local iteration of mini-batch SGD per round, and a
-robust gradient aggregation rule on the server.  Byzantine clients are
-simulated by computing honest gradients first and then letting the configured
-attack replace them (the omniscient-attacker threat model), except for the
+The simulation follows Algorithm 1 of the paper: synchronous rounds, one
+local iteration of mini-batch SGD per round, and a robust gradient
+aggregation rule on the server.  Byzantine clients are simulated by
+computing honest gradients first and then letting the configured attack
+replace them (the omniscient-attacker threat model), except for the
 label-flipping attack which poisons the clients' local data instead.
+
+Participation is pluggable (:mod:`repro.fl.participation`): the default
+reproduces the paper's full-participation cross-silo setting, while
+``uniform``/``fixed_cohort`` schedules sample a per-round cohort with
+optional dropouts and stragglers — the cross-device regime.
 """
 
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
@@ -15,6 +20,14 @@ from repro.fl.collector import (
     ProcessCollector,
     SequentialCollector,
     build_collector,
+)
+from repro.fl.participation import (
+    FixedCohortParticipation,
+    FullParticipation,
+    ParticipationSchedule,
+    RoundPlan,
+    UniformParticipation,
+    build_participation,
 )
 from repro.fl.server import FederatedServer
 from repro.fl.simulation import FederatedSimulation
@@ -32,6 +45,12 @@ __all__ = [
     "ParallelCollector",
     "ProcessCollector",
     "build_collector",
+    "ParticipationSchedule",
+    "RoundPlan",
+    "FullParticipation",
+    "UniformParticipation",
+    "FixedCohortParticipation",
+    "build_participation",
     "attack_impact",
     "evaluate_model",
     "run_experiment",

@@ -61,6 +61,21 @@ exception would leave it partially filled with the *previous* round's
 gradients — a caller that catches the exception and keeps going would
 silently aggregate stale rows.  With invalidation, rows the failed round
 never produced are NaN and poison any downstream aggregate instead.
+
+Partial participation
+---------------------
+
+``collect`` accepts an optional ``rows`` argument — a strictly increasing
+subset of client positions (a :class:`~repro.fl.participation.RoundPlan`'s
+computing set).  Only those clients run, row ``k`` of the (now
+cohort-sized) buffer holds ``clients[rows[k]]``'s gradient, and BatchNorm
+statistics are replayed in buffer-row order, which equals ascending client
+order for every backend.  Non-selected clients are never invoked, so their
+RNG streams stay untouched and any participation schedule remains
+bit-reproducible.  The process backend keeps its persistent per-worker
+chunks of the *full* population (the client RNG streams live in-worker)
+and ships each worker its slice of the round's subset, so sampled rounds
+reuse the same worker processes as full rounds.
 """
 
 from __future__ import annotations
@@ -96,6 +111,41 @@ def default_worker_count(limit: int = 8) -> int:
 def invalidate_buffer(out: np.ndarray) -> None:
     """NaN-fill a round buffer so stale rows from a prior round cannot leak."""
     out.fill(np.nan)
+
+
+def resolve_rows(
+    clients: Sequence[FederatedClient],
+    out: np.ndarray,
+    rows: Optional[Sequence[int]],
+) -> Optional[np.ndarray]:
+    """Validate a ``collect`` row subset against the population and buffer.
+
+    ``None`` (collect everyone) requires a population-sized buffer; an
+    explicit subset must be strictly increasing (the fixed buffer-row order
+    every backend shares), in range, and match the buffer's row count.
+    """
+    if rows is None:
+        if out.shape[0] != len(clients):
+            raise ValueError(
+                f"round buffer has {out.shape[0]} rows but {len(clients)} "
+                "clients were passed (pass rows= to collect a subset)"
+            )
+        return None
+    subset = np.asarray(rows, dtype=int).ravel()
+    if len(subset) == 0:
+        raise ValueError("rows must select at least one client")
+    if len(subset) > 1 and np.any(np.diff(subset) <= 0):
+        raise ValueError(f"rows must be strictly increasing, got {subset}")
+    if subset[0] < 0 or subset[-1] >= len(clients):
+        raise ValueError(
+            f"rows {subset} out of range for {len(clients)} clients"
+        )
+    if out.shape[0] != len(subset):
+        raise ValueError(
+            f"round buffer has {out.shape[0]} rows but {len(subset)} rows "
+            "were selected"
+        )
+    return subset
 
 
 def _batch_stat_modules(model: Module) -> List[_BatchNormBase]:
@@ -137,14 +187,44 @@ def _collect_client(
 
 
 def _collect_sequential(
-    clients: Sequence[FederatedClient], model: Module, out: np.ndarray
+    clients: Sequence[FederatedClient],
+    model: Module,
+    out: np.ndarray,
+    rows: Optional[np.ndarray] = None,
+    apply_batch_stats: bool = True,
 ) -> List[WorkerTiming]:
-    """The shared sequential loop; returns a single pseudo-worker timing."""
+    """The shared sequential loop; returns a single pseudo-worker timing.
+
+    ``apply_batch_stats=False`` restores the model's BatchNorm running
+    statistics afterwards (the training forward rebinds, never mutates, the
+    buffer arrays, so saving the references suffices) — used for straggler
+    gradients, whose discarded submission must not leak state into the
+    global model.
+    """
+    saved_stats = (
+        []
+        if apply_batch_stats
+        else [
+            (module, module.running_mean, module.running_var)
+            for module in _batch_stat_modules(model)
+        ]
+    )
     invalidate_buffer(out)
     start = monotonic()
-    for row, client in enumerate(clients):
-        out[row] = client.compute_gradient(model)
-    return [(0, monotonic() - start, len(clients))]
+    try:
+        if rows is None:
+            for row, client in enumerate(clients):
+                out[row] = client.compute_gradient(model)
+            count = len(clients)
+        else:
+            for buffer_row, client_row in enumerate(rows):
+                out[buffer_row] = clients[client_row].compute_gradient(model)
+            count = len(rows)
+    finally:
+        for module, running_mean, running_var in saved_stats:
+            module.running_mean = running_mean
+            module.running_var = running_var
+    return [(0, monotonic() - start, count)]
 
 
 def _stochastic_forward_modules(model: Module) -> List[str]:
@@ -188,9 +268,23 @@ class GradientCollector:
         clients: Sequence[FederatedClient],
         model: Module,
         out: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        *,
+        apply_batch_stats: bool = True,
     ) -> np.ndarray:
-        """Compute every client's gradient at ``model`` into ``out`` (row i =
-        client i) and return ``out``."""
+        """Compute client gradients at ``model`` into ``out`` and return it.
+
+        With ``rows=None`` every client computes and row ``i`` of ``out``
+        holds client ``i``'s gradient.  With an explicit (strictly
+        increasing) ``rows`` subset only those clients compute and row
+        ``k`` holds ``clients[rows[k]]``'s gradient; the other clients are
+        never invoked.
+
+        ``apply_batch_stats=False`` leaves the global model's BatchNorm
+        running statistics untouched by this call (client RNG streams still
+        advance) — the straggler semantics: a discarded submission must not
+        leak normalization state into the server model.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -211,8 +305,14 @@ class SequentialCollector(GradientCollector):
         clients: Sequence[FederatedClient],
         model: Module,
         out: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        *,
+        apply_batch_stats: bool = True,
     ) -> np.ndarray:
-        self.worker_timings = _collect_sequential(clients, model, out)
+        subset = resolve_rows(clients, out, rows)
+        self.worker_timings = _collect_sequential(
+            clients, model, out, subset, apply_batch_stats
+        )
         return out
 
 
@@ -274,18 +374,27 @@ class ParallelCollector(GradientCollector):
         clients: Sequence[FederatedClient],
         model: Module,
         out: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        *,
+        apply_batch_stats: bool = True,
     ) -> np.ndarray:
-        n_clients = len(clients)
-        workers = min(self.n_workers, n_clients)
+        subset = resolve_rows(clients, out, rows)
+        n_rows = len(clients) if subset is None else len(subset)
+        workers = min(self.n_workers, n_rows)
         if workers <= 1:
-            self.worker_timings = _collect_sequential(clients, model, out)
+            self.worker_timings = _collect_sequential(
+                clients, model, out, subset, apply_batch_stats
+            )
             return out
 
         _check_deterministic_forward(model, type(self).__name__)
         self._ensure_workers(model, workers)
         self._sync_replicas(model, workers)
         invalidate_buffer(out)
-        track_stats = bool(_batch_stat_modules(model))
+        # Workers run on replicas (re-synced every round), so suppressing
+        # batch stats only requires skipping the replay onto the global
+        # model.
+        track_stats = apply_batch_stats and bool(_batch_stat_modules(model))
         stats_by_row: List[Tuple[int, ClientBatchStats]] = []
 
         def run_chunk(worker_index: int) -> WorkerTiming:
@@ -293,8 +402,9 @@ class ParallelCollector(GradientCollector):
             stat_modules = _batch_stat_modules(replica) if track_stats else []
             start = monotonic()
             count = 0
-            for row in range(worker_index, n_clients, workers):
-                stats = _collect_client(clients[row], replica, out[row], stat_modules)
+            for row in range(worker_index, n_rows, workers):
+                client = clients[row if subset is None else subset[row]]
+                stats = _collect_client(client, replica, out[row], stat_modules)
                 if track_stats:
                     stats_by_row.append((row, stats))
                 count += 1
@@ -328,10 +438,11 @@ def _process_worker_main(
 ) -> None:
     """Loop of one persistent collect worker process.
 
-    Receives a model state dict per round (``None`` = shut down), computes
-    its chunk of client gradients into the shared-memory round buffer, and
-    replies with timings, per-client losses, recorded batch statistics, and
-    the first client exception (if any).
+    Receives ``(state_dict, selected_rows)`` per round (``None`` = shut
+    down), computes the selected slice of its client chunk into the
+    shared-memory round buffer (``selected_rows=None`` = the whole chunk),
+    and replies with timings, per-client losses, recorded batch statistics,
+    and the first client exception (if any).
     """
     # Workers share the parent's resource tracker (the fd travels through
     # both fork and spawn), so attaching here is tracker-idempotent and the
@@ -339,18 +450,21 @@ def _process_worker_main(
     shm = shared_memory.SharedMemory(name=shm_name)
     buffer = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
     stat_modules = _batch_stat_modules(model)
+    client_by_row = dict(zip(rows, clients))
     try:
         while True:
-            state = conn.recv()
-            if state is None:
+            message = conn.recv()
+            if message is None:
                 break
+            state, selected = message
             model.load_state_dict(state)
             start = monotonic()
             count = 0
             losses: List[Tuple[int, float]] = []
             stats: List[Tuple[int, ClientBatchStats]] = []
             error: Optional[BaseException] = None
-            for row, client in zip(rows, clients):
+            for row in rows if selected is None else selected:
+                client = client_by_row[row]
                 try:
                     client_stats = _collect_client(
                         client, model, buffer[row], stat_modules
@@ -393,11 +507,16 @@ class ProcessCollector(GradientCollector):
     once — its chunk of the client population (client ``i`` goes to worker
     ``i % n_workers``, the same mapping the threaded backend uses) and a
     replica of the model.  Per round the parent broadcasts the global
-    ``state_dict()`` (parameters + buffers) and NaN-invalidates the
-    shared-memory buffer; workers load the state, compute their clients'
-    gradients directly into the shared buffer, and reply with timings,
-    per-client losses, and recorded BatchNorm batch statistics (replayed
-    onto the global model in client order, see the module docstring).
+    ``state_dict()`` (parameters + buffers) plus each worker's slice of the
+    round's participating rows (``None`` = the whole chunk) and
+    NaN-invalidates the shared-memory buffer; workers load the state,
+    compute the selected clients' gradients directly into the
+    population-sized shared buffer, and reply with timings, per-client
+    losses, and recorded BatchNorm batch statistics (replayed onto the
+    global model in client order, see the module docstring).  The parent
+    then gathers the participating rows into the caller's (cohort-sized)
+    round buffer, so sampled rounds reuse the same persistent workers —
+    and the same in-worker client RNG streams — as full rounds.
 
     Client batch-sampling RNG streams live *inside* the owning worker and
     advance exactly once per round, so results are bit-identical to the
@@ -439,6 +558,9 @@ class ProcessCollector(GradientCollector):
         out: np.ndarray,
         workers: int,
     ) -> bool:
+        # Geometry is keyed on the *population* (the shared buffer holds one
+        # row per client), not the caller's round buffer, whose row count
+        # varies with the cohort under partial participation.
         return bool(
             self._procs
             and self._source_model is model
@@ -446,7 +568,7 @@ class ProcessCollector(GradientCollector):
             and len(self._source_clients) == len(clients)
             and all(a is b for a, b in zip(self._source_clients, clients))
             and self._source_geometry
-            == (model.dtype, out.shape, out.dtype, workers)
+            == (model.dtype, len(clients), out.shape[-1], out.dtype, workers)
         )
 
     def _ensure_workers(
@@ -460,8 +582,12 @@ class ProcessCollector(GradientCollector):
             return
         self._teardown()
         n_clients = len(clients)
-        self._shm = shared_memory.SharedMemory(create=True, size=out.nbytes)
-        self._shm_array = np.ndarray(out.shape, dtype=out.dtype, buffer=self._shm.buf)
+        dim = out.shape[-1]
+        shm_shape = (n_clients, dim)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=n_clients * dim * out.dtype.itemsize
+        )
+        self._shm_array = np.ndarray(shm_shape, dtype=out.dtype, buffer=self._shm.buf)
         for worker_index in range(workers):
             parent_conn, child_conn = self._ctx.Pipe()
             rows = list(range(worker_index, n_clients, workers))
@@ -474,7 +600,7 @@ class ProcessCollector(GradientCollector):
                     [clients[row] for row in rows],
                     model,
                     self._shm.name,
-                    out.shape,
+                    shm_shape,
                     out.dtype.str,
                 ),
                 daemon=True,
@@ -486,18 +612,27 @@ class ProcessCollector(GradientCollector):
             self._conns.append(parent_conn)
         self._source_clients = tuple(clients)
         self._source_model = model
-        self._source_geometry = (model.dtype, out.shape, out.dtype, workers)
+        self._source_geometry = (model.dtype, n_clients, dim, out.dtype, workers)
 
     def collect(
         self,
         clients: Sequence[FederatedClient],
         model: Module,
         out: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        *,
+        apply_batch_stats: bool = True,
     ) -> np.ndarray:
         n_clients = len(clients)
+        subset = resolve_rows(clients, out, rows)
+        # The worker count follows the *population*, not the round subset:
+        # worker processes own their clients' RNG streams, so every round —
+        # however small its cohort — must route through the same workers.
         workers = min(self.n_workers, n_clients)
         if workers <= 1:
-            self.worker_timings = _collect_sequential(clients, model, out)
+            self.worker_timings = _collect_sequential(
+                clients, model, out, subset, apply_batch_stats
+            )
             return out
 
         _check_deterministic_forward(model, type(self).__name__)
@@ -505,14 +640,26 @@ class ProcessCollector(GradientCollector):
         assert self._shm_array is not None
         # Invalidate the caller's buffer as well as the shared one: if a
         # worker dies before replying, ``out`` must not keep the previous
-        # round's rows.
+        # round's rows.  On a sampled round only the cohort's rows need it —
+        # the gather below never reads the others — so invalidation cost
+        # scales with the cohort, not the population.
         invalidate_buffer(out)
-        invalidate_buffer(self._shm_array)
+        if subset is None:
+            invalidate_buffer(self._shm_array)
+        else:
+            self._shm_array[subset] = np.nan
         state = model.state_dict()
+        if subset is None:
+            selected_by_worker: List[Optional[List[int]]] = [None] * workers
+        else:
+            selected_by_worker = [
+                [int(row) for row in subset if row % workers == worker_index]
+                for worker_index in range(workers)
+            ]
         replies = []
         try:
-            for conn in self._conns:
-                conn.send(state)
+            for conn, selected in zip(self._conns, selected_by_worker):
+                conn.send((state, selected))
             for conn in self._conns:
                 replies.append(conn.recv())
         except (EOFError, ConnectionError, OSError) as exc:
@@ -523,7 +670,10 @@ class ProcessCollector(GradientCollector):
             ) from exc
         # Completed rows plus NaN-invalidated rows become the caller's view,
         # even when a client failed.
-        out[...] = self._shm_array
+        if subset is None:
+            out[...] = self._shm_array
+        else:
+            np.take(self._shm_array, subset, axis=0, out=out)
         self.worker_timings = []
         stats_by_row: List[Tuple[int, ClientBatchStats]] = []
         first_error: Optional[BaseException] = None
@@ -536,7 +686,10 @@ class ProcessCollector(GradientCollector):
                 first_error = error
         if first_error is not None:
             raise first_error
-        _replay_batch_stats(model, stats_by_row)
+        if apply_batch_stats:
+            # Workers run on in-process replicas re-synced from the
+            # state-dict broadcast, so suppression just skips this replay.
+            _replay_batch_stats(model, stats_by_row)
         return out
 
     def _teardown(self) -> None:

@@ -108,6 +108,12 @@ def run_experiment(
         dtype=config.training.dtype,
         n_workers=config.training.n_workers,
         collect_backend=config.training.collect_backend,
+        participation=config.training.participation,
+        participation_fraction=config.training.participation_fraction,
+        cohort_size=config.training.cohort_size,
+        dropout_rate=config.training.dropout_rate,
+        straggler_rate=config.training.straggler_rate,
+        participation_rng=rng_factory.make("participation"),
         profiler=profiler,
     )
     try:

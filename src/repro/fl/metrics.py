@@ -47,6 +47,11 @@ def selection_confusion(
 ) -> dict:
     """Benign/Byzantine selection counts for one round (Table II bookkeeping).
 
+    All arguments are scoped to the round's gradient matrix: under partial
+    participation ``num_clients`` is the number of *reporting* clients (the
+    active cohort) and both index arrays are row positions within it, so
+    the totals count the sampled benign/Byzantine clients of this round.
+
     Returns a dict with the number of benign and Byzantine clients selected
     and their totals.
     """

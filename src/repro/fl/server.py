@@ -64,22 +64,62 @@ class FederatedServer:
     def learning_rate(self, value: float) -> None:
         self.optimizer.lr = value
 
-    def make_context(self) -> ServerContext:
-        """Build the per-round context handed to the aggregation rule."""
+    def make_context(
+        self, *, num_byzantine_hint: Optional[int] = None
+    ) -> ServerContext:
+        """Build the per-round context handed to the aggregation rule.
+
+        Args:
+            num_byzantine_hint: per-round override of the configured hint —
+                under partial participation the simulation scales the
+                population-level belief to the sampled cohort.  ``None``
+                keeps the configured value.
+        """
         return ServerContext(
             round_index=self.round_index,
             rng=self._rng,
             previous_gradient=self._previous_gradient,
-            num_byzantine_hint=self.num_byzantine_hint,
+            num_byzantine_hint=(
+                self.num_byzantine_hint
+                if num_byzantine_hint is None
+                else int(num_byzantine_hint)
+            ),
         )
 
-    def aggregate_and_update(self, gradients: np.ndarray) -> AggregationResult:
-        """Run the defense on the submitted gradients and update the model."""
-        context = self.make_context()
+    def aggregate_and_update(
+        self,
+        gradients: np.ndarray,
+        *,
+        num_byzantine_hint: Optional[int] = None,
+        participation_weights: Optional[np.ndarray] = None,
+    ) -> AggregationResult:
+        """Run the defense on the submitted gradients and update the model.
+
+        ``gradients`` has one row per *reporting* client this round — under
+        partial participation that is the active cohort, not the population.
+
+        Args:
+            num_byzantine_hint: per-round hint override (see
+                :meth:`make_context`).
+            participation_weights: optional per-row aggregation weights from
+                the round plan, exposed to weighted rules via
+                ``context.extra["participation_weights"]``.
+        """
+        context = self.make_context(num_byzantine_hint=num_byzantine_hint)
+        if participation_weights is not None:
+            context.extra["participation_weights"] = np.asarray(
+                participation_weights, dtype=np.float64
+            )
         with self.profiler.stage("aggregate"):
             result = self.aggregator(gradients, context)
         with self.profiler.stage("model_update"):
             self.optimizer.apply_gradient_vector(result.gradient)
-        self._previous_gradient = np.asarray(result.gradient, dtype=np.float64).copy()
+        # Keep the round buffer's dtype: copying to float64 here would
+        # silently double the float32 path's memory traffic for the
+        # history-aware features that consume the previous aggregate.
+        previous = np.asarray(result.gradient)
+        if previous.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            previous = previous.astype(np.float64)
+        self._previous_gradient = previous.copy()
         self.round_index += 1
         return result

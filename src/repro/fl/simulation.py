@@ -1,8 +1,19 @@
-"""The federated-learning simulation loop (Algorithm 1 of the paper)."""
+"""The federated-learning simulation loop (Algorithm 1 of the paper).
+
+Rounds are *participation-aware*: a pluggable
+:class:`~repro.fl.participation.ParticipationSchedule` produces a
+:class:`~repro.fl.participation.RoundPlan` each round (sampled cohort,
+dropouts, stragglers), the collect stage computes only the participating
+clients' gradients into a cohort-sized slice of the preallocated round
+buffer, the attack sees the Byzantine positions *within the cohort*, and the
+defense aggregates a per-round-sized gradient matrix.  The default schedule
+(full participation, no failures) is bit-identical to the original
+fixed-population loop.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -11,6 +22,12 @@ from repro.data.datasets import ArrayDataset
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
 from repro.fl.collector import GradientCollector, build_collector
 from repro.fl.metrics import evaluate_model, selection_confusion
+from repro.fl.participation import (
+    ParticipationSchedule,
+    RoundPlan,
+    build_participation,
+    scaled_byzantine_hint,
+)
 from repro.fl.server import FederatedServer
 from repro.nn.module import Module
 from repro.perf.profiler import NULL_PROFILER, RoundProfiler
@@ -32,7 +49,10 @@ class FederatedSimulation:
         clients: the full client population (benign and Byzantine mixed).
         attack: the attack mounted by the Byzantine clients.
         test_dataset: held-out data for accuracy evaluation.
-        attack_rng: randomness available to the attacker.
+        attack_rng: randomness available to the attacker.  When omitted, a
+            deterministic stream is derived from ``seed`` (direct
+            ``FederatedSimulation`` users get reproducible runs just like
+            ``run_experiment`` users do).
         eval_every: evaluate test accuracy every this many rounds.
         lr_decay: multiplicative learning-rate decay applied per round.
         dtype: dtype of the round gradient buffer (``np.float64`` by
@@ -52,11 +72,27 @@ class FederatedSimulation:
             when ``collector`` is given.
         collector: an explicit :class:`~repro.fl.collector.GradientCollector`
             strategy, overriding ``n_workers`` and ``collect_backend``.
+        participation: which clients train each round — a schedule name
+            (``"full"``, ``"uniform"``, ``"fixed_cohort"``) or an explicit
+            :class:`~repro.fl.participation.ParticipationSchedule` instance
+            (which then owns all sampling knobs).
+        participation_fraction: cohort fraction for ``"uniform"`` sampling.
+        cohort_size: cohort size for ``"fixed_cohort"`` sampling.
+        dropout_rate: per-round probability that a sampled client fails
+            before computing (its RNG stream stays untouched).
+        straggler_rate: per-round probability that a surviving sampled
+            client computes (RNG advances) but misses the deadline and is
+            excluded from aggregation.
+        participation_rng: the schedule's randomness; defaults to a
+            deterministic stream derived from ``seed``.
+        seed: seed for the default attacker/participation streams when the
+            explicit generators are not given.
         profiler: optional :class:`~repro.perf.profiler.RoundProfiler`; when
             given, every round records "collect_gradients", per-worker
             "collect_worker_<i>", "attack", and "evaluate" stages here (the
             server adds "aggregate" and "model_update" when it shares the
-            profiler).
+            profiler), and the round totals are annotated with the cohort
+            size, sampled Byzantine count, dropouts, and stragglers.
     """
 
     def __init__(
@@ -74,6 +110,13 @@ class FederatedSimulation:
         n_workers: int = 1,
         collect_backend: str = "thread",
         collector: Optional[GradientCollector] = None,
+        participation: Union[str, ParticipationSchedule] = "full",
+        participation_fraction: float = 1.0,
+        cohort_size: Optional[int] = None,
+        dropout_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        participation_rng=None,
+        seed: int = 0,
         profiler: Optional[RoundProfiler] = None,
     ):
         if not clients:
@@ -99,10 +142,27 @@ class FederatedSimulation:
         )
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.recorder = RunRecorder(description=description)
+        rng_factory = RngFactory(seed)
         self._attack_rng = (
-            attack_rng if attack_rng is not None else np.random.default_rng()
+            attack_rng if attack_rng is not None else rng_factory.make("attack")
         )
-        # Preallocated (n_clients, dim) round buffer, reused across rounds.
+        if isinstance(participation, ParticipationSchedule):
+            self.schedule = participation
+        else:
+            self.schedule = build_participation(
+                participation,
+                participation_fraction=participation_fraction,
+                cohort_size=cohort_size,
+                dropout_rate=dropout_rate,
+                straggler_rate=straggler_rate,
+                rng=(
+                    participation_rng
+                    if participation_rng is not None
+                    else rng_factory.make("participation")
+                ),
+            )
+        # Preallocated (n_clients, dim) round buffer, reused across rounds;
+        # partial rounds use a cohort-sized leading slice of it.
         self._round_buffer: Optional[np.ndarray] = None
         byzantine = [c.client_id for c in self.clients if c.is_byzantine]
         self.byzantine_indices = np.asarray(sorted(byzantine), dtype=int)
@@ -117,23 +177,42 @@ class FederatedSimulation:
     def model(self) -> Module:
         return self.server.model
 
-    def _collect_honest_gradients(self) -> np.ndarray:
-        """Every client's honestly computed gradient at the current global model.
+    def _collect_honest_gradients(self, plan: RoundPlan) -> np.ndarray:
+        """The active clients' honest gradients at the current model.
 
-        Gradients are written straight into a preallocated ``(n_clients,
-        dim)`` round buffer (reused across rounds) by the configured
-        :class:`~repro.fl.collector.GradientCollector` — sequentially by
-        default, or fanned over worker threads when ``n_workers > 1``.
+        Gradients are written into the leading ``(num_active, dim)`` slice
+        of the preallocated round buffer (reused across rounds) by the
+        configured :class:`~repro.fl.collector.GradientCollector`; row
+        ``k`` holds the gradient of client ``plan.active[k]``.
+        Non-participating clients are never invoked, so their RNG streams
+        stay untouched.  Stragglers are collected afterwards into a scratch
+        slice with ``apply_batch_stats=False``: their RNG streams advance
+        and their compute time is spent, but neither their gradient nor
+        their BatchNorm statistics reach the server — the whole discarded
+        submission stays discarded.
         """
-        buffer = self._round_buffer
-        if buffer is None:
+        full = self._round_buffer
+        if full is None:
             dim = self.model.num_parameters()
-            buffer = np.empty((self.num_clients, dim), dtype=self.dtype)
-            self._round_buffer = buffer
-        self.collector.collect(self.clients, self.model, buffer)
+            full = np.empty((self.num_clients, dim), dtype=self.dtype)
+            self._round_buffer = full
+        buffer = full[: plan.num_active]
+        rows = None if plan.is_full_round else plan.active
+        self.collector.collect(self.clients, self.model, buffer, rows=rows)
+        timings = list(self.collector.worker_timings)
+        if plan.num_stragglers:
+            scratch = full[plan.num_active : plan.num_active + plan.num_stragglers]
+            self.collector.collect(
+                self.clients,
+                self.model,
+                scratch,
+                rows=plan.stragglers,
+                apply_batch_stats=False,
+            )
+            timings.extend(self.collector.worker_timings)
         profiler = self.profiler
         if profiler.enabled:
-            for worker_index, seconds, _ in self.collector.worker_timings:
+            for worker_index, seconds, _ in timings:
                 profiler.record(f"collect_worker_{worker_index}", seconds)
         return buffer
 
@@ -141,30 +220,55 @@ class FederatedSimulation:
         """Execute one synchronous federated round and return its record."""
         profiler = self.profiler
         profiler.begin_round(round_index)
+        plan = self.schedule.plan(round_index, self.num_clients)
         with profiler.stage("collect_gradients"):
-            honest = self._collect_honest_gradients()
+            submitted_honest = self._collect_honest_gradients(plan)
+        byzantine_positions = plan.byzantine_positions(self.byzantine_indices)
         context = AttackContext(
             round_index=round_index,
-            num_clients=self.num_clients,
-            byzantine_indices=self.byzantine_indices,
+            num_clients=plan.num_active,
+            byzantine_indices=byzantine_positions,
             rng=self._attack_rng,
             global_gradient=self.server._previous_gradient,
+            population_size=self.num_clients,
+            cohort_client_ids=plan.active,
         )
         with profiler.stage("attack"):
-            submitted = self.attack.apply(honest, context)
-        result = self.server.aggregate_and_update(submitted)
+            submitted = self.attack.apply(submitted_honest, context)
+        result = self.server.aggregate_and_update(
+            submitted,
+            num_byzantine_hint=scaled_byzantine_hint(
+                self.server.num_byzantine_hint, plan.num_active, self.num_clients
+            ),
+            participation_weights=plan.weights,
+        )
 
         confusion = selection_confusion(
-            result.selected_indices, self.byzantine_indices, self.num_clients
+            result.selected_indices, byzantine_positions, plan.num_active
         )
+        selected_global = plan.active[np.asarray(result.selected_indices, dtype=int)]
+        # Loss is averaged over the *reporting* clients: a straggler's local
+        # loss never reached the server, so it cannot enter the round record.
+        reporting_clients = [self.clients[i] for i in plan.active]
         benign_losses = [
-            client.last_loss for client in self.clients if not client.is_byzantine
-        ] or [client.last_loss for client in self.clients]
+            client.last_loss for client in reporting_clients if not client.is_byzantine
+        ] or [client.last_loss for client in reporting_clients]
         record = RoundRecord(
             round_index=round_index,
             train_loss=float(np.mean(benign_losses)),
-            selected_clients=tuple(int(i) for i in result.selected_indices),
+            selected_clients=tuple(int(i) for i in selected_global),
             attack_name=getattr(self.attack, "name", "unknown"),
+            cohort_size=plan.cohort_size,
+            num_dropped=plan.num_dropped,
+            num_stragglers=plan.num_stragglers,
+            # Only record explicit cohort ids when they carry information: a
+            # population-sized cohort is derivable from cohort_size and
+            # would bloat every serialized full-participation record.
+            cohort_clients=(
+                ()
+                if plan.cohort_size == self.num_clients
+                else tuple(int(i) for i in plan.cohort)
+            ),
             **confusion,
         )
         if (round_index + 1) % self.eval_every == 0:
@@ -174,6 +278,14 @@ class FederatedSimulation:
             record.test_loss = test_loss
         if self.lr_decay != 1.0:
             self.server.learning_rate *= self.lr_decay
+        if profiler.enabled:
+            profiler.annotate(
+                cohort_size=plan.cohort_size,
+                num_active=plan.num_active,
+                num_dropped=plan.num_dropped,
+                num_stragglers=plan.num_stragglers,
+                byzantine_in_cohort=len(byzantine_positions),
+            )
         profiler.end_round()
         return record
 

@@ -33,6 +33,9 @@ class NullProfiler:
     def record(self, name: str, seconds: float) -> None:
         pass
 
+    def annotate(self, **fields: Any) -> None:
+        pass
+
     def begin_round(self, round_index: Optional[int] = None) -> None:
         pass
 
@@ -67,6 +70,7 @@ class RoundProfiler:
         self.round_totals: List[Dict[str, Any]] = []
         self._round_start: Optional[float] = None
         self._round_index: Optional[int] = None
+        self._round_annotations: Dict[str, Any] = {}
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -86,12 +90,24 @@ class RoundProfiler:
         """
         self.timings.add(name, float(seconds))
 
+    def annotate(self, **fields: Any) -> None:
+        """Attach metadata to the current round's totals entry.
+
+        The federated simulation uses this to record participation facts —
+        cohort size, sampled Byzantine count, dropouts, stragglers — next
+        to the round's wall-clock total.  Calling it outside a round is a
+        no-op.
+        """
+        if self._round_start is not None:
+            self._round_annotations.update(fields)
+
     def begin_round(self, round_index: Optional[int] = None) -> None:
         """Mark the start of a federated round."""
         self._round_start = monotonic()
         if round_index is None:
             round_index = len(self.round_totals)
         self._round_index = int(round_index)
+        self._round_annotations = {}
 
     def end_round(self) -> None:
         """Mark the end of a round and record its total wall-clock time."""
@@ -99,9 +115,16 @@ class RoundProfiler:
             return
         elapsed = monotonic() - self._round_start
         self.timings.add("round_total", elapsed)
-        self.round_totals.append({"round_index": self._round_index, "total_s": elapsed})
+        self.round_totals.append(
+            {
+                "round_index": self._round_index,
+                "total_s": elapsed,
+                **self._round_annotations,
+            }
+        )
         self._round_start = None
         self._round_index = None
+        self._round_annotations = {}
 
     @property
     def num_rounds(self) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.utils.validation import (
     check_fraction,
@@ -77,6 +77,14 @@ class TrainingConfig:
     recovers compute parallelism on GIL-bound hosts), or ``"sequential"``
     (force the seed loop regardless of ``n_workers``).  Every backend is
     bit-identical to the sequential path at any worker count.
+
+    ``participation`` selects which clients train each round (see
+    :mod:`repro.fl.participation`): ``"full"`` (default — every client,
+    every round, the paper's cross-silo setting), ``"uniform"`` (a
+    ``participation_fraction`` cohort sampled per round, FedAvg-style), or
+    ``"fixed_cohort"`` (exactly ``cohort_size`` clients per round).
+    ``dropout_rate`` and ``straggler_rate`` simulate sampled clients that
+    fail before computing / compute but miss the synchronous deadline.
     """
 
     model: str = "simple_cnn"
@@ -91,6 +99,11 @@ class TrainingConfig:
     dtype: str = "float64"
     n_workers: int = 1
     collect_backend: str = "thread"
+    participation: str = "full"
+    participation_fraction: float = 1.0
+    cohort_size: Optional[int] = None
+    dropout_rate: float = 0.0
+    straggler_rate: float = 0.0
 
     def validate(self) -> "TrainingConfig":
         check_integer_in_range(self.rounds, "rounds", minimum=1)
@@ -115,6 +128,27 @@ class TrainingConfig:
                 f"collect_backend must be one of {COLLECT_BACKENDS}, "
                 f"got {self.collect_backend!r}"
             )
+        from repro.fl.participation import PARTICIPATION_SCHEDULES
+
+        if self.participation not in PARTICIPATION_SCHEDULES:
+            raise ValueError(
+                f"participation must be one of {PARTICIPATION_SCHEDULES}, "
+                f"got {self.participation!r}"
+            )
+        check_fraction(self.participation_fraction, "participation_fraction")
+        if self.participation_fraction <= 0.0:
+            raise ValueError(
+                "participation_fraction must be in (0, 1], "
+                f"got {self.participation_fraction}"
+            )
+        if self.cohort_size is not None:
+            check_integer_in_range(self.cohort_size, "cohort_size", minimum=1)
+        if self.participation == "fixed_cohort" and self.cohort_size is None:
+            raise ValueError("participation='fixed_cohort' requires cohort_size")
+        check_fraction(self.dropout_rate, "dropout_rate")
+        check_fraction(self.straggler_rate, "straggler_rate")
+        if self.dropout_rate >= 1.0 or self.straggler_rate >= 1.0:
+            raise ValueError("dropout_rate and straggler_rate must be < 1")
         return self
 
 
@@ -170,6 +204,14 @@ class ExperimentConfig:
             raise ValueError(
                 f"{self.num_byzantine} Byzantine clients out of {self.num_clients} "
                 "violates the Byzantine-minority assumption"
+            )
+        if (
+            self.training.cohort_size is not None
+            and self.training.cohort_size > self.num_clients
+        ):
+            raise ValueError(
+                f"cohort_size={self.training.cohort_size} exceeds "
+                f"num_clients={self.num_clients}"
             )
         return self
 

@@ -15,7 +15,15 @@ import numpy as np
 
 @dataclass
 class RoundRecord:
-    """Metrics from a single federated round."""
+    """Metrics from a single federated round.
+
+    Selection counts are *cohort-scoped* under partial participation:
+    ``benign_total``/``byzantine_total`` count the clients whose gradients
+    reached the server this round (so ``byzantine_total`` is the sampled
+    Byzantine count), while ``selected_clients`` and ``cohort_clients``
+    hold *global* client ids.  ``cohort_clients`` is empty when the cohort
+    is the whole population (the ids would be ``range(cohort_size)``).
+    """
 
     round_index: int
     train_loss: float
@@ -27,7 +35,16 @@ class RoundRecord:
     byzantine_selected: int = 0
     byzantine_total: int = 0
     attack_name: str = ""
+    cohort_size: int = 0
+    num_dropped: int = 0
+    num_stragglers: int = 0
+    cohort_clients: Sequence[int] = field(default_factory=tuple)
     extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_reporting(self) -> int:
+        """Clients whose gradients reached the server in time this round."""
+        return self.benign_total + self.byzantine_total
 
     @property
     def benign_selection_rate(self) -> float:
@@ -55,6 +72,10 @@ class RoundRecord:
             "byzantine_selected": self.byzantine_selected,
             "byzantine_total": self.byzantine_total,
             "attack_name": self.attack_name,
+            "cohort_size": self.cohort_size,
+            "num_dropped": self.num_dropped,
+            "num_stragglers": self.num_stragglers,
+            "cohort_clients": list(self.cohort_clients),
             "extra": dict(self.extra),
         }
 
@@ -116,6 +137,21 @@ class RunRecorder:
         if not rates:
             return float("nan")
         return float(np.mean(rates))
+
+    def mean_cohort_size(self) -> float:
+        """Average sampled cohort size per round (partial-participation runs)."""
+        sizes = [r.cohort_size for r in self.rounds if r.cohort_size > 0]
+        if not sizes:
+            return float("nan")
+        return float(np.mean(sizes))
+
+    def total_dropouts(self) -> int:
+        """Total simulated client dropouts across the run."""
+        return int(sum(r.num_dropped for r in self.rounds))
+
+    def total_stragglers(self) -> int:
+        """Total simulated stragglers (computed but missed deadline)."""
+        return int(sum(r.num_stragglers for r in self.rounds))
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialize the whole run (for EXPERIMENTS.md bookkeeping)."""

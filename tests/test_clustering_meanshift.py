@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.clustering import MeanShift, estimate_bandwidth
+from repro.clustering import MeanShift, estimate_bandwidth, get_bin_seeds
 
 
 @pytest.fixture
@@ -91,3 +91,117 @@ class TestMeanShift:
     def test_largest_cluster_before_fit_raises(self):
         with pytest.raises(RuntimeError):
             MeanShift().largest_cluster()
+
+
+class TestBinSeeding:
+    """MeanShift(bin_seeding=True): sklearn-style grid-seeded acceleration."""
+
+    def _canonical(self, labels):
+        """Relabel clusters by first appearance so partitions compare equal."""
+        seen = {}
+        return tuple(seen.setdefault(int(label), len(seen)) for label in labels)
+
+    def test_get_bin_seeds_snaps_to_grid(self):
+        x = np.array([[0.0, 0.0], [0.1, 0.1], [1.0, 1.0]])
+        seeds = get_bin_seeds(x, bin_size=0.5)
+        expected = {(0.0, 0.0), (1.0, 1.0)}
+        assert {tuple(seed) for seed in seeds} == expected
+
+    def test_get_bin_seeds_min_bin_freq_filters_sparse_cells(self):
+        x = np.array([[0.0, 0.0], [0.05, 0.0], [3.0, 3.0]])
+        seeds = get_bin_seeds(x, bin_size=0.5, min_bin_freq=2)
+        assert {tuple(seed) for seed in seeds} == {(0.0, 0.0)}
+
+    def test_get_bin_seeds_degenerate_returns_points(self):
+        # Binning that cannot reduce the seed count returns the samples.
+        x = np.array([[0.0, 0.0], [10.0, 10.0]])
+        seeds = get_bin_seeds(x, bin_size=0.5)
+        assert np.array_equal(seeds, x)
+
+    def test_get_bin_seeds_invalid_bin_size(self):
+        with pytest.raises(ValueError, match="bin_size"):
+            get_bin_seeds(np.zeros((2, 2)), bin_size=0.0)
+
+    def test_invalid_min_bin_freq_rejected(self):
+        with pytest.raises(ValueError, match="min_bin_freq"):
+            MeanShift(bin_seeding=True, min_bin_freq=0)
+
+    def test_equivalent_partition_on_signguard_features(self):
+        # The acceptance contract: on SignGuard's sign-statistics feature
+        # distributions the binned path must discover the same partition
+        # (up to cluster numbering) and the same trusted majority.
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            features = np.vstack(
+                [
+                    rng.normal([0.6, 0.05, 0.35], 0.02, size=(80, 3)),
+                    rng.normal([0.3, 0.05, 0.65], 0.02, size=(20, 3)),
+                ]
+            )
+            unbinned = MeanShift(quantile=0.5).fit(features)
+            binned = MeanShift(quantile=0.5, bin_seeding=True).fit(features)
+            assert binned.n_clusters_ == unbinned.n_clusters_, seed
+            assert self._canonical(binned.labels_) == self._canonical(
+                unbinned.labels_
+            ), seed
+            np.testing.assert_array_equal(
+                binned.largest_cluster(), unbinned.largest_cluster()
+            )
+
+    def test_equivalent_with_similarity_augmented_features(self):
+        # The -Sim/-Dist variants append a 4th feature column; equivalence
+        # must hold there too.
+        rng = np.random.default_rng(7)
+        features = np.hstack(
+            [
+                np.vstack(
+                    [
+                        rng.normal([0.55, 0.1, 0.35], 0.03, size=(40, 3)),
+                        rng.normal([0.35, 0.1, 0.55], 0.03, size=(10, 3)),
+                    ]
+                ),
+                np.concatenate(
+                    [rng.normal(0.9, 0.02, 40), rng.normal(-0.8, 0.02, 10)]
+                )[:, None],
+            ]
+        )
+        unbinned = MeanShift(quantile=0.5).fit(features)
+        binned = MeanShift(quantile=0.5, bin_seeding=True).fit(features)
+        assert self._canonical(binned.labels_) == self._canonical(unbinned.labels_)
+
+    def test_identical_points_one_cluster(self):
+        model = MeanShift(bin_seeding=True).fit(np.full((6, 3), 0.4))
+        assert model.n_clusters_ == 1
+        assert len(model.largest_cluster()) == 6
+
+    def test_explicit_bandwidth_skips_full_pairwise_distances(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(0.5, 0.02, size=(50, 3))
+        model = MeanShift(bandwidth=0.2, bin_seeding=True).fit(features)
+        assert model.n_clusters_ >= 1
+        assert len(model.labels_) == 50
+
+    def test_filter_backend_matches_unbinned_selection(self):
+        from repro.core.filters import SignClusteringFilter
+        from repro.utils.batch import GradientBatch
+
+        rng = np.random.default_rng(3)
+        signal = rng.normal(0.05, 1.0, size=500)
+        honest = signal[None, :] + rng.normal(0, 0.3, size=(40, 500))
+        malicious = -signal[None, :] + rng.normal(0, 0.05, size=(10, 500))
+        gradients = GradientBatch(np.vstack([honest, malicious]))
+        plain = SignClusteringFilter(clustering="meanshift").apply(
+            gradients, rng=np.random.default_rng(0)
+        )
+        binned = SignClusteringFilter(clustering="meanshift_binned").apply(
+            gradients, rng=np.random.default_rng(0)
+        )
+        np.testing.assert_array_equal(
+            plain.selected_indices, binned.selected_indices
+        )
+
+    def test_filter_rejects_unknown_clustering(self):
+        from repro.core.filters import SignClusteringFilter
+
+        with pytest.raises(ValueError, match="clustering"):
+            SignClusteringFilter(clustering="meanshift_turbo")
