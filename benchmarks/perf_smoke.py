@@ -37,6 +37,15 @@ repo's round-level speedups:
   measurably cheaper than a full round (>= 2x floor), because collect cost
   scales with the cohort, not the population.  Non-contiguous subsets are
   first verified **bit-identical** across all three backends.
+* ``collect_gradients_cpu_bound/distributed2`` — the **distributed**
+  backend (:class:`repro.fl.transport.DistributedCollector`) over a
+  two-worker localhost ``repro-worker`` fleet (real subprocesses), on the
+  same compute-bound workload.  Recorded as context without a floor (the
+  point of the backend is multi-*host* scale, which localhost cannot
+  demonstrate); the JSON records ``bytes_per_round`` on the wire and
+  ``cpu_count``.  Before any timing, full **and** sampled distributed
+  collects are verified bit-identical to the sequential path over an
+  in-process fleet.
 * ``profiled_round``       — per-stage timings of real federated rounds via
   :class:`repro.perf.RoundProfiler`, including per-worker collect stages
   (context, not a speedup claim).
@@ -78,6 +87,11 @@ from repro.fl.collector import (  # noqa: E402
     ParallelCollector,
     ProcessCollector,
     SequentialCollector,
+)
+from repro.fl.transport import (  # noqa: E402
+    DistributedCollector,
+    spawn_local_fleet,
+    start_thread_fleet,
 )
 from repro.nn.models.factory import build_model  # noqa: E402
 from repro.perf import (  # noqa: E402
@@ -152,12 +166,19 @@ class LatencyClient(BenignClient):
         return super().compute_gradient(model)
 
 
-def make_collect_population(n_clients: int, latency_s: float, seed: int = 0):
+def make_collect_population(
+    n_clients: int, latency_s: float, seed: int = 0, *, plain_clients: bool = False
+):
     """(clients, model, buffer) for the collect-stage benchmark.
 
     Every client's batch-sampling RNG is an :class:`RngFactory` child stream
     fixed here — before any dispatch — which is what makes the threaded
     collect bit-identical to the sequential one.
+
+    ``plain_clients=True`` builds :class:`BenignClient`\\ s (importable from
+    ``repro``) instead of the script-local :class:`LatencyClient` — required
+    when the population is pickled to ``repro-worker`` subprocesses, which
+    cannot import this script's ``__main__`` classes.
     """
     samples_per_client = 20
     split = build_dataset(
@@ -168,13 +189,15 @@ def make_collect_population(n_clients: int, latency_s: float, seed: int = 0):
     )
     rng_factory = RngFactory(seed)
     partitions = np.array_split(np.arange(len(split.train)), n_clients)
+    client_kwargs = {} if plain_clients else {"latency_s": latency_s}
+    client_cls = BenignClient if plain_clients else LatencyClient
     clients = [
-        LatencyClient(
+        client_cls(
             client_id,
             split.train.subset(indices),
             batch_size=16,
-            latency_s=latency_s,
             rng=rng_factory.make(f"client-{client_id}"),
+            **client_kwargs,
         )
         for client_id, indices in enumerate(partitions)
     ]
@@ -225,6 +248,37 @@ def check_sampled_collect_equivalence(n_clients: int) -> None:
         _require(
             bool(np.array_equal(reference, subset)),
             f"{label} sampled collect is not bit-identical to the "
+            "sequential full collect's sampled rows",
+        )
+
+
+def check_distributed_collect_equivalence(n_clients: int) -> None:
+    """Full and sampled distributed collects must be bit-identical to the
+    sequential path (client RNG streams live in the owning worker)."""
+    clients_ref, model, buffer_ref = make_collect_population(n_clients, latency_s=0.0)
+    SequentialCollector().collect(clients_ref, model, buffer_ref)
+    rows = list(range(1, n_clients, 3))
+    with start_thread_fleet(2) as fleet:
+        clients, _, buffer = make_collect_population(n_clients, latency_s=0.0)
+        with DistributedCollector(fleet.addresses) as collector:
+            collector.collect(clients, model, buffer)
+            _require(
+                bool(np.array_equal(buffer_ref, buffer)),
+                "distributed float64 collect is not bit-identical to the "
+                "sequential path",
+            )
+            _require(
+                collector.failed_rows == (),
+                "healthy localhost fleet reported failed rows",
+            )
+    with start_thread_fleet(3) as fleet:
+        clients, _, _ = make_collect_population(n_clients, latency_s=0.0)
+        subset = np.empty((len(rows), model.num_parameters()))
+        with DistributedCollector(fleet.addresses) as collector:
+            collector.collect(clients, model, subset, rows=rows)
+        _require(
+            bool(np.array_equal(buffer_ref[rows], subset)),
+            "distributed sampled collect is not bit-identical to the "
             "sequential full collect's sampled rows",
         )
 
@@ -403,6 +457,11 @@ def main(argv=None) -> int:
         "sampled collect equivalence: OK "
         "(non-contiguous subsets bit-identical across all three backends)"
     )
+    check_distributed_collect_equivalence(16)
+    print(
+        "distributed collect equivalence: OK "
+        "(localhost fleet bit-identical to sequential, full + sampled)"
+    )
 
     clients, collect_model, collect_buffer = make_collect_population(
         collect_clients, latency_s=collect_latency_s
@@ -501,6 +560,31 @@ def main(argv=None) -> int:
         f"{'enforced' if enforce_process_floor else 'skipped: single-core host'})"
     )
 
+    # Distributed backend over a real two-worker localhost fleet: context
+    # only (multi-host scale is the point; localhost shares the cores), but
+    # the bytes-on-wire per round are the number deployments plan around.
+    distributed_workers = 2
+    dist_clients, dist_model, dist_buffer = make_collect_population(
+        collect_clients, latency_s=0.0, plain_clients=True
+    )
+    with spawn_local_fleet(distributed_workers) as fleet:
+        with DistributedCollector(fleet.addresses) as distributed_collector:
+            distributed_collect = run_benchmark(
+                lambda: distributed_collector.collect(
+                    dist_clients, dist_model, dist_buffer
+                ),
+                name=f"collect_gradients_cpu_bound/distributed{distributed_workers}",
+                repeats=repeats,
+            )
+            distributed_bytes_round = sum(distributed_collector.last_round_bytes)
+    distributed_collect_speedup = speedup(cpu_sequential, distributed_collect)
+    print(
+        f"collect_gradients_cpu_bound/distributed: "
+        f"{distributed_collect_speedup:.2f}x over TCP "
+        f"({distributed_bytes_round / 2**20:.2f} MiB/round on the wire, "
+        f"cpu_count={cpu_count}; context, no floor)"
+    )
+
     # ------------------------------------------------------------------
     # Per-stage profile of real federated rounds (context numbers)
     # ------------------------------------------------------------------
@@ -578,6 +662,17 @@ def main(argv=None) -> int:
             "floor_enforced": enforce_process_floor,
         }
     )
+    distributed_collect.extra.update(
+        {
+            **cpu_extra,
+            "n_workers": distributed_workers,
+            "speedup_vs_sequential": distributed_collect_speedup,
+            "cpu_count": cpu_count,
+            "bytes_per_round": distributed_bytes_round,
+            "transport": "tcp localhost (repro-worker subprocesses)",
+            "floor_enforced": False,
+        }
+    )
     results.extend(
         [
             seed_collect,
@@ -586,6 +681,7 @@ def main(argv=None) -> int:
             cpu_sequential,
             cpu_threaded,
             process_collect,
+            distributed_collect,
         ]
     )
 
@@ -608,6 +704,12 @@ def main(argv=None) -> int:
             "cohort_size": int(len(sampled_rows)),
             "subset_bit_identical_across_backends": True,
         },
+        "distributed": {
+            "n_workers": distributed_workers,
+            "bytes_per_round": distributed_bytes_round,
+            "cpu_count": cpu_count,
+            "bit_identical_to_sequential": True,
+        },
         "round_profile": profile["stages"],
         "speedups": {
             "signguard_pipeline": pipeline_speedup,
@@ -619,6 +721,7 @@ def main(argv=None) -> int:
             "collect_gradients_sampled_vs_full": sampled_collect_speedup,
             "collect_gradients_cpu_bound": cpu_collect_speedup,
             "collect_gradients_cpu_bound_process": process_collect_speedup,
+            "collect_gradients_cpu_bound_distributed": distributed_collect_speedup,
         },
     }
     if args.check:

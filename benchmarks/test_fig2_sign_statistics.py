@@ -31,10 +31,10 @@ class _TracingSimulation(FederatedSimulation):
         super().__init__(*args, **kwargs)
         self.trace = trace
 
-    def _collect_honest_gradients(self, plan) -> np.ndarray:
-        gradients = super()._collect_honest_gradients(plan)
+    def _collect_honest_gradients(self, plan):
+        gradients, plan = super()._collect_honest_gradients(plan)
         self.trace.record(gradients)
-        return gradients
+        return gradients, plan
 
 
 def run_fig2(profile) -> SignStatisticsTrace:

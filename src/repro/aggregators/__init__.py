@@ -11,6 +11,7 @@ uniformly.
 from repro.aggregators.base import AggregationResult, Aggregator, ServerContext
 from repro.aggregators.mean import MeanAggregator
 from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
+from repro.aggregators.weighted import WeightedMeanAggregator
 from repro.aggregators.median import CoordinateMedianAggregator
 from repro.aggregators.geometric_median import (
     GeometricMedianAggregator,
@@ -30,6 +31,7 @@ __all__ = [
     "Aggregator",
     "ServerContext",
     "MeanAggregator",
+    "WeightedMeanAggregator",
     "TrimmedMeanAggregator",
     "CoordinateMedianAggregator",
     "GeometricMedianAggregator",

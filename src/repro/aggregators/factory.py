@@ -20,11 +20,13 @@ from repro.aggregators.mean import MeanAggregator
 from repro.aggregators.median import CoordinateMedianAggregator
 from repro.aggregators.signsgd import SignSGDMajorityAggregator
 from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
+from repro.aggregators.weighted import WeightedMeanAggregator
 from repro.utils.registry import Registry
 
 AGGREGATOR_REGISTRY = Registry("aggregators")
 
 AGGREGATOR_REGISTRY.register("mean", MeanAggregator)
+AGGREGATOR_REGISTRY.register("weighted_mean", WeightedMeanAggregator)
 AGGREGATOR_REGISTRY.register("trimmed_mean", TrimmedMeanAggregator)
 AGGREGATOR_REGISTRY.register("median", CoordinateMedianAggregator)
 AGGREGATOR_REGISTRY.register("geomed", GeometricMedianAggregator)
@@ -36,6 +38,7 @@ AGGREGATOR_REGISTRY.register("signsgd", SignSGDMajorityAggregator)
 AGGREGATOR_REGISTRY.register("centered_clipping", CenteredClippingAggregator)
 AGGREGATOR_REGISTRY.register("fltrust", FLTrustAggregator)
 
+AGGREGATOR_REGISTRY.register_alias("fedavg", "weighted_mean")
 AGGREGATOR_REGISTRY.register_alias("trmean", "trimmed_mean")
 AGGREGATOR_REGISTRY.register_alias("geometric_median", "geomed")
 AGGREGATOR_REGISTRY.register_alias("multikrum", "multi_krum")

@@ -1,0 +1,105 @@
+"""Weighted mean aggregation (FedAvg with per-client weights).
+
+This is the first rule that consumes
+:attr:`~repro.fl.participation.RoundPlan.weights`: the participation
+engine threads each round's per-active-client aggregation weights to the
+server, which exposes them as
+``ServerContext.extra["participation_weights"]``.  The built-in schedules
+emit uniform weights (every reporting client counts equally — plain
+FedAvg under sampling), but a custom
+:class:`~repro.fl.participation.ParticipationSchedule` can weight by
+local sample counts to reproduce the heterogeneous-sample-size FedAvg
+objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import (
+    AggregationResult,
+    Aggregator,
+    ServerContext,
+    all_indices,
+)
+
+
+class WeightedMeanAggregator(Aggregator):
+    """Convex combination of the received gradients.
+
+    The weights come from (in priority order) the ``weights`` constructor
+    argument, then ``context.extra["participation_weights"]`` — the
+    round-plan channel — and finally a uniform fallback.
+
+    Degenerate weights never crash a round mid-run: a weight vector of
+    the wrong length, with non-finite or negative entries, or summing to
+    (numerically) zero is replaced by the uniform fallback and the
+    decision is reported in ``info["weights_fallback"]``.  The uniform
+    path computes ``gradients.mean(axis=0)`` verbatim, so with the
+    default schedules this rule is bit-identical to
+    :class:`~repro.aggregators.mean.MeanAggregator`.
+    """
+
+    name = "weighted_mean"
+
+    def __init__(self, *, weights=None):
+        self.weights = None if weights is None else np.asarray(weights, np.float64)
+
+    def _resolve_weights(
+        self, n_clients: int, context: Optional[ServerContext]
+    ) -> tuple:
+        """Return ``(normalized weights or None, fallback reason or None)``."""
+        weights = self.weights
+        if weights is None and context is not None:
+            weights = context.extra.get("participation_weights")
+        if weights is None:
+            return None, "no weights provided"
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n_clients,):
+            return None, (
+                f"expected weights of shape ({n_clients},), got {weights.shape}"
+            )
+        if not np.all(np.isfinite(weights)):
+            return None, "weights contain non-finite entries"
+        if np.any(weights < 0):
+            return None, "weights contain negative entries"
+        total = weights.sum()
+        if total <= 0 or not np.isfinite(total):
+            return None, "weights sum to zero"
+        return weights / total, None
+
+    def aggregate(
+        self, gradients: np.ndarray, context: Optional[ServerContext] = None
+    ) -> AggregationResult:
+        weights, fallback = self._resolve_weights(len(gradients), context)
+        if weights is not None and np.all(weights == weights[0]):
+            # Exactly-uniform weights (what the built-in schedules emit)
+            # take the plain-mean path, keeping this rule bit-identical to
+            # MeanAggregator rather than merely close in floating point.
+            weights = None
+        if weights is None:
+            aggregate = gradients.mean(axis=0)
+            used = np.full(len(gradients), 1.0 / len(gradients))
+        else:
+            # The weighted combination runs in the gradient dtype so the
+            # float32 round path stays float32 end to end.
+            aggregate = (weights.astype(gradients.dtype) @ gradients).astype(
+                gradients.dtype
+            )
+            used = weights
+        info = {"rule": self.name, "weights": used}
+        if fallback is not None and (
+            self.weights is not None
+            or (context is not None and "participation_weights" in context.extra)
+        ):
+            # Only report a *fallback* when weights were actually supplied
+            # and rejected; running without any weights is the normal
+            # full-participation configuration, not a degeneracy.
+            info["weights_fallback"] = fallback
+        return AggregationResult(
+            gradient=aggregate,
+            selected_indices=all_indices(gradients),
+            info=info,
+        )

@@ -9,7 +9,12 @@ a handful of dimensions) — exactly the regime of the server-side filter.
 """
 
 from repro.clustering.kmeans import KMeans, kmeans_plus_plus_init
-from repro.clustering.meanshift import MeanShift, estimate_bandwidth, get_bin_seeds
+from repro.clustering.meanshift import (
+    GridNeighborhood,
+    MeanShift,
+    estimate_bandwidth,
+    get_bin_seeds,
+)
 from repro.clustering.dbscan import DBSCAN
 from repro.clustering.agglomerative import AgglomerativeClustering
 from repro.clustering.metrics import (
@@ -22,6 +27,7 @@ __all__ = [
     "KMeans",
     "kmeans_plus_plus_init",
     "MeanShift",
+    "GridNeighborhood",
     "estimate_bandwidth",
     "get_bin_seeds",
     "DBSCAN",

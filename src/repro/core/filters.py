@@ -120,7 +120,9 @@ class SignClusteringFilter(GradientFilter):
         clustering: ``"meanshift"`` (paper default, adaptive cluster count),
             ``"meanshift_binned"`` (grid-seeded Mean-Shift — same partition
             on SignGuard feature distributions at a fraction of the
-            shift-iteration cost, for large cohorts), ``"kmeans"`` (two
+            shift-iteration cost, for large cohorts), ``"meanshift_grid"``
+            (grid-seeded *and* grid-pruned range queries — the scaling
+            configuration for cohorts past ~1k clients), ``"kmeans"`` (two
             clusters), or ``"dbscan"``.
         bandwidth_quantile: Mean-Shift bandwidth heuristic quantile.
     """
@@ -135,10 +137,16 @@ class SignClusteringFilter(GradientFilter):
         clustering: str = "meanshift",
         bandwidth_quantile: float = 0.5,
     ):
-        if clustering not in {"meanshift", "meanshift_binned", "kmeans", "dbscan"}:
+        if clustering not in {
+            "meanshift",
+            "meanshift_binned",
+            "meanshift_grid",
+            "kmeans",
+            "dbscan",
+        }:
             raise ValueError(
                 "clustering must be 'meanshift', 'meanshift_binned', "
-                f"'kmeans', or 'dbscan', got {clustering!r}"
+                f"'meanshift_grid', 'kmeans', or 'dbscan', got {clustering!r}"
             )
         self.similarity = similarity
         self.coordinate_fraction = coordinate_fraction
@@ -163,7 +171,8 @@ class SignClusteringFilter(GradientFilter):
             return model.largest_cluster()
         model = MeanShift(
             quantile=self.bandwidth_quantile,
-            bin_seeding=self.clustering == "meanshift_binned",
+            bin_seeding=self.clustering in {"meanshift_binned", "meanshift_grid"},
+            neighborhood="grid" if self.clustering == "meanshift_grid" else "dense",
         )
         model.fit(features)
         return model.largest_cluster()

@@ -35,6 +35,21 @@ class BatchLoader:
         )
         return self.dataset[indices]
 
+    @property
+    def rng_state(self) -> dict:
+        """Snapshot of the sampling stream (a plain, picklable dict).
+
+        The loader's generator is its only mutable state, so restoring this
+        snapshot into an identically-constructed loader resumes the exact
+        batch sequence — which is how a restarted distributed-collect
+        worker continues its clients' RNG streams bit-exactly.
+        """
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
     def epoch(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Iterate over the dataset once in shuffled order."""
         order = self._rng.permutation(len(self.dataset))

@@ -34,6 +34,17 @@ from repro.fl.simulation import FederatedSimulation
 from repro.fl.metrics import attack_impact, evaluate_model
 from repro.fl.experiment import run_experiment, run_grid
 
+
+def __getattr__(name):
+    # Lazy export: the distributed backend pulls in the whole socket
+    # transport, which purely in-process runs never need (build_collector
+    # defers the same import for the same reason).
+    if name == "DistributedCollector":
+        from repro.fl.transport.collector import DistributedCollector
+
+        return DistributedCollector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "FederatedClient",
     "BenignClient",
@@ -44,6 +55,7 @@ __all__ = [
     "SequentialCollector",
     "ParallelCollector",
     "ProcessCollector",
+    "DistributedCollector",
     "build_collector",
     "ParticipationSchedule",
     "RoundPlan",

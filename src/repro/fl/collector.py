@@ -23,6 +23,13 @@ collect stage as a pluggable strategy:
   on GIL-bound hosts at the cost of a per-round parameter broadcast — it wins
   once per-round client compute dwarfs ``n_workers × model size`` of
   pickling.
+* :class:`~repro.fl.transport.collector.DistributedCollector` (in
+  :mod:`repro.fl.transport`) — the same contract across TCP: a fleet of
+  ``repro-worker`` hosts each serving a population shard, with a per-round
+  state-dict broadcast and one raw-frame gather per worker.  The only
+  backend with partial-failure semantics: a dead or timed-out worker's
+  rows surface in :attr:`GradientCollector.failed_rows` and the simulation
+  demotes them to round-plan dropouts.
 
 Determinism
 -----------
@@ -86,7 +93,7 @@ import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor, wait
 from multiprocessing import shared_memory
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -95,8 +102,11 @@ from repro.nn.layers import _BatchNormBase
 from repro.nn.module import Module
 from repro.perf.timers import monotonic
 
-#: (worker_index, seconds, clients_processed) for one collect call.
-WorkerTiming = Tuple[int, float, int]
+#: (worker_label, seconds, clients_processed) for one collect call.  The
+#: label is the worker's integer index for in-process backends and the
+#: worker's ``host:port`` address for the distributed backend; consumers
+#: must treat it as an opaque stage suffix, not an array index.
+WorkerTiming = Tuple[Union[int, str], float, int]
 
 #: Per-client batch-norm statistics: one ``[(mean, var), ...]`` list (one
 #: entry per training forward) per batch-norm module, in module order.
@@ -259,6 +269,16 @@ class GradientCollector:
     """
 
     n_workers: int = 1
+
+    #: Client ids the last ``collect`` failed to obtain gradients for —
+    #: always empty for in-process backends (they raise instead); the
+    #: distributed backend reports dead/timed-out workers' rows here so
+    #: the simulation can demote them to ``RoundPlan`` dropouts.
+    failed_rows: Tuple[int, ...] = ()
+
+    #: ``(bytes_sent, bytes_received)`` on the wire for the last
+    #: ``collect`` — (0, 0) for in-process backends.
+    last_round_bytes: Tuple[int, int] = (0, 0)
 
     def __init__(self) -> None:
         self.worker_timings: List[WorkerTiming] = []
@@ -734,20 +754,38 @@ class ProcessCollector(GradientCollector):
 
 #: Collect backend names accepted by :func:`build_collector` and
 #: :class:`~repro.utils.config.TrainingConfig`.
-COLLECT_BACKENDS = ("sequential", "thread", "process")
+COLLECT_BACKENDS = ("sequential", "thread", "process", "distributed")
 
 
-def build_collector(n_workers: int = 1, backend: str = "thread") -> GradientCollector:
+def build_collector(
+    n_workers: int = 1,
+    backend: str = "thread",
+    *,
+    workers: Optional[Sequence[str]] = None,
+) -> GradientCollector:
     """Build the collect strategy for ``backend`` at ``n_workers``.
 
     ``n_workers <= 1`` (or ``backend="sequential"``) gives the sequential
     strategy; otherwise ``"thread"`` gives :class:`ParallelCollector` and
-    ``"process"`` gives :class:`ProcessCollector`.
+    ``"process"`` gives :class:`ProcessCollector`.  ``"distributed"``
+    ignores ``n_workers`` and drives the fleet named by ``workers``
+    (``host:port`` specs) through a
+    :class:`~repro.fl.transport.collector.DistributedCollector`.
     """
     if backend not in COLLECT_BACKENDS:
         raise ValueError(
             f"collect backend must be one of {COLLECT_BACKENDS}, got {backend!r}"
         )
+    if backend == "distributed":
+        if not workers:
+            raise ValueError(
+                "collect_backend='distributed' requires workers=[host:port, ...]"
+            )
+        # Imported here: the transport subsystem pulls in socket machinery
+        # that purely in-process runs never need.
+        from repro.fl.transport.collector import DistributedCollector
+
+        return DistributedCollector(workers)
     if n_workers <= 1 or backend == "sequential":
         return SequentialCollector()
     if backend == "process":

@@ -108,6 +108,7 @@ def run_experiment(
         dtype=config.training.dtype,
         n_workers=config.training.n_workers,
         collect_backend=config.training.collect_backend,
+        workers=config.training.workers,
         participation=config.training.participation,
         participation_fraction=config.training.participation_fraction,
         cohort_size=config.training.cohort_size,

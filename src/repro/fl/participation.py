@@ -150,6 +150,53 @@ class RoundPlan:
             return self.active
         return np.union1d(self.active, self.stragglers)
 
+    def demote_to_dropped(self, client_ids) -> "RoundPlan":
+        """A copy of this plan with ``client_ids`` moved from active to dropped.
+
+        This is the failure path of the *distributed* collect backend: a
+        worker that dies or times out mid-round takes its active clients
+        with it, and the round continues with the survivors — exactly the
+        semantics of clients that failed before computing.  (A client whose
+        worker died after computing did advance its RNG stream in the dead
+        worker's memory, but that state died with the process; the
+        collector resumes the client from its last *completed* round, which
+        is what "dropped" means everywhere else in this module.)
+
+        The surviving clients' aggregation weights are renormalized to sum
+        to 1.  Demoting every active client raises ``ValueError`` — a
+        synchronous round cannot complete with zero reports, so the caller
+        must treat that as a run-level failure, not a round-level one.
+        """
+        ids = _as_sorted_ids(client_ids, "demoted ids", self.population_size)
+        if not len(ids):
+            return self
+        unknown = np.setdiff1d(ids, self.active)
+        if len(unknown):
+            raise ValueError(
+                f"cannot demote clients that are not active this round: {unknown}"
+            )
+        keep = ~np.isin(self.active, ids)
+        if not keep.any():
+            raise ValueError(
+                "cannot demote every active client: a synchronous round "
+                "needs at least one report"
+            )
+        weights = self.weights[keep]
+        total = weights.sum()
+        if total > 0:
+            weights = weights / total
+        else:
+            weights = np.full(int(keep.sum()), 1.0 / int(keep.sum()))
+        return RoundPlan(
+            round_index=self.round_index,
+            population_size=self.population_size,
+            cohort=self.cohort,
+            active=self.active[keep],
+            dropped=np.union1d(self.dropped, ids),
+            stragglers=self.stragglers,
+            weights=weights,
+        )
+
     def byzantine_positions(self, byzantine_ids) -> np.ndarray:
         """Row positions of Byzantine clients within the *submitted* matrix.
 

@@ -68,8 +68,13 @@ class FederatedSimulation:
             ``collector`` is given.
         collect_backend: collect strategy — ``"thread"`` (default),
             ``"process"`` (shared-memory worker processes, for GIL-bound
-            compute), or ``"sequential"`` (force the seed loop).  Ignored
-            when ``collector`` is given.
+            compute), ``"distributed"`` (a TCP fleet of ``repro-worker``
+            hosts given by ``workers``), or ``"sequential"`` (force the
+            seed loop).  Ignored when ``collector`` is given.
+        workers: ``host:port`` specs of the ``repro-worker`` fleet for the
+            distributed backend (ignored otherwise).  A worker that dies
+            or times out mid-round demotes its clients to dropouts in the
+            round's plan instead of crashing the run.
         collector: an explicit :class:`~repro.fl.collector.GradientCollector`
             strategy, overriding ``n_workers`` and ``collect_backend``.
         participation: which clients train each round — a schedule name
@@ -109,6 +114,7 @@ class FederatedSimulation:
         dtype=np.float64,
         n_workers: int = 1,
         collect_backend: str = "thread",
+        workers: Optional[Sequence[str]] = None,
         collector: Optional[GradientCollector] = None,
         participation: Union[str, ParticipationSchedule] = "full",
         participation_fraction: float = 1.0,
@@ -138,7 +144,7 @@ class FederatedSimulation:
         self.collector = (
             collector
             if collector is not None
-            else build_collector(n_workers, collect_backend)
+            else build_collector(n_workers, collect_backend, workers=workers)
         )
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.recorder = RunRecorder(description=description)
@@ -177,7 +183,7 @@ class FederatedSimulation:
     def model(self) -> Module:
         return self.server.model
 
-    def _collect_honest_gradients(self, plan: RoundPlan) -> np.ndarray:
+    def _collect_honest_gradients(self, plan: RoundPlan) -> tuple:
         """The active clients' honest gradients at the current model.
 
         Gradients are written into the leading ``(num_active, dim)`` slice
@@ -190,6 +196,12 @@ class FederatedSimulation:
         and their compute time is spent, but neither their gradient nor
         their BatchNorm statistics reach the server — the whole discarded
         submission stays discarded.
+
+        Returns ``(buffer, plan)``.  The returned plan differs from the
+        argument only when the collector reported rows it could not
+        obtain (a distributed worker died or timed out): those clients
+        are demoted to dropouts, their NaN rows are compacted out of the
+        buffer, and the round continues with the survivors.
         """
         full = self._round_buffer
         if full is None:
@@ -200,6 +212,22 @@ class FederatedSimulation:
         rows = None if plan.is_full_round else plan.active
         self.collector.collect(self.clients, self.model, buffer, rows=rows)
         timings = list(self.collector.worker_timings)
+        wire = list(self.collector.last_round_bytes)
+        failed = tuple(self.collector.failed_rows)
+        if failed:
+            if len(failed) == plan.num_active:
+                raise RuntimeError(
+                    "every collect worker failed this round; no gradients "
+                    "were obtained — treat this as a fleet outage, not a "
+                    "dropout"
+                )
+            # Compact the surviving rows to the front of the round buffer
+            # (fancy indexing copies, so the overlapping move is safe), then
+            # demote the failed clients in the plan.
+            keep = np.flatnonzero(~np.isin(plan.active, failed))
+            buffer[: len(keep)] = buffer[keep]
+            plan = plan.demote_to_dropped(failed)
+            buffer = full[: plan.num_active]
         if plan.num_stragglers:
             scratch = full[plan.num_active : plan.num_active + plan.num_stragglers]
             self.collector.collect(
@@ -209,12 +237,21 @@ class FederatedSimulation:
                 rows=plan.stragglers,
                 apply_batch_stats=False,
             )
+            # A worker failure during the straggler pass needs no demotion:
+            # straggler submissions are discarded either way.
             timings.extend(self.collector.worker_timings)
+            wire = [a + b for a, b in zip(wire, self.collector.last_round_bytes)]
         profiler = self.profiler
         if profiler.enabled:
             for worker_index, seconds, _ in timings:
                 profiler.record(f"collect_worker_{worker_index}", seconds)
-        return buffer
+            if any(wire):
+                profiler.count("collect_bytes_sent", wire[0])
+                profiler.count("collect_bytes_received", wire[1])
+                profiler.annotate(
+                    collect_bytes_sent=wire[0], collect_bytes_received=wire[1]
+                )
+        return buffer, plan
 
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one synchronous federated round and return its record."""
@@ -222,7 +259,7 @@ class FederatedSimulation:
         profiler.begin_round(round_index)
         plan = self.schedule.plan(round_index, self.num_clients)
         with profiler.stage("collect_gradients"):
-            submitted_honest = self._collect_honest_gradients(plan)
+            submitted_honest, plan = self._collect_honest_gradients(plan)
         byzantine_positions = plan.byzantine_positions(self.byzantine_indices)
         context = AttackContext(
             round_index=round_index,

@@ -1,0 +1,62 @@
+"""Socket/RPC transport for multi-host federations.
+
+This package takes the :class:`~repro.fl.collector.GradientCollector`
+contract across the network: length-prefixed binary framing over TCP
+(:mod:`~repro.fl.transport.framing`), a pickle-free codec for
+``Module.state_dict()`` broadcasts and gradient-shard replies
+(:mod:`~repro.fl.transport.codec`), a versioned handshake with a model
+signature check plus heartbeats (:mod:`~repro.fl.transport.protocol`),
+the ``repro-worker`` server (:mod:`~repro.fl.transport.worker`), and the
+:class:`DistributedCollector` backend that drives a fleet of workers
+(``TrainingConfig(collect_backend="distributed", workers=[...])``).
+
+A healthy localhost fleet is bit-identical to the sequential backend at
+any worker count; a worker that dies or times out mid-round degrades to
+:class:`~repro.fl.participation.RoundPlan` dropouts instead of aborting
+the run.
+"""
+
+from repro.fl.transport.client import WorkerConnection, parse_address
+from repro.fl.transport.codec import model_signature
+from repro.fl.transport.collector import DistributedCollector
+from repro.fl.transport.fleet import (
+    LocalFleet,
+    ThreadFleet,
+    spawn_local_fleet,
+    spawn_worker_process,
+    start_thread_fleet,
+)
+from repro.fl.transport.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameError,
+    OversizedFrameError,
+    TruncatedFrameError,
+)
+from repro.fl.transport.protocol import (
+    PROTOCOL_VERSION,
+    HandshakeError,
+    RemoteWorkerError,
+    TransportError,
+)
+from repro.fl.transport.worker import WorkerServer
+
+__all__ = [
+    "DistributedCollector",
+    "WorkerConnection",
+    "WorkerServer",
+    "LocalFleet",
+    "ThreadFleet",
+    "spawn_local_fleet",
+    "spawn_worker_process",
+    "start_thread_fleet",
+    "parse_address",
+    "model_signature",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameError",
+    "TruncatedFrameError",
+    "OversizedFrameError",
+    "TransportError",
+    "HandshakeError",
+    "RemoteWorkerError",
+    "PROTOCOL_VERSION",
+]

@@ -1,0 +1,234 @@
+"""Caller-side connection to one ``repro-worker``.
+
+A :class:`WorkerConnection` owns the socket to a single worker and speaks
+the protocol in :mod:`repro.fl.transport.protocol`: handshake at connect
+time, an optional one-time population-shard setup, then per-round
+broadcast/gather exchanges.  The
+:class:`~repro.fl.transport.collector.DistributedCollector` holds one
+connection per configured worker.
+
+The round exchange is split into :meth:`begin_round` (send only) and
+:meth:`finish_round` (receive) so the collector can broadcast the round
+to every worker first and only then start gathering — workers compute
+concurrently while the caller drains replies one by one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.client import FederatedClient
+from repro.fl.transport.codec import (
+    MSG_BYE,
+    MSG_HELLO,
+    MSG_PING,
+    MSG_PONG,
+    MSG_READY,
+    MSG_RESET,
+    MSG_ROUND,
+    MSG_SETUP,
+    MSG_SHARD,
+    MSG_TRAILER,
+    MSG_WELCOME,
+    model_signature,
+)
+from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES
+from repro.fl.transport.protocol import (
+    Channel,
+    HandshakeError,
+    RemoteWorkerError,
+    TransportError,
+    hello_header,
+)
+from repro.nn.module import Module
+
+
+def parse_address(spec: str) -> tuple:
+    """Split a ``host:port`` worker spec (IPv6 hosts use ``[...]:port``)."""
+    spec = spec.strip()
+    host, separator, port = spec.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"worker spec must look like host:port, got {spec!r}")
+    host = host.strip("[]")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(f"worker spec has a non-integer port: {spec!r}") from exc
+
+
+class WorkerConnection:
+    """One caller↔worker connection of a distributed collect fleet.
+
+    Args:
+        address: the worker's ``host:port`` spec.
+        connect_timeout: socket timeout for connect/handshake/setup.
+        round_timeout: socket timeout while waiting for a round reply —
+            exceeding it is the "straggler worker" failure the collector
+            maps onto dropout semantics.  ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        connect_timeout: float = 10.0,
+        round_timeout: Optional[float] = 120.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.connect_timeout = float(connect_timeout)
+        self.round_timeout = round_timeout
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._channel: Optional[Channel] = None
+        self.has_shard = False
+        self._drained_sent = 0
+        self._drained_received = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._channel is not None
+
+    @property
+    def bytes_sent(self) -> int:
+        """Lifetime bytes sent to this worker, across reconnects."""
+        current = self._channel.bytes_sent if self._channel else 0
+        return self._drained_sent + current
+
+    @property
+    def bytes_received(self) -> int:
+        """Lifetime bytes received from this worker, across reconnects."""
+        current = self._channel.bytes_received if self._channel else 0
+        return self._drained_received + current
+
+    def connect(self, model: Module) -> None:
+        """Open the socket and run the handshake for ``model``.
+
+        Raises :class:`~repro.fl.transport.protocol.HandshakeError` (via
+        the worker's ERROR reply) when the worker refuses — wrong protocol
+        version, or a shard built for a differently-shaped model.
+        """
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        channel = Channel(sock, max_frame_bytes=self.max_frame_bytes)
+        try:
+            channel.send(MSG_HELLO, hello_header(model_signature(model)))
+            header, _ = channel.expect(MSG_WELCOME)
+        except RemoteWorkerError as exc:
+            channel.close()
+            raise HandshakeError(f"worker {self.address} refused: {exc}") from exc
+        except BaseException:
+            channel.close()
+            raise
+        self._channel = channel
+        self.has_shard = bool(header.get("has_shard"))
+
+    def reset(self) -> None:
+        """Tell the worker to discard whatever shard it holds."""
+        channel = self._require_channel()
+        channel.send(MSG_RESET)
+        channel.expect(MSG_READY)
+        self.has_shard = False
+
+    def setup(
+        self,
+        model: Module,
+        client_ids: Sequence[int],
+        clients: Sequence[FederatedClient],
+        rng_states: Optional[Dict[int, dict]] = None,
+    ) -> None:
+        """Ship the worker its population shard (once per worker process).
+
+        This is the protocol's largest transfer (every client carries its
+        local dataset), so it runs under ``round_timeout`` — the knob
+        sized for bulk payloads — not the handshake's ``connect_timeout``.
+        """
+        channel = self._require_channel()
+        channel.settimeout(self.round_timeout)
+        channel.send(
+            MSG_SETUP,
+            {},
+            pickle.dumps(
+                (model, [int(i) for i in client_ids], list(clients), rng_states)
+            ),
+        )
+        channel.expect(MSG_READY)
+        self.has_shard = True
+
+    def begin_round(
+        self, state_blob: bytes, rows: Sequence[int], dtype: np.dtype, dim: int
+    ) -> None:
+        """Send the round's broadcast (state dict + row slice) — no wait."""
+        channel = self._require_channel()
+        channel.settimeout(self.round_timeout)
+        channel.send(
+            MSG_ROUND,
+            {
+                "rows": [int(row) for row in rows],
+                "dtype": np.dtype(dtype).str,
+                "dim": int(dim),
+            },
+            state_blob,
+        )
+
+    def finish_round(self, out: np.ndarray) -> Dict[str, Any]:
+        """Gather the worker's shard into ``out`` and return its trailer.
+
+        ``out`` must be the C-contiguous ``(len(rows), dim)`` slice of the
+        caller's round buffer that this worker's rows occupy — the raw
+        gradient frame is received straight into it, no intermediate copy.
+        """
+        channel = self._require_channel()
+        header, _ = channel.expect(MSG_SHARD)
+        expected = int(header["nbytes"])
+        view = memoryview(out).cast("B")
+        if expected != len(view):
+            raise TransportError(
+                f"worker {self.address} announced a {expected}-byte shard "
+                f"for a {len(view)}-byte buffer slice"
+            )
+        channel.recv_raw_into(view)
+        _, body = channel.expect(MSG_TRAILER)
+        return pickle.loads(body)
+
+    def ping(self) -> bool:
+        """Heartbeat: True when the worker answers PONG in time."""
+        if self._channel is None:
+            return False
+        try:
+            self._channel.settimeout(self.connect_timeout)
+            self._channel.send(MSG_PING)
+            self._channel.expect(MSG_PONG)
+            return True
+        except (TransportError, OSError):
+            self.drop()
+            return False
+
+    def drop(self) -> None:
+        """Abandon the connection (after an error); the socket is closed."""
+        if self._channel is not None:
+            self._drained_sent += self._channel.bytes_sent
+            self._drained_received += self._channel.bytes_received
+            self._channel.close()
+            self._channel = None
+        self.has_shard = False
+
+    def close(self) -> None:
+        """Politely disconnect; the worker keeps its shard for a resume."""
+        if self._channel is not None:
+            try:
+                self._channel.send(MSG_BYE)
+            except OSError:
+                pass
+            self.drop()
+
+    def _require_channel(self) -> Channel:
+        if self._channel is None:
+            raise TransportError(f"worker {self.address} is not connected")
+        return self._channel

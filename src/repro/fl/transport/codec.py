@@ -1,0 +1,135 @@
+"""Message codec for the distributed-collect transport.
+
+Every frame payload is one *message*: a 1-byte type tag, a 4-byte
+big-endian JSON-header length, the UTF-8 JSON header, and an opaque binary
+body.  The header carries small structured fields (row ids, dtypes,
+counters); the body carries bulk data — a :func:`encoded state dict
+<encode_state_dict>` on the way out, nothing on most control messages.
+
+State dicts travel as :func:`repro.utils.serialization.arrays_to_blob`
+blobs (a JSON manifest plus raw C-order array bytes): decoding is
+pickle-free, so a worker can parse a broadcast from an untrusted caller,
+and the per-round cost is a straight memcpy per parameter.  Gradient
+shards never pass through this codec at all — they are raw frames
+received directly into the caller's round buffer
+(:func:`~repro.fl.transport.framing.recv_frame_into`).
+
+:func:`model_signature` digests a model's architecture — the sorted
+``(name, dtype, shape)`` table of its parameters and buffers — into a
+short hex string.  The handshake compares signatures so a caller can
+never broadcast state dicts into a worker holding a differently-shaped
+model (or a model left over from another experiment).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.serialization import arrays_to_blob, blob_to_arrays
+
+# -- message type tags -------------------------------------------------------
+
+MSG_HELLO = 1  #: caller → worker: protocol version + model signature.
+MSG_WELCOME = 2  #: worker → caller: handshake accepted (+ shard status).
+MSG_ERROR = 3  #: either side: refusal with a human-readable reason.
+MSG_SETUP = 4  #: caller → worker: pickled population shard + model replica.
+MSG_READY = 5  #: worker → caller: shard installed and signature-verified.
+MSG_ROUND = 6  #: caller → worker: per-round state dict + row slice.
+MSG_SHARD = 7  #: worker → caller: gradient-shard announcement (raw frame next).
+MSG_TRAILER = 8  #: worker → caller: losses, batch stats, RNG states, timing.
+MSG_PING = 9  #: caller → worker: heartbeat probe.
+MSG_PONG = 10  #: worker → caller: heartbeat reply.
+MSG_BYE = 11  #: caller → worker: clean disconnect (worker keeps its shard).
+MSG_RESET = 12  #: caller → worker: discard the held shard (re-setup follows).
+
+MESSAGE_NAMES = {
+    MSG_HELLO: "HELLO",
+    MSG_WELCOME: "WELCOME",
+    MSG_ERROR: "ERROR",
+    MSG_SETUP: "SETUP",
+    MSG_READY: "READY",
+    MSG_ROUND: "ROUND",
+    MSG_SHARD: "SHARD",
+    MSG_TRAILER: "TRAILER",
+    MSG_PING: "PING",
+    MSG_PONG: "PONG",
+    MSG_BYE: "BYE",
+    MSG_RESET: "RESET",
+}
+
+_ENVELOPE = struct.Struct("!BI")
+
+
+class CodecError(ValueError):
+    """A message payload does not parse under the envelope format."""
+
+
+def pack_message(
+    msg_type: int, header: Dict[str, Any] = None, body: bytes = b""
+) -> bytes:
+    """Assemble one message payload (ready to be sent as a frame)."""
+    header_bytes = json.dumps(header or {}).encode("utf-8")
+    return b"".join([_ENVELOPE.pack(msg_type, len(header_bytes)), header_bytes, body])
+
+
+def unpack_message(payload: bytes) -> Tuple[int, Dict[str, Any], bytes]:
+    """Split a frame payload into ``(msg_type, header, body)``."""
+    if len(payload) < _ENVELOPE.size:
+        raise CodecError("message shorter than its envelope")
+    msg_type, header_len = _ENVELOPE.unpack_from(payload)
+    offset = _ENVELOPE.size
+    if len(payload) < offset + header_len:
+        raise CodecError("message truncated inside its header")
+    try:
+        header = json.loads(payload[offset : offset + header_len])
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"message header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise CodecError("message header must be a JSON object")
+    return msg_type, header, payload[offset + header_len :]
+
+
+# -- state-dict broadcast ----------------------------------------------------
+
+
+def encode_state_dict(state: Dict[str, np.ndarray]) -> bytes:
+    """Binary-encode a ``Module.state_dict()`` for broadcast (no pickle)."""
+    return arrays_to_blob(state)
+
+
+def decode_state_dict(blob: bytes) -> Dict[str, np.ndarray]:
+    """Decode a broadcast back into a ``{name: array}`` state dict.
+
+    The arrays are read-only views into ``blob``;
+    ``Module.load_state_dict`` copies them into the live parameters, so no
+    extra copy is needed here.
+    """
+    return blob_to_arrays(blob)
+
+
+# -- model signature ---------------------------------------------------------
+
+
+def model_signature(model: Module) -> str:
+    """Short architecture digest of ``model`` for the transport handshake.
+
+    Two models share a signature exactly when their named parameters and
+    buffers agree on name, dtype, and shape — the condition under which a
+    state-dict broadcast from one loads into the other.  Parameter
+    *values* are deliberately excluded: they change every round.
+    """
+    table = sorted(
+        (name, param.data.dtype.str, param.data.shape)
+        for name, param in model.named_parameters()
+    ) + sorted(
+        (name, buffer.dtype.str, buffer.shape)
+        for name, buffer in model.named_buffers()
+    )
+    digest = hashlib.sha256(repr(table).encode("utf-8"))
+    return digest.hexdigest()[:16]

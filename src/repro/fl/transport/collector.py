@@ -1,0 +1,273 @@
+"""The distributed collect backend: a fleet of ``repro-worker`` servers.
+
+:class:`DistributedCollector` is the fourth
+:class:`~repro.fl.collector.GradientCollector` backend
+(``TrainingConfig(collect_backend="distributed", workers=[...])``).  It
+takes the same contract the in-process backends satisfy — fill a
+preallocated round buffer with the selected clients' gradients,
+bit-identically to the sequential loop — across TCP:
+
+* the client population is chunked **contiguously** over the workers
+  (``np.array_split``), so each worker's rows occupy one contiguous slice
+  of the (sorted-row) round buffer and its gradient shard is received
+  straight into that slice — one gather, no per-gradient pickling;
+* per round, every live worker gets the encoded global ``state_dict()``
+  and its slice of the round's rows; workers compute concurrently while
+  the caller drains replies;
+* client batch-sampling RNG streams live *inside* the owning worker and
+  advance exactly once per computed round, so a healthy fleet is
+  bit-identical to the sequential backend at any worker count, including
+  sampled ``rows=`` cohorts;
+* BatchNorm batch statistics come back in the trailers and are replayed
+  onto the global model in ascending client order — the plan order every
+  backend shares.
+
+Failure semantics — the part that differs from the in-process backends:
+a worker that dies, times out, or refuses mid-round does **not** raise.
+Its rows stay NaN-invalidated and are reported in :attr:`failed_rows`;
+the simulation maps them onto the existing
+:class:`~repro.fl.participation.RoundPlan` dropout semantics
+(:meth:`~repro.fl.participation.RoundPlan.demote_to_dropped`), so the
+round completes with the surviving cohort.  On the next round the
+collector tries to reconnect; because the workers report each client's
+post-round RNG state in their trailers, a replacement worker resumes the
+lost clients' sampling streams exactly where their last *completed*
+round left them — dropped rounds never advance a client's stream, which
+keeps the run bit-identical to a sequential run with the same dropout
+trace.  Exceptions raised by a *client* inside a worker still propagate:
+a bug is a bug, not a dropout.
+
+Only when no worker at all is reachable does :meth:`collect` raise — an
+unreachable fleet is a deployment error, not a round-level failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.client import FederatedClient
+from repro.fl.collector import (
+    GradientCollector,
+    _check_deterministic_forward,
+    _replay_batch_stats,
+    invalidate_buffer,
+    resolve_rows,
+)
+from repro.fl.transport.client import WorkerConnection, parse_address
+from repro.fl.transport.codec import CodecError, encode_state_dict
+from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES, FrameError
+from repro.fl.transport.protocol import TransportError
+from repro.nn.module import Module
+
+
+class DistributedCollector(GradientCollector):
+    """Collect the round's gradients from a fleet of TCP workers.
+
+    Args:
+        workers: worker specs (``"host:port"`` strings), one per worker.
+            The population is split contiguously across them in this
+            order.
+        connect_timeout: socket timeout for connect/handshake/setup.
+        round_timeout: how long to wait for one worker's round reply
+            before declaring it failed (its rows become dropouts).
+            ``None`` waits forever.
+        max_frame_bytes: per-frame receive ceiling.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        *,
+        connect_timeout: float = 10.0,
+        round_timeout: Optional[float] = 120.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        super().__init__()
+        specs = [str(spec) for spec in workers]
+        if not specs:
+            raise ValueError("distributed collect requires at least one worker")
+        for spec in specs:
+            parse_address(spec)  # validate early, before any socket work
+        if len(set(specs)) != len(specs):
+            raise ValueError(f"duplicate worker specs: {specs}")
+        self.worker_addresses = specs
+        self.n_workers = len(specs)
+        self._conns = [
+            WorkerConnection(
+                spec,
+                connect_timeout=connect_timeout,
+                round_timeout=round_timeout,
+                max_frame_bytes=max_frame_bytes,
+            )
+            for spec in specs
+        ]
+        # True while the worker needs a (re-)setup before serving rounds:
+        # initially, and again after any dropped connection — a worker that
+        # stalled past the deadline may have advanced its clients' RNG
+        # streams, so its in-memory shard can never be trusted again.
+        self._needs_setup = [True] * self.n_workers
+        self._chunks: List[np.ndarray] = []
+        self._source_clients: Optional[Tuple[FederatedClient, ...]] = None
+        self._source_model: Optional[Module] = None
+        #: Latest known post-round RNG state per client id, fed into worker
+        #: (re-)setups so resumed clients continue their streams bit-exactly.
+        self._rng_states: Dict[int, dict] = {}
+        #: Client ids whose gradients the last ``collect`` could not obtain
+        #: because their worker died or timed out (rows left NaN).
+        self.failed_rows: Tuple[int, ...] = ()
+        #: ``(bytes_sent, bytes_received)`` across the last ``collect``.
+        self.last_round_bytes: Tuple[int, int] = (0, 0)
+
+    # -- fleet management ----------------------------------------------------
+
+    def _fleet_current(
+        self, clients: Sequence[FederatedClient], model: Module
+    ) -> bool:
+        return bool(
+            self._chunks
+            and self._source_model is model
+            and self._source_clients is not None
+            and len(self._source_clients) == len(clients)
+            and all(a is b for a, b in zip(self._source_clients, clients))
+        )
+
+    def _ensure_fleet(
+        self, clients: Sequence[FederatedClient], model: Module
+    ) -> None:
+        if not self._fleet_current(clients, model):
+            # New population or model: every worker gets a fresh shard and
+            # all resume bookkeeping is discarded.
+            for conn in self._conns:
+                conn.close()
+            self._needs_setup = [True] * self.n_workers
+            self._chunks = np.array_split(np.arange(len(clients)), self.n_workers)
+            self._rng_states = {}
+            self._source_clients = tuple(clients)
+            self._source_model = model
+        for index, conn in enumerate(self._conns):
+            if conn.connected and not self._needs_setup[index]:
+                continue
+            try:
+                if not conn.connected:
+                    conn.connect(model)
+                if conn.has_shard:
+                    conn.reset()
+                chunk = self._chunks[index]
+                conn.setup(
+                    model,
+                    [int(i) for i in chunk],
+                    [clients[i] for i in chunk],
+                    {
+                        int(i): self._rng_states[int(i)]
+                        for i in chunk
+                        if int(i) in self._rng_states
+                    }
+                    or None,
+                )
+                self._needs_setup[index] = False
+            except (TransportError, FrameError, CodecError, OSError):
+                conn.drop()
+                self._needs_setup[index] = True
+
+    def heartbeat(self) -> Dict[str, bool]:
+        """Ping every connected worker; ``{address: alive}``."""
+        return {conn.address: conn.ping() for conn in self._conns}
+
+    # -- the collect contract ------------------------------------------------
+
+    def collect(
+        self,
+        clients: Sequence[FederatedClient],
+        model: Module,
+        out: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        *,
+        apply_batch_stats: bool = True,
+    ) -> np.ndarray:
+        subset = resolve_rows(clients, out, rows)
+        _check_deterministic_forward(model, type(self).__name__)
+        self._ensure_fleet(clients, model)
+        if not any(conn.connected for conn in self._conns):
+            raise TransportError(
+                f"no distributed-collect worker reachable "
+                f"(fleet: {self.worker_addresses})"
+            )
+        bytes_before = self._wire_totals()
+        invalidate_buffer(out)
+        all_rows = np.arange(len(clients)) if subset is None else subset
+        dim = out.shape[-1]
+        state_blob = encode_state_dict(model.state_dict())
+
+        # Broadcast first (workers compute concurrently), gather second.
+        failed: List[int] = []
+        pending: List[Tuple[int, int, int]] = []  # (worker index, lo, hi)
+        for index, conn in enumerate(self._conns):
+            chunk = self._chunks[index]
+            if not len(chunk):
+                continue
+            lo = int(np.searchsorted(all_rows, chunk[0]))
+            hi = int(np.searchsorted(all_rows, chunk[-1] + 1))
+            if hi == lo:
+                continue  # none of this worker's clients participate
+            if not conn.connected:
+                failed.extend(int(i) for i in all_rows[lo:hi])
+                continue
+            try:
+                conn.begin_round(state_blob, all_rows[lo:hi], out.dtype, dim)
+                pending.append((index, lo, hi))
+            except (TransportError, FrameError, CodecError, OSError):
+                self._mark_failed(index, all_rows[lo:hi], failed)
+
+        self.worker_timings = []
+        stats_by_row: List[Tuple[int, list]] = []
+        first_error: Optional[BaseException] = None
+        for index, lo, hi in pending:
+            conn = self._conns[index]
+            try:
+                trailer = conn.finish_round(out[lo:hi])
+            except (TransportError, FrameError, CodecError, OSError):
+                self._mark_failed(index, all_rows[lo:hi], failed)
+                continue
+            self.worker_timings.append(
+                (conn.address, float(trailer["seconds"]), int(trailer["count"]))
+            )
+            for row, loss in trailer["losses"]:
+                clients[row].last_loss = loss
+            stats_by_row.extend(trailer["stats"])
+            self._rng_states.update(trailer["rng_states"])
+            if trailer["error"] is not None and first_error is None:
+                first_error = trailer["error"]
+        self.failed_rows = tuple(sorted(failed))
+        self.last_round_bytes = tuple(
+            after - before for after, before in zip(self._wire_totals(), bytes_before)
+        )
+        if first_error is not None:
+            raise first_error
+        if apply_batch_stats:
+            _replay_batch_stats(model, stats_by_row)
+        return out
+
+    def _mark_failed(
+        self, index: int, rows: np.ndarray, failed: List[int]
+    ) -> None:
+        """A worker died/timed out: drop its connection, record its rows."""
+        self._conns[index].drop()
+        self._needs_setup[index] = True
+        failed.extend(int(i) for i in rows)
+
+    def _wire_totals(self) -> Tuple[int, int]:
+        return (
+            sum(conn.bytes_sent for conn in self._conns),
+            sum(conn.bytes_received for conn in self._conns),
+        )
+
+    def close(self) -> None:
+        for conn in self._conns:
+            conn.close()
+        self._chunks = []
+        self._source_clients = None
+        self._source_model = None
+        self._rng_states = {}
+        self._needs_setup = [True] * self.n_workers

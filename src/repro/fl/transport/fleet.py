@@ -1,0 +1,210 @@
+"""Localhost fleet helpers: spawn ``repro-worker`` processes or threads.
+
+Production federations run ``repro-worker`` on real hosts; tests, the
+benchmarks, and ``examples/distributed_collect.py`` need a throwaway
+fleet on this machine.  Two flavours:
+
+* :func:`spawn_local_fleet` — real ``repro-worker`` subprocesses (the
+  exact entrypoint a deployment uses), each bound to an OS-assigned port
+  scraped from its startup line.  Use this to exercise true process
+  isolation, or to kill a worker and watch the dropout semantics.
+* :func:`start_thread_fleet` — in-process
+  :class:`~repro.fl.transport.worker.WorkerServer` threads.  Cheaper and
+  quieter; the wire protocol is identical (real TCP sockets over
+  loopback), only the process boundary is missing.
+
+Both return context-managed handles that tear the fleet down on exit.
+"""
+
+from __future__ import annotations
+
+import selectors
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.fl.transport.worker import WorkerServer
+
+
+class WorkerProcess:
+    """Handle on one spawned ``repro-worker`` subprocess."""
+
+    def __init__(self, process: subprocess.Popen, address: str):
+        self.process = process
+        self.address = address
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """Hard-kill the worker (simulates a host failure)."""
+        self.process.kill()
+        self.process.wait(timeout=10)
+
+    def terminate(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                self.process.kill()
+                self.process.wait(timeout=5)
+
+
+class LocalFleet:
+    """A context-managed set of localhost worker processes."""
+
+    def __init__(self, workers: List[WorkerProcess]):
+        self.workers = workers
+
+    @property
+    def addresses(self) -> List[str]:
+        return [worker.address for worker in self.workers]
+
+    def terminate(self) -> None:
+        for worker in self.workers:
+            worker.terminate()
+
+    def __enter__(self) -> "LocalFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+
+def _worker_environment() -> dict:
+    """Subprocess environment with this interpreter's ``repro`` importable."""
+    import os
+
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else os.pathsep.join([package_root, existing])
+    )
+    return env
+
+
+def spawn_worker_process(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    extra_args: Sequence[str] = (),
+    startup_timeout: float = 30.0,
+) -> WorkerProcess:
+    """Spawn one ``repro-worker`` subprocess and scrape its address."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.fl.transport.worker",
+            "--host",
+            host,
+            "--port",
+            str(port),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=_worker_environment(),
+    )
+    line = _read_line_with_timeout(process, startup_timeout)
+    if line is None or "listening on" not in line:
+        process.kill()
+        raise RuntimeError(f"repro-worker failed to start (first line: {line!r})")
+    address = line.rsplit(" ", 1)[-1].strip()
+    return WorkerProcess(process, address)
+
+
+def _read_line_with_timeout(process: subprocess.Popen, timeout: float):
+    """First stdout line of ``process``, or None if ``timeout`` expires.
+
+    A plain ``readline()`` would block forever on a worker that wedges
+    before printing its address; waiting for the pipe to become readable
+    first keeps the deadline real.  Once data arrives, ``readline()`` is
+    safe: the worker prints its address as a single flushed write.
+    """
+    deadline = time.monotonic() + timeout
+    selector = selectors.DefaultSelector()
+    selector.register(process.stdout, selectors.EVENT_READ)
+    try:
+        while time.monotonic() < deadline:
+            if selector.select(timeout=0.1):
+                return process.stdout.readline() or None
+    finally:
+        selector.close()
+    return None
+
+
+def spawn_local_fleet(
+    n_workers: int,
+    *,
+    host: str = "127.0.0.1",
+    extra_args: Sequence[str] = (),
+    startup_timeout: float = 30.0,
+) -> LocalFleet:
+    """Spawn ``n_workers`` localhost ``repro-worker`` subprocesses."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    workers: List[WorkerProcess] = []
+    try:
+        for _ in range(n_workers):
+            workers.append(
+                spawn_worker_process(
+                    host=host, extra_args=extra_args, startup_timeout=startup_timeout
+                )
+            )
+    except BaseException:
+        for worker in workers:
+            worker.terminate()
+        raise
+    return LocalFleet(workers)
+
+
+class ThreadFleet:
+    """A context-managed set of in-process worker servers."""
+
+    def __init__(self, servers: List[WorkerServer]):
+        self.servers = servers
+        for server in servers:
+            server.start_in_thread()
+
+    @property
+    def addresses(self) -> List[str]:
+        return [server.address for server in self.servers]
+
+    def terminate(self) -> None:
+        for server in self.servers:
+            server.close()
+
+    def __enter__(self) -> "ThreadFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+
+def start_thread_fleet(
+    n_workers: int, *, stall_at_round: Optional[int] = None, **worker_kwargs
+) -> ThreadFleet:
+    """Start ``n_workers`` in-process workers on OS-assigned loopback ports.
+
+    ``stall_at_round`` (and any other :class:`WorkerServer` fault knob in
+    ``worker_kwargs``) applies to the *first* worker only — the usual
+    shape of a fault-injection test.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    servers = []
+    for index in range(n_workers):
+        kwargs = dict(worker_kwargs)
+        if index == 0 and stall_at_round is not None:
+            kwargs["stall_at_round"] = stall_at_round
+        servers.append(WorkerServer(**kwargs))
+    return ThreadFleet(servers)

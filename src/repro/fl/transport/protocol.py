@@ -1,0 +1,153 @@
+"""Connection protocol for the distributed-collect transport.
+
+A :class:`Channel` binds a connected socket to the framing and codec
+layers and counts bytes in both directions (the source of the
+bytes-on-wire numbers the profiler and benchmarks report).
+
+The wire conversation between a caller (the
+:class:`~repro.fl.transport.collector.DistributedCollector`) and a worker
+(:class:`~repro.fl.transport.worker.WorkerServer`):
+
+1. **Handshake** — caller sends ``HELLO`` with the protocol version and
+   the signature of the model it is about to serve
+   (:func:`~repro.fl.transport.codec.model_signature`).  The worker
+   refuses (``ERROR`` + close) on a version mismatch, or — when it
+   already holds a population shard from an earlier connection — on a
+   signature mismatch.  Otherwise it answers ``WELCOME`` with
+   ``has_shard`` so the caller knows whether setup is needed.
+2. **Setup** (only when the worker has no shard) — caller sends ``SETUP``
+   carrying its chunk of the client population and a model replica; the
+   worker verifies the replica's signature against the one claimed in
+   ``HELLO`` and answers ``READY``.
+3. **Rounds** — caller sends ``ROUND`` (encoded state dict + the round's
+   row slice); worker computes and answers ``SHARD`` (announcement), one
+   raw frame of gradient bytes (received straight into the caller's
+   round buffer), and ``TRAILER`` (losses, BatchNorm batch statistics,
+   post-round client RNG states, timing, first client error).
+4. **Heartbeats** — ``PING``/``PONG`` at any point between rounds.
+5. **Goodbye** — ``BYE``; the worker keeps its shard and accepts the next
+   connection, so a restarted caller can resume without re-shipping.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.fl.transport.codec import (
+    MESSAGE_NAMES,
+    MSG_ERROR,
+    pack_message,
+    unpack_message,
+)
+from repro.fl.transport.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    recv_frame,
+    recv_frame_into,
+    send_frame,
+)
+
+#: Version of the wire protocol.  Bumped on any incompatible change; the
+#: handshake refuses mismatched peers instead of mis-parsing their frames.
+PROTOCOL_VERSION = 1
+
+#: Leading bytes of every HELLO header's ``magic`` field.
+PROTOCOL_MAGIC = "repro-collect"
+
+
+class TransportError(ConnectionError):
+    """Base class for transport-level failures."""
+
+
+class HandshakeError(TransportError):
+    """The peer refused the connection during the handshake."""
+
+
+class RemoteWorkerError(TransportError):
+    """The worker reported a protocol-level error after the handshake."""
+
+
+class Channel:
+    """A framed, byte-counted message channel over a connected socket."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.sock = sock
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(
+        self, msg_type: int, header: Dict[str, Any] = None, body: bytes = b""
+    ) -> None:
+        self.bytes_sent += send_frame(self.sock, pack_message(msg_type, header, body))
+
+    def recv(self) -> Tuple[int, Dict[str, Any], bytes]:
+        payload = recv_frame(self.sock, max_bytes=self.max_frame_bytes)
+        self.bytes_received += 8 + len(payload)
+        return unpack_message(payload)
+
+    def expect(self, msg_type: int) -> Tuple[Dict[str, Any], bytes]:
+        """Receive one message and require it to be of ``msg_type``.
+
+        An ``ERROR`` message raises :class:`RemoteWorkerError` with the
+        peer's reason; any other unexpected type raises
+        :class:`TransportError`.
+        """
+        received, header, body = self.recv()
+        if received == msg_type:
+            return header, body
+        if received == MSG_ERROR:
+            raise RemoteWorkerError(header.get("error", "peer refused the request"))
+        raise TransportError(
+            f"expected {MESSAGE_NAMES.get(msg_type, msg_type)}, peer sent "
+            f"{MESSAGE_NAMES.get(received, received)}"
+        )
+
+    def send_raw(self, data) -> None:
+        """Send one raw (non-enveloped) frame — the gradient-shard path."""
+        self.bytes_sent += send_frame(self.sock, bytes(data))
+
+    def recv_raw_into(self, view: memoryview) -> None:
+        """Receive one raw frame straight into ``view`` (exact size)."""
+        self.bytes_received += recv_frame_into(
+            self.sock, view, max_bytes=self.max_frame_bytes
+        )
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self.sock.settimeout(timeout)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def hello_header(signature: str) -> Dict[str, Any]:
+    """The HELLO header a caller sends to open a connection."""
+    return {
+        "magic": PROTOCOL_MAGIC,
+        "protocol": PROTOCOL_VERSION,
+        "model_signature": signature,
+    }
+
+
+def check_hello(header: Dict[str, Any]) -> Optional[str]:
+    """Validate an incoming HELLO header; return a refusal reason or None."""
+    if header.get("magic") != PROTOCOL_MAGIC:
+        return f"not a {PROTOCOL_MAGIC} peer"
+    version = header.get("protocol")
+    if version != PROTOCOL_VERSION:
+        return (
+            f"protocol version mismatch: worker speaks {PROTOCOL_VERSION}, "
+            f"caller sent {version!r}"
+        )
+    if not isinstance(header.get("model_signature"), str):
+        return "HELLO carries no model signature"
+    return None

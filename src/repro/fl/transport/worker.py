@@ -1,0 +1,381 @@
+"""The ``repro-worker`` server: serves one client-population shard over TCP.
+
+A worker owns a chunk of the federation's client population (shipped once
+at setup, together with a model replica) and then serves rounds: each
+``ROUND`` message carries the global model's encoded ``state_dict()`` and
+the sorted global client ids to compute this round; the worker loads the
+state, runs its clients through the *same sequential collect loop the
+in-process backends use* (so per-client RNG streams and BatchNorm
+statistics behave identically), and streams the gradient shard back as
+one raw frame followed by a trailer with losses, recorded batch
+statistics, post-round RNG states, and timing.
+
+The worker process is deliberately dumb and stateless across connections
+apart from its shard: a caller that disconnects (cleanly or by crashing)
+does not lose the shard — the next connection's handshake sees
+``has_shard=True`` and skips setup, resuming the clients' RNG streams
+where they stopped.  The flip side is intentional: while a shard is held,
+the handshake refuses callers announcing a *different* model signature
+(the acceptance contract — a broadcast can never load into a
+differently-shaped model), so repurposing a standing fleet for a new
+model architecture means restarting the workers.  Same-architecture
+callers are admitted and can ``RESET`` + re-``SETUP`` the shard.
+
+Run it from the console script installed with the package::
+
+    repro-worker --port 9000
+
+or, equivalently, ``python -m repro.fl.transport.worker --port 9000``.
+With ``--port 0`` the OS picks a free port; the worker always prints a
+``repro-worker listening on HOST:PORT`` line (flushed) so fleet tooling
+can scrape the address.
+
+Security note: after the handshake, ``SETUP`` bodies are unpickled — the
+same trust model as Python's own ``multiprocessing``.  Run workers only
+for callers you trust (the handshake's magic/version/signature checks
+guard against accidents, not adversaries); the state-dict broadcasts and
+gradient shards themselves are pickle-free.
+
+Fault injection (used by the test suite and deliberately undocumented in
+``--help``'s prose beyond one line): ``--crash-at-round N`` makes the
+process exit hard upon *receiving* its N-th round request — from the
+caller's side, a worker that died mid-round; ``--stall-at-round N``
+makes it sleep through the round instead — a worker that times out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fl.client import FederatedClient
+from repro.fl.collector import _batch_stat_modules, _collect_client
+from repro.fl.transport.codec import (
+    MSG_BYE,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_PING,
+    MSG_PONG,
+    MSG_READY,
+    MSG_RESET,
+    MSG_ROUND,
+    MSG_SETUP,
+    MSG_SHARD,
+    MSG_TRAILER,
+    MSG_WELCOME,
+    CodecError,
+    decode_state_dict,
+    model_signature,
+)
+from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES, FrameError
+from repro.fl.transport.protocol import PROTOCOL_VERSION, Channel, check_hello
+from repro.nn.module import Module
+from repro.perf.timers import monotonic
+
+
+class WorkerServer:
+    """Serve a client-population shard for a distributed collect fleet.
+
+    Args:
+        host: interface to bind (default loopback — a localhost fleet).
+        port: TCP port; 0 lets the OS choose (see :attr:`address`).
+        max_frame_bytes: per-frame receive ceiling (oversized frames are
+            refused before any allocation).
+        crash_at_round: fault injection — hard-exit the process upon
+            receiving this (1-based, lifetime) round request.
+        stall_at_round: fault injection — sleep ``stall_seconds`` upon
+            receiving this round request instead of replying.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        crash_at_round: Optional[int] = None,
+        stall_at_round: Optional[int] = None,
+        stall_seconds: float = 3600.0,
+    ):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.crash_at_round = crash_at_round
+        self.stall_at_round = stall_at_round
+        self.stall_seconds = float(stall_seconds)
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._closed = False
+        # The shard: installed by the first SETUP, kept across connections.
+        self._model: Optional[Module] = None
+        self._clients: Dict[int, FederatedClient] = {}
+        self._signature: Optional[str] = None
+        self._rounds_received = 0
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string callers pass as a worker spec."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def has_shard(self) -> bool:
+        return self._model is not None
+
+    # -- serving -------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections (one at a time) until :meth:`close`."""
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            # Replies are several small writes around one large one; without
+            # NODELAY, Nagle + the peer's delayed ACK can stall each reply
+            # by tens of ms on non-loopback networks.
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            channel = Channel(conn, max_frame_bytes=self.max_frame_bytes)
+            try:
+                self._serve_connection(channel)
+            except (FrameError, CodecError, ConnectionError, OSError):
+                pass  # caller vanished or spoke garbage; await the next one
+            except Exception as exc:
+                # A worker must outlive any single bad connection; refuse
+                # and await the next caller.
+                self._refuse(channel, f"worker error: {exc!r}")
+            finally:
+                channel.close()
+
+    def start_in_thread(self) -> threading.Thread:
+        """Serve from a daemon thread (in-process localhost fleets)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name=f"repro-worker-{self.port}", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    # -- connection handling -------------------------------------------------
+
+    def _refuse(self, channel: Channel, reason: str) -> None:
+        try:
+            channel.send(MSG_ERROR, {"error": reason})
+        except OSError:  # pragma: no cover - peer already gone
+            pass
+
+    def _serve_connection(self, channel: Channel) -> None:
+        msg_type, header, _ = channel.recv()
+        if msg_type != MSG_HELLO:
+            self._refuse(channel, "handshake must start with HELLO")
+            return
+        refusal = check_hello(header)
+        claimed_signature = header.get("model_signature")
+        if refusal is None and self.has_shard and claimed_signature != self._signature:
+            refusal = (
+                f"model signature mismatch: worker holds {self._signature}, "
+                f"caller announced {claimed_signature}"
+            )
+        if refusal is not None:
+            self._refuse(channel, refusal)
+            return
+        channel.send(
+            MSG_WELCOME,
+            {
+                "protocol": PROTOCOL_VERSION,
+                "has_shard": self.has_shard,
+                "num_clients": len(self._clients),
+            },
+        )
+        while True:
+            msg_type, header, body = channel.recv()
+            if msg_type == MSG_BYE:
+                return
+            if msg_type == MSG_PING:
+                channel.send(MSG_PONG, {"has_shard": self.has_shard})
+            elif msg_type == MSG_RESET:
+                # The caller disowns whatever shard this worker holds — a new
+                # setup (usually with resumed RNG states) follows.
+                self._model = None
+                self._clients = {}
+                self._signature = None
+                channel.send(MSG_READY, {"num_clients": 0})
+            elif msg_type == MSG_SETUP:
+                if not self._handle_setup(channel, claimed_signature, body):
+                    return
+            elif msg_type == MSG_ROUND:
+                self._handle_round(channel, header, body)
+            else:
+                self._refuse(channel, f"unexpected message type {msg_type}")
+                return
+
+    def _handle_setup(
+        self, channel: Channel, claimed_signature: str, body: bytes
+    ) -> bool:
+        try:
+            model, client_ids, clients, rng_states = pickle.loads(body)
+        except Exception as exc:
+            # Most often a caller-local client class this process cannot
+            # import; the shard is refused but the worker keeps serving.
+            self._refuse(channel, f"SETUP payload failed to unpickle: {exc!r}")
+            return False
+        signature = model_signature(model)
+        if signature != claimed_signature:
+            self._refuse(
+                channel,
+                f"SETUP model signature {signature} does not match the "
+                f"HELLO-announced {claimed_signature}",
+            )
+            return False
+        if rng_states:
+            # A resumed shard: fast-forward each client's sampling stream to
+            # where it stood when this worker's predecessor last reported.
+            for client_id, state in rng_states.items():
+                clients[client_ids.index(client_id)].loader.rng_state = state
+        self._model = model
+        self._clients = dict(zip(client_ids, clients))
+        self._signature = signature
+        channel.send(MSG_READY, {"num_clients": len(clients)})
+        return True
+
+    def _handle_round(self, channel: Channel, header: dict, body: bytes) -> None:
+        self._rounds_received += 1
+        if self.crash_at_round is not None:
+            if self._rounds_received >= self.crash_at_round:
+                os._exit(17)  # fault injection: die without replying
+        if self.stall_at_round is not None:
+            if self._rounds_received == self.stall_at_round:
+                time.sleep(self.stall_seconds)  # fault injection: miss deadline
+        if self._model is None:
+            self._refuse(channel, "ROUND before SETUP: worker holds no shard")
+            return
+        rows = [int(row) for row in header["rows"]]
+        dtype = np.dtype(header["dtype"])
+        dim = int(header["dim"])
+        if dim != self._model.num_parameters():
+            self._refuse(
+                channel,
+                f"round dim {dim} does not match the shard model's "
+                f"{self._model.num_parameters()} parameters",
+            )
+            return
+        unknown = [row for row in rows if row not in self._clients]
+        if unknown:
+            self._refuse(channel, f"rows {unknown} are not in this worker's shard")
+            return
+        self._model.load_state_dict(decode_state_dict(body))
+        shard = np.full((len(rows), dim), np.nan, dtype=dtype)
+        stat_modules = _batch_stat_modules(self._model)
+        start = monotonic()
+        count = 0
+        losses: List[Tuple[int, float]] = []
+        stats: List[Tuple[int, list]] = []
+        error: Optional[BaseException] = None
+        for position, row in enumerate(rows):
+            client = self._clients[row]
+            try:
+                client_stats = _collect_client(
+                    client, self._model, shard[position], stat_modules
+                )
+            except BaseException as exc:  # propagate to the caller
+                error = exc
+                break
+            count += 1
+            losses.append((row, client.last_loss))
+            stats.append((row, client_stats))
+        seconds = monotonic() - start
+        if error is not None:
+            try:
+                pickle.dumps(error)
+            except Exception:
+                error = RuntimeError(
+                    f"unpicklable client exception on worker {self.address}: "
+                    f"{error!r}"
+                )
+        rng_states = {row: self._clients[row].loader.rng_state for row, _ in losses}
+        channel.send(MSG_SHARD, {"rows": len(rows), "nbytes": shard.nbytes})
+        channel.send_raw(shard.tobytes())
+        channel.send(
+            MSG_TRAILER,
+            {},
+            pickle.dumps(
+                {
+                    "losses": losses,
+                    "stats": stats,
+                    "rng_states": rng_states,
+                    "seconds": seconds,
+                    "count": count,
+                    "error": error,
+                }
+            ),
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description=(
+            "Serve a client-population shard for distributed gradient "
+            "collection (TrainingConfig(collect_backend='distributed'))."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = OS-assigned)"
+    )
+    parser.add_argument(
+        "--max-frame-mb",
+        type=float,
+        default=DEFAULT_MAX_FRAME_BYTES / 2**20,
+        help="per-frame receive ceiling in MiB",
+    )
+    parser.add_argument(
+        "--crash-at-round",
+        type=int,
+        default=None,
+        help="fault injection: exit hard on receiving the N-th round request",
+    )
+    parser.add_argument(
+        "--stall-at-round",
+        type=int,
+        default=None,
+        help="fault injection: sleep through the N-th round request",
+    )
+    parser.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=3600.0,
+        help="how long --stall-at-round sleeps",
+    )
+    args = parser.parse_args(argv)
+    server = WorkerServer(
+        args.host,
+        args.port,
+        max_frame_bytes=int(args.max_frame_mb * 2**20),
+        crash_at_round=args.crash_at_round,
+        stall_at_round=args.stall_at_round,
+        stall_seconds=args.stall_seconds,
+    )
+    print(f"repro-worker listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

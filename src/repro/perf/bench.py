@@ -10,6 +10,7 @@ files across revisions.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from dataclasses import dataclass, field
@@ -86,6 +87,9 @@ def _environment_info() -> Dict[str, Any]:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        # Parallel-backend speedups (process/distributed collect) only mean
+        # anything next to the core count they were measured on.
+        "cpu_count": os.cpu_count() or 1,
     }
 
 

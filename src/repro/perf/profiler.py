@@ -33,6 +33,9 @@ class NullProfiler:
     def record(self, name: str, seconds: float) -> None:
         pass
 
+    def count(self, name: str, value: float) -> None:
+        pass
+
     def annotate(self, **fields: Any) -> None:
         pass
 
@@ -67,6 +70,7 @@ class RoundProfiler:
 
     def __init__(self) -> None:
         self.timings = StageTimings()
+        self.counters: Dict[str, float] = {}
         self.round_totals: List[Dict[str, Any]] = []
         self._round_start: Optional[float] = None
         self._round_index: Optional[int] = None
@@ -89,6 +93,15 @@ class RoundProfiler:
         :class:`~repro.fl.collector.ParallelCollector`.
         """
         self.timings.add(name, float(seconds))
+
+    def count(self, name: str, value: float) -> None:
+        """Accumulate a non-time quantity (bytes on the wire, cache hits...).
+
+        Counters are plain run-level totals: the distributed collect
+        backend feeds its per-round ``bytes_sent``/``bytes_received`` here,
+        so benchmark JSON can report traffic next to wall-clock stages.
+        """
+        self.counters[name] = self.counters.get(name, 0) + value
 
     def annotate(self, **fields: Any) -> None:
         """Attach metadata to the current round's totals entry.
@@ -139,11 +152,13 @@ class RoundProfiler:
         return {
             "num_rounds": self.num_rounds,
             "stages": self.summary(),
+            "counters": dict(self.counters),
             "rounds": list(self.round_totals),
         }
 
     def reset(self) -> None:
         self.timings.clear()
+        self.counters.clear()
         self.round_totals.clear()
         self._round_start = None
         self._round_index = None

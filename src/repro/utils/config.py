@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.utils.validation import (
     check_fraction,
@@ -74,9 +74,14 @@ class TrainingConfig:
     :class:`~repro.fl.collector.ParallelCollector`, best when clients wait on
     dispatch latency or GIL-releasing BLAS), ``"process"`` (a
     :class:`~repro.fl.collector.ProcessCollector` over shared memory —
-    recovers compute parallelism on GIL-bound hosts), or ``"sequential"``
+    recovers compute parallelism on GIL-bound hosts), ``"distributed"`` (a
+    :class:`~repro.fl.transport.collector.DistributedCollector` over the
+    TCP ``repro-worker`` fleet listed in ``workers``), or ``"sequential"``
     (force the seed loop regardless of ``n_workers``).  Every backend is
-    bit-identical to the sequential path at any worker count.
+    bit-identical to the sequential path at any worker count; the
+    distributed backend additionally degrades a dead or timed-out worker
+    into :class:`~repro.fl.participation.RoundPlan` dropouts instead of
+    crashing the run.
 
     ``participation`` selects which clients train each round (see
     :mod:`repro.fl.participation`): ``"full"`` (default — every client,
@@ -99,6 +104,7 @@ class TrainingConfig:
     dtype: str = "float64"
     n_workers: int = 1
     collect_backend: str = "thread"
+    workers: Optional[List[str]] = None
     participation: str = "full"
     participation_fraction: float = 1.0
     cohort_size: Optional[int] = None
@@ -127,6 +133,21 @@ class TrainingConfig:
             raise ValueError(
                 f"collect_backend must be one of {COLLECT_BACKENDS}, "
                 f"got {self.collect_backend!r}"
+            )
+        if self.collect_backend == "distributed":
+            if not self.workers:
+                raise ValueError(
+                    "collect_backend='distributed' requires workers="
+                    "['host:port', ...]"
+                )
+            from repro.fl.transport.client import parse_address
+
+            for spec in self.workers:
+                parse_address(spec)
+        elif self.workers:
+            raise ValueError(
+                "workers= is only meaningful with collect_backend='distributed' "
+                f"(got collect_backend={self.collect_backend!r})"
             )
         from repro.fl.participation import PARTICIPATION_SCHEDULES
 

@@ -1,10 +1,19 @@
-"""JSON serialization helpers that tolerate numpy scalars and arrays."""
+"""Serialization helpers: numpy-tolerant JSON and binary array blobs.
+
+The JSON half backs benchmark/recording files; the binary half
+(:func:`arrays_to_blob` / :func:`blob_to_arrays`) is the pickle-free wire
+format the distributed transport uses for per-round ``Module.state_dict()``
+broadcasts — a JSON manifest of ``(name, dtype, shape)`` followed by the
+concatenated raw array bytes, so decoding is a zero-copy ``frombuffer``
+per array.
+"""
 
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
@@ -45,3 +54,68 @@ def load_json(path: PathLike) -> Any:
 def dumps(payload: Any, *, indent: int = 2) -> str:
     """Serialize ``payload`` to a JSON string with numpy support."""
     return json.dumps(payload, indent=indent, cls=NumpyJSONEncoder)
+
+
+#: struct format of the manifest-length prefix in an array blob.
+_BLOB_PREFIX = struct.Struct("!I")
+
+
+def arrays_to_blob(arrays: Dict[str, np.ndarray]) -> bytes:
+    """Encode named arrays into one self-describing binary blob.
+
+    Layout: a 4-byte big-endian manifest length, a JSON manifest of
+    ``[name, dtype, shape]`` entries (in dict order), then each array's raw
+    C-order bytes concatenated.  No pickling is involved, so the format is
+    safe to decode from an untrusted peer.
+    """
+    manifest = []
+    chunks = []
+    for name, array in arrays.items():
+        # asarray(order="C"), not ascontiguousarray: the latter silently
+        # promotes 0-d arrays to 1-d, corrupting scalar buffers' shapes.
+        array = np.asarray(array, order="C")
+        manifest.append([name, array.dtype.str, list(array.shape)])
+        chunks.append(array.tobytes())
+    header = json.dumps(manifest).encode("utf-8")
+    return b"".join([_BLOB_PREFIX.pack(len(header)), header, *chunks])
+
+
+def blob_to_arrays(blob: bytes) -> Dict[str, np.ndarray]:
+    """Decode a blob produced by :func:`arrays_to_blob`.
+
+    The returned arrays are read-only views into ``blob`` (no copy); callers
+    that need to mutate them copy explicitly.  Raises ``ValueError`` on a
+    malformed or truncated blob.
+    """
+    view = memoryview(blob)
+    if len(view) < _BLOB_PREFIX.size:
+        raise ValueError("array blob shorter than its manifest prefix")
+    (header_len,) = _BLOB_PREFIX.unpack_from(view)
+    offset = _BLOB_PREFIX.size
+    if len(view) < offset + header_len:
+        raise ValueError("array blob truncated inside its manifest")
+    try:
+        manifest = json.loads(bytes(view[offset : offset + header_len]))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"array blob has a malformed manifest: {exc}") from exc
+    offset += header_len
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in manifest:
+        try:
+            name, dtype_str, shape = entry
+            dtype = np.dtype(dtype_str)
+            shape = tuple(int(dim) for dim in shape)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"array blob manifest entry invalid: {entry!r}") from exc
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if len(view) < offset + nbytes:
+            raise ValueError(f"array blob truncated inside array {name!r}")
+        arrays[name] = np.frombuffer(
+            view[offset : offset + nbytes], dtype=dtype
+        ).reshape(shape)
+        offset += nbytes
+    if offset != len(view):
+        raise ValueError(
+            f"array blob has {len(view) - offset} trailing bytes after its arrays"
+        )
+    return arrays

@@ -1,0 +1,112 @@
+"""Weighted mean aggregation: the first consumer of RoundPlan.weights."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.base import ServerContext
+from repro.aggregators.factory import build_aggregator
+from repro.aggregators.weighted import WeightedMeanAggregator
+from repro.fl.participation import UniformParticipation
+from repro.fl.server import FederatedServer
+from repro.nn.models.mlp import MLP
+
+
+def make_gradients(n=6, dim=9, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, dim))
+
+
+class TestWeightedMean:
+    def test_registered_with_alias(self):
+        assert isinstance(build_aggregator("weighted_mean"), WeightedMeanAggregator)
+        assert isinstance(build_aggregator("fedavg"), WeightedMeanAggregator)
+
+    def test_no_weights_is_bit_identical_to_mean(self):
+        gradients = make_gradients()
+        result = WeightedMeanAggregator()(gradients, ServerContext.make(rng=0))
+        assert np.array_equal(result.gradient, gradients.mean(axis=0))
+        assert "weights_fallback" not in result.info
+
+    def test_uniform_participation_weights_are_bit_identical_to_mean(self):
+        gradients = make_gradients()
+        context = ServerContext.make(rng=0)
+        context.extra["participation_weights"] = np.full(6, 1 / 6)
+        result = WeightedMeanAggregator()(gradients, context)
+        assert np.array_equal(result.gradient, gradients.mean(axis=0))
+
+    def test_explicit_weights_reweight_clients(self):
+        gradients = make_gradients(n=3)
+        context = ServerContext.make(rng=0)
+        context.extra["participation_weights"] = np.array([2.0, 1.0, 1.0])
+        result = WeightedMeanAggregator()(gradients, context)
+        expected = np.array([0.5, 0.25, 0.25]) @ gradients
+        np.testing.assert_allclose(result.gradient, expected)
+        np.testing.assert_allclose(result.info["weights"], [0.5, 0.25, 0.25])
+
+    def test_constructor_weights_take_priority(self):
+        gradients = make_gradients(n=2)
+        context = ServerContext.make(rng=0)
+        context.extra["participation_weights"] = np.array([0.5, 0.5])
+        result = WeightedMeanAggregator(weights=[3.0, 1.0])(gradients, context)
+        np.testing.assert_allclose(result.info["weights"], [0.75, 0.25])
+
+    def test_selects_every_row(self):
+        gradients = make_gradients(n=4)
+        result = WeightedMeanAggregator()(gradients, ServerContext.make(rng=0))
+        assert np.array_equal(result.selected_indices, np.arange(4))
+
+    def test_float32_path_stays_float32(self):
+        gradients = make_gradients(n=3).astype(np.float32)
+        context = ServerContext.make(rng=0)
+        context.extra["participation_weights"] = np.array([2.0, 1.0, 1.0])
+        result = WeightedMeanAggregator()(gradients, context)
+        assert result.gradient.dtype == np.float32
+
+    @pytest.mark.parametrize(
+        "weights, reason",
+        [
+            (np.array([1.0, np.nan, 1.0]), "non-finite"),
+            (np.array([1.0, np.inf, 1.0]), "non-finite"),
+            (np.array([1.0, -0.5, 1.0]), "negative"),
+            (np.zeros(3), "sum to zero"),
+            (np.ones(5), "shape"),
+            (np.ones((3, 1)), "shape"),
+        ],
+    )
+    def test_degenerate_weights_fall_back_to_uniform(self, weights, reason):
+        gradients = make_gradients(n=3)
+        context = ServerContext.make(rng=0)
+        context.extra["participation_weights"] = weights
+        result = WeightedMeanAggregator()(gradients, context)
+        assert np.array_equal(result.gradient, gradients.mean(axis=0))
+        assert reason in result.info["weights_fallback"]
+
+    def test_single_client(self):
+        gradients = make_gradients(n=1)
+        context = ServerContext.make(rng=0)
+        context.extra["participation_weights"] = np.array([1.0])
+        result = WeightedMeanAggregator()(gradients, context)
+        assert np.array_equal(result.gradient, gradients[0])
+
+
+class TestRoundPlanWeightsReachTheRule:
+    def test_server_threads_participation_weights_into_context(self):
+        """aggregate_and_update exposes plan weights to the rule."""
+        rng = np.random.default_rng(0)
+        model = MLP(4, 3, hidden_dims=(5,), rng=rng)
+        captured = {}
+
+        class Capture(WeightedMeanAggregator):
+            def aggregate(self, gradients, context=None):
+                captured["weights"] = context.extra.get("participation_weights")
+                return super().aggregate(gradients, context)
+
+        server = FederatedServer(model, Capture(), rng=rng)
+        gradients = rng.normal(size=(4, model.num_parameters()))
+        plan_weights = np.array([0.4, 0.3, 0.2, 0.1])
+        server.aggregate_and_update(gradients, participation_weights=plan_weights)
+        np.testing.assert_allclose(captured["weights"], plan_weights)
+
+    def test_schedule_emits_weights_that_validate(self):
+        plan = UniformParticipation(0.5, rng=np.random.default_rng(0)).plan(0, 20)
+        assert plan.weights.shape == plan.active.shape
+        assert np.isclose(plan.weights.sum(), 1.0)
