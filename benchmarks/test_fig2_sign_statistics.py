@@ -32,9 +32,9 @@ class _TracingSimulation(FederatedSimulation):
         self.trace = trace
 
     def _collect_honest_gradients(self, plan):
-        gradients, plan = super()._collect_honest_gradients(plan)
+        gradients, plan, stats = super()._collect_honest_gradients(plan)
         self.trace.record(gradients)
-        return gradients, plan
+        return gradients, plan, stats
 
 
 def run_fig2(profile) -> SignStatisticsTrace:

@@ -138,5 +138,23 @@ class Attack:
         mask[np.asarray(context.byzantine_indices, dtype=int)] = False
         return honest_gradients[mask]
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable cross-round state for checkpointing.
+
+        Most attacks are pure functions of their per-round context and
+        return ``{}``; stateful attacks (``TimeVaryingAttack``) override
+        this together with :meth:`load_state_dict` so a resumed run
+        replays their decisions bit-exactly.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but was handed "
+                f"checkpointed attack state {sorted(state)}"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"

@@ -74,3 +74,18 @@ class TimeVaryingAttack(Attack):
     def craft(self, honest_gradients: np.ndarray, context: AttackContext) -> np.ndarray:
         attack = self.current_attack(context.round_index)
         return attack.craft(honest_gradients, context)
+
+    def state_dict(self) -> dict:
+        """Pool-selection RNG state plus the current pick (checkpointing)."""
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "current_index": self.pool.index(self._current),
+            "current_round": self._current_round,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if not state:
+            return  # a fresh checkpoint captured before any round
+        self._rng.bit_generator.state = state["rng_state"]
+        self._current = self.pool[int(state["current_index"])]
+        self._current_round = int(state["current_round"])

@@ -13,6 +13,7 @@ reproduces the paper's full-participation cross-silo setting, while
 optional dropouts and stragglers — the cross-device regime.
 """
 
+from repro.fl.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
 from repro.fl.collector import (
     GradientCollector,
@@ -20,6 +21,13 @@ from repro.fl.collector import (
     ProcessCollector,
     SequentialCollector,
     build_collector,
+)
+from repro.fl.faults import (
+    FaultSchedule,
+    FaultSpec,
+    FleetOutageError,
+    QuorumLossError,
+    parse_fault,
 )
 from repro.fl.participation import (
     FixedCohortParticipation,
@@ -57,6 +65,14 @@ __all__ = [
     "ProcessCollector",
     "DistributedCollector",
     "build_collector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FleetOutageError",
+    "QuorumLossError",
+    "parse_fault",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
     "ParticipationSchedule",
     "RoundPlan",
     "FullParticipation",

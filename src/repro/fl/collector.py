@@ -93,11 +93,12 @@ import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor, wait
 from multiprocessing import shared_memory
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.fl.client import FederatedClient
+from repro.fl.faults import FaultSchedule
 from repro.nn.layers import _BatchNormBase
 from repro.nn.module import Module
 from repro.perf.timers import monotonic
@@ -271,17 +272,70 @@ class GradientCollector:
     n_workers: int = 1
 
     #: Client ids the last ``collect`` failed to obtain gradients for —
-    #: always empty for in-process backends (they raise instead); the
-    #: distributed backend reports dead/timed-out workers' rows here so
-    #: the simulation can demote them to ``RoundPlan`` dropouts.
+    #: empty for in-process backends (they raise on real errors) unless a
+    #: :class:`~repro.fl.faults.FaultSchedule` injected a failure; the
+    #: distributed backend reports dead/timed-out workers' unrecovered
+    #: rows here so the simulation can demote them to ``RoundPlan``
+    #: dropouts.
     failed_rows: Tuple[int, ...] = ()
 
     #: ``(bytes_sent, bytes_received)`` on the wire for the last
     #: ``collect`` — (0, 0) for in-process backends.
     last_round_bytes: Tuple[int, int] = (0, 0)
 
-    def __init__(self) -> None:
+    #: Client ids the last ``collect`` recovered by re-dispatching to
+    #: surviving workers — only the distributed backend ever recovers.
+    last_round_redispatched: Tuple[int, ...] = ()
+
+    #: Successful worker reconnects during the last ``collect``.
+    last_round_reconnects: int = 0
+
+    def __init__(self, *, fault_schedule: Optional[FaultSchedule] = None) -> None:
         self.worker_timings: List[WorkerTiming] = []
+        #: Deterministic fault injection: a spec for worker ``w`` at
+        #: occurrence ``r`` makes that worker's rows fail (uncomputed, RNG
+        #: streams untouched) at this collector's ``r``-th main collect
+        #: pass.  In-process workers have no link to sever and nothing to
+        #: re-dispatch from, so an injected fault of *any* kind degrades
+        #: straight to the demote rung of the recovery ladder.
+        self.fault_schedule = fault_schedule or FaultSchedule()
+        self._fault_rounds = 0
+
+    def _advance_fault_round(self, apply_batch_stats: bool) -> int:
+        """The fault-schedule clock: occurrences count main collect passes.
+
+        A straggler pass (``apply_batch_stats=False``) belongs to the
+        round that spawned it, so it reuses the current tick.
+        """
+        if apply_batch_stats:
+            self._fault_rounds += 1
+        return self._fault_rounds
+
+    def _faulted_workers(self, fault_round: int, workers: int) -> Set[int]:
+        """Worker indices whose schedule fires on this collect pass.
+
+        Each backend maps the faulted workers onto client ids with its own
+        row→worker assignment (sequential: worker 0 owns everything;
+        thread: buffer position mod workers; process: client id mod
+        workers).
+        """
+        if not self.fault_schedule:
+            return set()
+        return {
+            worker
+            for worker in range(workers)
+            if self.fault_schedule.any_fires(fault_round, worker)
+        }
+
+    def client_rng_states(self) -> Dict[int, dict]:
+        """Latest known per-client RNG states held *outside* the caller.
+
+        Backends whose client batch-sampler streams live in worker
+        processes (process, distributed) report them here so checkpoints
+        capture the authoritative state; ``{}`` means the caller's client
+        objects are authoritative (sequential, thread).
+        """
+        return {}
 
     def collect(
         self,
@@ -330,6 +384,17 @@ class SequentialCollector(GradientCollector):
         apply_batch_stats: bool = True,
     ) -> np.ndarray:
         subset = resolve_rows(clients, out, rows)
+        self.failed_rows = ()
+        fault_round = self._advance_fault_round(apply_batch_stats)
+        if self._faulted_workers(fault_round, 1):
+            # The single pseudo-worker owns every row: a fault here is a
+            # total outage.  Nothing computes, no RNG stream advances.
+            invalidate_buffer(out)
+            self.failed_rows = tuple(
+                range(len(clients)) if subset is None else (int(r) for r in subset)
+            )
+            self.worker_timings = [(0, 0.0, 0)]
+            return out
         self.worker_timings = _collect_sequential(
             clients, model, out, subset, apply_batch_stats
         )
@@ -357,8 +422,13 @@ class ParallelCollector(GradientCollector):
     failed round did not produce are left NaN-invalidated.
     """
 
-    def __init__(self, n_workers: Optional[int] = None):
-        super().__init__()
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        fault_schedule: Optional[FaultSchedule] = None,
+    ):
+        super().__init__(fault_schedule=fault_schedule)
         if n_workers is None:
             n_workers = default_worker_count()
         if n_workers < 1:
@@ -401,7 +471,18 @@ class ParallelCollector(GradientCollector):
         subset = resolve_rows(clients, out, rows)
         n_rows = len(clients) if subset is None else len(subset)
         workers = min(self.n_workers, n_rows)
+        self.failed_rows = ()
+        fault_round = self._advance_fault_round(apply_batch_stats)
         if workers <= 1:
+            if self._faulted_workers(fault_round, 1):
+                invalidate_buffer(out)
+                self.failed_rows = tuple(
+                    range(len(clients))
+                    if subset is None
+                    else (int(r) for r in subset)
+                )
+                self.worker_timings = [(0, 0.0, 0)]
+                return out
             self.worker_timings = _collect_sequential(
                 clients, model, out, subset, apply_batch_stats
             )
@@ -411,6 +492,10 @@ class ParallelCollector(GradientCollector):
         self._ensure_workers(model, workers)
         self._sync_replicas(model, workers)
         invalidate_buffer(out)
+        # A faulted worker's chunk is skipped wholesale: its rows stay
+        # NaN-invalidated, its clients never run (RNG streams untouched),
+        # and the caller sees them in ``failed_rows``.
+        faulted = self._faulted_workers(fault_round, workers)
         # Workers run on replicas (re-synced every round), so suppressing
         # batch stats only requires skipping the replay onto the global
         # model.
@@ -430,10 +515,18 @@ class ParallelCollector(GradientCollector):
                 count += 1
             return worker_index, monotonic() - start, count
 
-        futures = [self._executor.submit(run_chunk, w) for w in range(workers)]
+        live = [w for w in range(workers) if w not in faulted]
+        futures = [self._executor.submit(run_chunk, w) for w in live]
         wait(futures)  # let every worker finish its chunk before reporting
         # result() re-raises the first failing client's exception.
         self.worker_timings = [future.result() for future in futures]
+        self.worker_timings.extend((w, 0.0, 0) for w in sorted(faulted))
+        if faulted:
+            self.failed_rows = tuple(
+                int(position if subset is None else subset[position])
+                for position in range(n_rows)
+                if position % workers in faulted
+            )
         if track_stats:
             _replay_batch_stats(model, stats_by_row)
         return out
@@ -460,9 +553,11 @@ def _process_worker_main(
 
     Receives ``(state_dict, selected_rows)`` per round (``None`` = shut
     down), computes the selected slice of its client chunk into the
-    shared-memory round buffer (``selected_rows=None`` = the whole chunk),
-    and replies with timings, per-client losses, recorded batch statistics,
-    and the first client exception (if any).
+    shared-memory round buffer (``selected_rows=None`` = the whole chunk,
+    ``[]`` = nothing — a fault-injected pass that must leave the in-worker
+    RNG streams untouched), and replies with timings, per-client losses,
+    recorded batch statistics, the post-round batch-sampler RNG states of
+    the clients that computed, and the first client exception (if any).
     """
     # Workers share the parent's resource tracker (the fd travels through
     # both fork and spawn), so attaching here is tracker-idempotent and the
@@ -503,7 +598,20 @@ def _process_worker_main(
                         f"unpicklable client exception in collect worker "
                         f"{worker_index}: {error!r}"
                     )
-            conn.send((worker_index, monotonic() - start, count, losses, stats, error))
+            rng_states = {
+                row: client_by_row[row].loader.rng_state for row, _ in losses
+            }
+            conn.send(
+                (
+                    worker_index,
+                    monotonic() - start,
+                    count,
+                    losses,
+                    stats,
+                    rng_states,
+                    error,
+                )
+            )
     except (EOFError, BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
         pass
     finally:
@@ -548,9 +656,13 @@ class ProcessCollector(GradientCollector):
     """
 
     def __init__(
-        self, n_workers: Optional[int] = None, *, mp_context: Optional[str] = None
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        mp_context: Optional[str] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ):
-        super().__init__()
+        super().__init__(fault_schedule=fault_schedule)
         if n_workers is None:
             n_workers = default_worker_count()
         if n_workers < 1:
@@ -570,6 +682,15 @@ class ProcessCollector(GradientCollector):
         self._source_clients: Optional[Tuple[FederatedClient, ...]] = None
         self._source_model: Optional[Module] = None
         self._source_geometry: Optional[tuple] = None
+        # Last reported in-worker batch-sampler RNG state per client id.
+        # Survives _teardown() (an error-path rebuild must not lose the
+        # checkpointable states) but not close(): after a checkpoint
+        # restore rewrites the parent's client objects, close() makes them
+        # authoritative again.
+        self._rng_states: Dict[int, dict] = {}
+
+    def client_rng_states(self) -> Dict[int, dict]:
+        return dict(self._rng_states)
 
     def _workers_current(
         self,
@@ -649,7 +770,16 @@ class ProcessCollector(GradientCollector):
         # worker processes own their clients' RNG streams, so every round —
         # however small its cohort — must route through the same workers.
         workers = min(self.n_workers, n_clients)
+        self.failed_rows = ()
+        fault_round = self._advance_fault_round(apply_batch_stats)
         if workers <= 1:
+            if self._faulted_workers(fault_round, 1):
+                invalidate_buffer(out)
+                self.failed_rows = tuple(
+                    range(n_clients) if subset is None else (int(r) for r in subset)
+                )
+                self.worker_timings = [(0, 0.0, 0)]
+                return out
             self.worker_timings = _collect_sequential(
                 clients, model, out, subset, apply_batch_stats
             )
@@ -658,6 +788,19 @@ class ProcessCollector(GradientCollector):
         _check_deterministic_forward(model, type(self).__name__)
         self._ensure_workers(clients, model, out, workers)
         assert self._shm_array is not None
+        # A faulted worker stays alive but is sent an empty selection: its
+        # clients never compute, their in-worker RNG streams stay put, and
+        # their (NaN) rows surface in ``failed_rows``.  Worker ``w`` owns
+        # client ids ``w::workers`` of the population, so faulted ids are
+        # keyed on client id, not buffer position.
+        faulted = self._faulted_workers(fault_round, workers)
+        if faulted:
+            round_ids = range(n_clients) if subset is None else subset
+            self.failed_rows = tuple(
+                int(client_id)
+                for client_id in round_ids
+                if client_id % workers in faulted
+            )
         # Invalidate the caller's buffer as well as the shared one: if a
         # worker dies before replying, ``out`` must not keep the previous
         # round's rows.  On a sampled round only the cohort's rows need it —
@@ -676,6 +819,8 @@ class ProcessCollector(GradientCollector):
                 [int(row) for row in subset if row % workers == worker_index]
                 for worker_index in range(workers)
             ]
+        for worker_index in faulted:
+            selected_by_worker[worker_index] = []
         replies = []
         try:
             for conn, selected in zip(self._conns, selected_by_worker):
@@ -697,11 +842,12 @@ class ProcessCollector(GradientCollector):
         self.worker_timings = []
         stats_by_row: List[Tuple[int, ClientBatchStats]] = []
         first_error: Optional[BaseException] = None
-        for worker_index, seconds, count, losses, stats, error in replies:
+        for worker_index, seconds, count, losses, stats, rng_states, error in replies:
             self.worker_timings.append((worker_index, seconds, count))
             for row, loss in losses:
                 clients[row].last_loss = loss
             stats_by_row.extend(stats)
+            self._rng_states.update(rng_states)
             if error is not None and first_error is None:
                 first_error = error
         if first_error is not None:
@@ -744,6 +890,7 @@ class ProcessCollector(GradientCollector):
 
     def close(self) -> None:
         self._teardown()
+        self._rng_states = {}
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
         try:
@@ -762,6 +909,11 @@ def build_collector(
     backend: str = "thread",
     *,
     workers: Optional[Sequence[str]] = None,
+    connect_timeout: float = 10.0,
+    round_timeout: Optional[float] = 120.0,
+    fault_schedule: Optional[FaultSchedule] = None,
+    redispatch: bool = True,
+    retry_seed: int = 0,
 ) -> GradientCollector:
     """Build the collect strategy for ``backend`` at ``n_workers``.
 
@@ -771,6 +923,12 @@ def build_collector(
     ignores ``n_workers`` and drives the fleet named by ``workers``
     (``host:port`` specs) through a
     :class:`~repro.fl.transport.collector.DistributedCollector`.
+
+    ``connect_timeout``/``round_timeout``/``redispatch``/``retry_seed``
+    shape the distributed backend's recovery behaviour and are ignored by
+    the in-process backends (which have no sockets to time out or
+    survivors to re-dispatch to); ``fault_schedule`` injects deterministic
+    faults into any backend.
     """
     if backend not in COLLECT_BACKENDS:
         raise ValueError(
@@ -785,9 +943,16 @@ def build_collector(
         # that purely in-process runs never need.
         from repro.fl.transport.collector import DistributedCollector
 
-        return DistributedCollector(workers)
+        return DistributedCollector(
+            workers,
+            connect_timeout=connect_timeout,
+            round_timeout=round_timeout,
+            fault_schedule=fault_schedule,
+            redispatch=redispatch,
+            retry_seed=retry_seed,
+        )
     if n_workers <= 1 or backend == "sequential":
-        return SequentialCollector()
+        return SequentialCollector(fault_schedule=fault_schedule)
     if backend == "process":
-        return ProcessCollector(n_workers)
-    return ParallelCollector(n_workers)
+        return ProcessCollector(n_workers, fault_schedule=fault_schedule)
+    return ParallelCollector(n_workers, fault_schedule=fault_schedule)

@@ -8,7 +8,7 @@ the :class:`~repro.utils.recording.RunRecorder` with per-round metrics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -16,6 +16,8 @@ from repro.aggregators.factory import build_aggregator
 from repro.attacks.factory import build_attack
 from repro.data.factory import build_dataset
 from repro.data.partition import partition_dataset
+from repro.fl.checkpoint import Checkpoint, load_checkpoint
+from repro.fl.faults import FaultSchedule
 from repro.fl.server import FederatedServer
 from repro.fl.simulation import FederatedSimulation, build_clients
 from repro.nn.models.factory import build_model
@@ -33,7 +35,13 @@ def _select_byzantine(num_clients: int, num_byzantine: int, rng) -> np.ndarray:
 
 
 def run_experiment(
-    config: ExperimentConfig, *, profiler: Optional["RoundProfiler"] = None
+    config: ExperimentConfig,
+    *,
+    profiler: Optional["RoundProfiler"] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path=None,
+    resume_from: Optional[Union[str, Checkpoint]] = None,
 ) -> RunRecorder:
     """Run a full federated experiment described by ``config``.
 
@@ -41,8 +49,33 @@ def run_experiment(
         profiler: optional :class:`~repro.perf.profiler.RoundProfiler` shared
             by the server and the simulation — when given, every round's
             collect / attack / aggregate / update / evaluate stages are timed.
+        fault_schedule: deterministic fault injection for the collect
+            backend (see :mod:`repro.fl.faults`).
+        checkpoint_every: snapshot the run to ``checkpoint_path`` every
+            this many rounds (and after the final round); the two must be
+            given together.
+        checkpoint_path: where checkpoints are atomically written.
+        resume_from: a checkpoint path or loaded
+            :class:`~repro.fl.checkpoint.Checkpoint` to continue from.
+            Everything structural is rebuilt from ``config`` (which must
+            match the checkpoint's recorded config echo); the checkpoint
+            restores the mutable state, and the run continues at the next
+            round — bit-identical to never having stopped.
     """
     config = config.validate()
+    checkpoint: Optional[Checkpoint] = None
+    if resume_from is not None:
+        checkpoint = (
+            resume_from
+            if isinstance(resume_from, Checkpoint)
+            else load_checkpoint(resume_from)
+        )
+        if checkpoint.config is not None and checkpoint.config != config.to_dict():
+            raise ValueError(
+                "checkpoint was captured under a different experiment config; "
+                "resuming would silently diverge — rebuild the config the "
+                "checkpoint echoes (checkpoint.config) or start a fresh run"
+            )
     rng_factory = RngFactory(config.seed)
 
     split = build_dataset(
@@ -109,6 +142,13 @@ def run_experiment(
         n_workers=config.training.n_workers,
         collect_backend=config.training.collect_backend,
         workers=config.training.workers,
+        connect_timeout=config.training.connect_timeout,
+        round_timeout=config.training.round_timeout,
+        fault_schedule=fault_schedule,
+        min_cohort_fraction=config.training.min_cohort_fraction,
+        on_quorum_loss=config.training.on_quorum_loss,
+        quorum_retries=config.training.quorum_retries,
+        seed=config.seed,
         participation=config.training.participation,
         participation_fraction=config.training.participation_fraction,
         cohort_size=config.training.cohort_size,
@@ -118,7 +158,16 @@ def run_experiment(
         profiler=profiler,
     )
     try:
-        recorder = simulation.run(config.training.rounds)
+        start_round = 0
+        if checkpoint is not None:
+            start_round = simulation.restore_checkpoint(checkpoint)
+        recorder = simulation.run(
+            config.training.rounds,
+            start_round=start_round,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            checkpoint_config=config.to_dict(),
+        )
     finally:
         simulation.close()
     recorder.metadata["config"] = config.to_dict()

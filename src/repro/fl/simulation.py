@@ -13,14 +13,22 @@ fixed-population loop.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+import math
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
 from repro.data.datasets import ArrayDataset
+from repro.fl.checkpoint import Checkpoint, save_checkpoint
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
 from repro.fl.collector import GradientCollector, build_collector
+from repro.fl.faults import (
+    QUORUM_POLICIES,
+    FaultSchedule,
+    FleetOutageError,
+    QuorumLossError,
+)
 from repro.fl.metrics import evaluate_model, selection_confusion
 from repro.fl.participation import (
     ParticipationSchedule,
@@ -73,8 +81,33 @@ class FederatedSimulation:
             seed loop).  Ignored when ``collector`` is given.
         workers: ``host:port`` specs of the ``repro-worker`` fleet for the
             distributed backend (ignored otherwise).  A worker that dies
-            or times out mid-round demotes its clients to dropouts in the
-            round's plan instead of crashing the run.
+            or times out mid-round walks the recovery ladder (reconnect →
+            re-dispatch to survivors → demote its clients to dropouts in
+            the round's plan) instead of crashing the run.
+        connect_timeout: distributed backend only — socket timeout for
+            worker connect/handshake.
+        round_timeout: distributed backend only — deadline for a worker's
+            round reply (``None`` waits forever).
+        fault_schedule: a :class:`~repro.fl.faults.FaultSchedule` of
+            deterministic injected faults, honoured by every backend
+            (ignored when ``collector`` is given — configure the collector
+            directly).
+        redispatch: distributed backend only — when True (default), a dead
+            worker's rows are recomputed by surviving workers before any
+            dropout demotion.
+        min_cohort_fraction: quorum threshold — the round must end with at
+            least ``ceil(min_cohort_fraction * cohort_size)`` active
+            (aggregating) clients, else ``on_quorum_loss`` applies.  0
+            (default) disables the check.
+        on_quorum_loss: ``"accept"`` (default) records the round with
+            ``quorum_met=False`` and keeps going; ``"retry"`` redraws the
+            participation plan and recollects up to ``quorum_retries``
+            times before raising; ``"abort"`` raises
+            :class:`~repro.fl.faults.QuorumLossError` immediately.  A
+            fleet outage (no gradients at all) is retried under
+            ``"retry"`` and raised otherwise.
+        quorum_retries: extra collect attempts granted by
+            ``on_quorum_loss="retry"``.
         collector: an explicit :class:`~repro.fl.collector.GradientCollector`
             strategy, overriding ``n_workers`` and ``collect_backend``.
         participation: which clients train each round — a schedule name
@@ -116,6 +149,13 @@ class FederatedSimulation:
         collect_backend: str = "thread",
         workers: Optional[Sequence[str]] = None,
         collector: Optional[GradientCollector] = None,
+        connect_timeout: float = 10.0,
+        round_timeout: Optional[float] = 120.0,
+        fault_schedule: Optional[FaultSchedule] = None,
+        redispatch: bool = True,
+        min_cohort_fraction: float = 0.0,
+        on_quorum_loss: str = "accept",
+        quorum_retries: int = 2,
         participation: Union[str, ParticipationSchedule] = "full",
         participation_fraction: float = 1.0,
         cohort_size: Optional[int] = None,
@@ -134,6 +174,20 @@ class FederatedSimulation:
         dtype = np.dtype(dtype)
         if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+        if not 0.0 <= min_cohort_fraction <= 1.0:
+            raise ValueError(
+                f"min_cohort_fraction must be in [0, 1], got {min_cohort_fraction}"
+            )
+        if on_quorum_loss not in QUORUM_POLICIES:
+            raise ValueError(
+                f"on_quorum_loss must be one of {QUORUM_POLICIES}, "
+                f"got {on_quorum_loss!r}"
+            )
+        if quorum_retries < 0:
+            raise ValueError(f"quorum_retries must be >= 0, got {quorum_retries}")
+        self.min_cohort_fraction = float(min_cohort_fraction)
+        self.on_quorum_loss = on_quorum_loss
+        self.quorum_retries = int(quorum_retries)
         self.server = server
         self.clients: List[FederatedClient] = list(clients)
         self.attack = attack
@@ -144,7 +198,16 @@ class FederatedSimulation:
         self.collector = (
             collector
             if collector is not None
-            else build_collector(n_workers, collect_backend, workers=workers)
+            else build_collector(
+                n_workers,
+                collect_backend,
+                workers=workers,
+                connect_timeout=connect_timeout,
+                round_timeout=round_timeout,
+                fault_schedule=fault_schedule,
+                redispatch=redispatch,
+                retry_seed=seed,
+            )
         )
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.recorder = RunRecorder(description=description)
@@ -197,11 +260,16 @@ class FederatedSimulation:
         their BatchNorm statistics reach the server — the whole discarded
         submission stays discarded.
 
-        Returns ``(buffer, plan)``.  The returned plan differs from the
-        argument only when the collector reported rows it could not
-        obtain (a distributed worker died or timed out): those clients
-        are demoted to dropouts, their NaN rows are compacted out of the
-        buffer, and the round continues with the survivors.
+        Returns ``(buffer, plan, stats)``.  The returned plan differs from
+        the argument only when the collector reported rows it could not
+        obtain (a distributed worker died or timed out and re-dispatch
+        could not recover the rows): those clients are demoted to
+        dropouts, their NaN rows are compacted out of the buffer, and the
+        round continues with the survivors.  ``stats`` carries the
+        recovery counters (re-dispatched rows, reconnects) for the round
+        record.  Raises :class:`~repro.fl.faults.FleetOutageError` when
+        *every* row failed — no gradients at all is an outage, not a
+        dropout.
         """
         full = self._round_buffer
         if full is None:
@@ -214,9 +282,13 @@ class FederatedSimulation:
         timings = list(self.collector.worker_timings)
         wire = list(self.collector.last_round_bytes)
         failed = tuple(self.collector.failed_rows)
+        stats = {
+            "num_redispatched": len(self.collector.last_round_redispatched),
+            "num_reconnects": int(self.collector.last_round_reconnects),
+        }
         if failed:
             if len(failed) == plan.num_active:
-                raise RuntimeError(
+                raise FleetOutageError(
                     "every collect worker failed this round; no gradients "
                     "were obtained — treat this as a fleet outage, not a "
                     "dropout"
@@ -251,15 +323,54 @@ class FederatedSimulation:
                 profiler.annotate(
                     collect_bytes_sent=wire[0], collect_bytes_received=wire[1]
                 )
-        return buffer, plan
+            if stats["num_redispatched"]:
+                profiler.count("collect_redispatched", stats["num_redispatched"])
+                profiler.annotate(collect_redispatched=stats["num_redispatched"])
+            if stats["num_reconnects"]:
+                profiler.count("collect_reconnects", stats["num_reconnects"])
+                profiler.annotate(collect_reconnects=stats["num_reconnects"])
+        return buffer, plan, stats
+
+    def _quorum_size(self, plan: RoundPlan) -> int:
+        return math.ceil(self.min_cohort_fraction * plan.cohort_size)
 
     def run_round(self, round_index: int) -> RoundRecord:
-        """Execute one synchronous federated round and return its record."""
+        """Execute one synchronous federated round and return its record.
+
+        The collect stage runs under the quorum policy: when the round ends
+        with fewer active clients than ``min_cohort_fraction`` requires (or
+        with none at all — a fleet outage), ``on_quorum_loss`` decides
+        whether to accept the degraded round, redraw the plan and retry, or
+        raise.
+        """
         profiler = self.profiler
         profiler.begin_round(round_index)
-        plan = self.schedule.plan(round_index, self.num_clients)
-        with profiler.stage("collect_gradients"):
-            submitted_honest, plan = self._collect_honest_gradients(plan)
+        retries = 0
+        while True:
+            plan = self.schedule.plan(round_index, self.num_clients)
+            may_retry = self.on_quorum_loss == "retry" and retries < self.quorum_retries
+            try:
+                with profiler.stage("collect_gradients"):
+                    submitted_honest, plan, collect_stats = (
+                        self._collect_honest_gradients(plan)
+                    )
+            except FleetOutageError:
+                if not may_retry:
+                    raise
+                retries += 1
+                continue
+            quorum_met = plan.num_active >= self._quorum_size(plan)
+            if quorum_met or self.on_quorum_loss == "accept":
+                break
+            if may_retry:
+                retries += 1
+                continue
+            raise QuorumLossError(
+                f"round {round_index} ended with {plan.num_active} active "
+                f"clients, below the quorum of {self._quorum_size(plan)} "
+                f"({self.min_cohort_fraction:.0%} of the {plan.cohort_size}"
+                f"-client cohort) after {retries} retries"
+            )
         byzantine_positions = plan.byzantine_positions(self.byzantine_indices)
         context = AttackContext(
             round_index=round_index,
@@ -306,6 +417,10 @@ class FederatedSimulation:
                 if plan.cohort_size == self.num_clients
                 else tuple(int(i) for i in plan.cohort)
             ),
+            num_redispatched=collect_stats["num_redispatched"],
+            num_reconnects=collect_stats["num_reconnects"],
+            num_retries=retries,
+            quorum_met=quorum_met,
             **confusion,
         )
         if (round_index + 1) % self.eval_every == 0:
@@ -323,15 +438,142 @@ class FederatedSimulation:
                 num_stragglers=plan.num_stragglers,
                 byzantine_in_cohort=len(byzantine_positions),
             )
+            if retries:
+                profiler.annotate(collect_retries=retries)
+            if not quorum_met:
+                profiler.annotate(quorum_met=False)
         profiler.end_round()
         return record
 
-    def run(self, rounds: int) -> RunRecorder:
-        """Run ``rounds`` federated rounds, recording metrics for each."""
+    def capture_checkpoint(
+        self, *, config: Optional[Dict[str, Any]] = None
+    ) -> Checkpoint:
+        """Snapshot every piece of mutable run state into a checkpoint.
+
+        The snapshot is decoupled from the live run (arrays copied, RNG
+        states captured by value), so continuing to train does not mutate
+        it.  For backends whose client batch-sampler streams live in
+        worker processes, the workers' last reported states override the
+        caller's (stale) client objects.
+
+        Args:
+            config: an ``ExperimentConfig.to_dict()`` echo stored in the
+                checkpoint so a resume under a different config can be
+                refused.
+        """
+        optimizer_state = self.server.optimizer.state_dict()
+        schedule_rng = getattr(self.schedule, "_rng", None)
+        client_states: Dict[int, Dict[str, Any]] = {
+            client.client_id: client.loader.rng_state for client in self.clients
+        }
+        client_states.update(self.collector.client_rng_states())
+        previous = self.server._previous_gradient
+        return Checkpoint(
+            rounds_completed=len(self.recorder.rounds),
+            model_state=self.model.state_dict(),
+            velocities=optimizer_state["velocities"],
+            learning_rate=optimizer_state["lr"],
+            previous_gradient=None if previous is None else previous.copy(),
+            server_round_index=int(self.server.round_index),
+            server_rng_state=self.server._rng.bit_generator.state,
+            attack_rng_state=self._attack_rng.bit_generator.state,
+            participation_rng_state=(
+                None if schedule_rng is None else schedule_rng.bit_generator.state
+            ),
+            client_rng_states=client_states,
+            attack_state=self.attack.state_dict(),
+            recorder_state=self.recorder.to_dict(),
+            config=config,
+        )
+
+    def restore_checkpoint(self, checkpoint: Checkpoint) -> int:
+        """Rewind this simulation to ``checkpoint``; return the next round.
+
+        The simulation must have been built from the same configuration
+        that produced the checkpoint (same model architecture, population,
+        schedule kind, attack) — only *mutable* state is restored here;
+        everything structural is the caller's responsibility
+        (:func:`repro.fl.experiment.run_experiment` verifies the config
+        echo).  The collector is closed so its workers are rebuilt from
+        the restored client states on the next round.
+        """
+        self.model.load_state_dict(checkpoint.model_state)
+        self.server.optimizer.load_state_dict(
+            {
+                "lr": checkpoint.learning_rate,
+                "velocities": checkpoint.velocities,
+            }
+        )
+        previous = checkpoint.previous_gradient
+        self.server._previous_gradient = None if previous is None else previous.copy()
+        self.server.round_index = int(checkpoint.server_round_index)
+        self.server._rng.bit_generator.state = checkpoint.server_rng_state
+        self._attack_rng.bit_generator.state = checkpoint.attack_rng_state
+        schedule_rng = getattr(self.schedule, "_rng", None)
+        if checkpoint.participation_rng_state is not None:
+            if schedule_rng is None:
+                raise ValueError(
+                    "checkpoint carries a participation RNG state but this "
+                    "simulation's schedule draws no randomness — was it "
+                    "built from a different config?"
+                )
+            schedule_rng.bit_generator.state = checkpoint.participation_rng_state
+        self.attack.load_state_dict(checkpoint.attack_state)
+        for client in self.clients:
+            state = checkpoint.client_rng_states.get(client.client_id)
+            if state is not None:
+                client.loader.rng_state = state
+        self.recorder = RunRecorder.from_dict(checkpoint.recorder_state or {})
+        # Drop worker-held copies of model/client state: the next collect
+        # rebuilds the fleet from the restored objects above.
+        self.collector.close()
+        return int(checkpoint.rounds_completed)
+
+    def run(
+        self,
+        rounds: int,
+        *,
+        start_round: int = 0,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path=None,
+        checkpoint_config: Optional[Dict[str, Any]] = None,
+    ) -> RunRecorder:
+        """Run federated rounds ``start_round .. rounds-1``, recording each.
+
+        Args:
+            start_round: first round index to execute — nonzero when
+                resuming from a checkpoint (the earlier rounds' history
+                lives in the restored recorder).
+            checkpoint_every: snapshot the run every this many rounds (and
+                after the final round).  Requires ``checkpoint_path``.
+            checkpoint_path: where the checkpoint file is (atomically)
+                written; each save replaces the previous one.
+            checkpoint_config: config echo stored in every checkpoint.
+        """
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
-        for round_index in range(rounds):
+        if not 0 <= start_round <= rounds:
+            raise ValueError(
+                f"start_round must be in [0, {rounds}], got {start_round}"
+            )
+        if (checkpoint_every is None) != (checkpoint_path is None):
+            raise ValueError(
+                "checkpoint_every and checkpoint_path must be given together"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        for round_index in range(start_round, rounds):
             self.recorder.add(self.run_round(round_index))
+            completed = round_index + 1
+            if checkpoint_every is not None and (
+                completed % checkpoint_every == 0 or completed == rounds
+            ):
+                save_checkpoint(
+                    self.capture_checkpoint(config=checkpoint_config),
+                    checkpoint_path,
+                )
         return self.recorder
 
     def close(self) -> None:

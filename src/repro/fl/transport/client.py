@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import pickle
 import socket
+import time
 from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
@@ -36,7 +37,7 @@ from repro.fl.transport.codec import (
     MSG_WELCOME,
     model_signature,
 )
-from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES
+from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES, FrameError
 from repro.fl.transport.protocol import (
     Channel,
     HandshakeError,
@@ -45,6 +46,7 @@ from repro.fl.transport.protocol import (
     hello_header,
 )
 from repro.nn.module import Module
+from repro.utils.rng import RngLike, as_rng
 
 
 def parse_address(spec: str) -> tuple:
@@ -69,6 +71,16 @@ class WorkerConnection:
         round_timeout: socket timeout while waiting for a round reply —
             exceeding it is the "straggler worker" failure the collector
             maps onto dropout semantics.  ``None`` waits forever.
+        retry_attempts: how many connect attempts
+            :meth:`connect_with_retry` makes before giving up (1 = no
+            retrying).
+        retry_backoff: base delay of the exponential backoff between
+            attempts (doubled per attempt, jittered, capped at
+            ``retry_backoff_max``).
+        retry_backoff_max: ceiling on a single backoff sleep.
+        retry_rng: seed or generator for the backoff jitter — seeded by
+            the collector so retry timing is as reproducible as the rest
+            of the run.
     """
 
     def __init__(
@@ -78,16 +90,34 @@ class WorkerConnection:
         connect_timeout: float = 10.0,
         round_timeout: Optional[float] = 120.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        retry_attempts: int = 3,
+        retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
+        retry_rng: RngLike = None,
     ):
+        if retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, got {retry_attempts}")
+        if retry_backoff <= 0 or retry_backoff_max <= 0:
+            raise ValueError("retry backoff delays must be > 0")
         self.address = address
         self.host, self.port = parse_address(address)
         self.connect_timeout = float(connect_timeout)
         self.round_timeout = round_timeout
         self.max_frame_bytes = int(max_frame_bytes)
+        self.retry_attempts = int(retry_attempts)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_max = float(retry_backoff_max)
+        self._retry_rng = as_rng(retry_rng)
         self._channel: Optional[Channel] = None
         self.has_shard = False
         self._drained_sent = 0
         self._drained_received = 0
+        #: Successful connects after the first — how often this worker's
+        #: link was repaired over the connection's lifetime.
+        self.reconnects = 0
+        #: Failed connect attempts (each consumed one retry budget slot).
+        self.connect_failures = 0
+        self._ever_connected = False
 
     @property
     def connected(self) -> bool:
@@ -128,6 +158,41 @@ class WorkerConnection:
             raise
         self._channel = channel
         self.has_shard = bool(header.get("has_shard"))
+        if self._ever_connected:
+            self.reconnects += 1
+        self._ever_connected = True
+
+    def connect_with_retry(self, model: Module) -> None:
+        """:meth:`connect` under the bounded retry/backoff policy.
+
+        Transient failures — connection refused, reset, timeout, a peer
+        that closed mid-handshake — are retried up to ``retry_attempts``
+        times with seeded exponential backoff plus jitter.  A
+        :class:`~repro.fl.transport.protocol.HandshakeError` is
+        *permanent* (wrong protocol version or model signature: the
+        worker answered and said no) and is raised immediately — retrying
+        a refusal would only re-earn it.
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retry_attempts):
+            if attempt:
+                delay = min(
+                    self.retry_backoff_max,
+                    self.retry_backoff * (2 ** (attempt - 1)),
+                )
+                # Full jitter in [delay, 2*delay): desynchronizes a fleet of
+                # callers re-connecting to the same recovered worker.
+                time.sleep(delay * (1.0 + float(self._retry_rng.random())))
+            try:
+                self.connect(model)
+                return
+            except HandshakeError:
+                raise
+            except (TransportError, FrameError, OSError) as exc:
+                self.connect_failures += 1
+                last_error = exc
+        assert last_error is not None
+        raise last_error
 
     def reset(self) -> None:
         """Tell the worker to discard whatever shard it holds."""
@@ -160,6 +225,32 @@ class WorkerConnection:
         )
         channel.expect(MSG_READY)
         self.has_shard = True
+
+    def extend(
+        self,
+        client_ids: Sequence[int],
+        clients: Sequence[FederatedClient],
+        rng_states: Optional[Dict[int, dict]] = None,
+    ) -> None:
+        """Merge extra clients into the worker's *existing* shard.
+
+        This is the re-dispatch path: when another worker dies mid-round,
+        its clients (with their last-known RNG states) are shipped to a
+        survivor, which then recomputes the lost rows.  The worker keeps
+        its original clients; the merged ones are replaced if already
+        present.  Requires a held shard (the worker refuses otherwise —
+        merging into nothing would skip the model transfer).
+        """
+        channel = self._require_channel()
+        channel.settimeout(self.round_timeout)
+        channel.send(
+            MSG_SETUP,
+            {"merge": True},
+            pickle.dumps(
+                (None, [int(i) for i in client_ids], list(clients), rng_states)
+            ),
+        )
+        channel.expect(MSG_READY)
 
     def begin_round(
         self, state_blob: bytes, rows: Sequence[int], dtype: np.dtype, dim: int

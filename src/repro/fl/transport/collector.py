@@ -24,21 +24,41 @@ bit-identically to the sequential loop — across TCP:
 
 Failure semantics — the part that differs from the in-process backends:
 a worker that dies, times out, or refuses mid-round does **not** raise.
-Its rows stay NaN-invalidated and are reported in :attr:`failed_rows`;
-the simulation maps them onto the existing
-:class:`~repro.fl.participation.RoundPlan` dropout semantics
-(:meth:`~repro.fl.participation.RoundPlan.demote_to_dropped`), so the
-round completes with the surviving cohort.  On the next round the
-collector tries to reconnect; because the workers report each client's
-post-round RNG state in their trailers, a replacement worker resumes the
-lost clients' sampling streams exactly where their last *completed*
-round left them — dropped rounds never advance a client's stream, which
-keeps the run bit-identical to a sequential run with the same dropout
-trace.  Exceptions raised by a *client* inside a worker still propagate:
-a bug is a bug, not a dropout.
+The collector climbs a recovery ladder instead:
+
+1. **retry** — connects go through
+   :meth:`~repro.fl.transport.client.WorkerConnection.connect_with_retry`
+   (bounded attempts, seeded exponential backoff + jitter), so transient
+   refusals never cost a round;
+2. **re-dispatch** — a failed worker's rows are recomputed on the
+   surviving workers within the same round: the lost clients are merged
+   into survivors' shards together with their last-known post-round RNG
+   states (shipped in every trailer), so the recomputation is
+   bit-identical to what the dead worker would have produced and the
+   round completes with **zero** dropouts;
+3. **demote** — rows that no survivor could recover stay NaN-invalidated
+   and are reported in :attr:`failed_rows`; the simulation maps them onto
+   the existing :class:`~repro.fl.participation.RoundPlan` dropout
+   semantics (:meth:`~repro.fl.participation.RoundPlan.demote_to_dropped`),
+   so the round completes with the surviving cohort.
+
+On the next round the collector tries to reconnect; because the workers
+report each client's post-round RNG state in their trailers, a
+replacement worker resumes the lost clients' sampling streams exactly
+where their last *completed* round left them — dropped rounds never
+advance a client's stream, which keeps the run bit-identical to a
+sequential run with the same dropout trace.  Exceptions raised by a
+*client* inside a worker still propagate: a bug is a bug, not a dropout.
 
 Only when no worker at all is reachable does :meth:`collect` raise — an
 unreachable fleet is a deployment error, not a round-level failure.
+
+A :class:`~repro.fl.faults.FaultSchedule` can be injected on the caller
+side too (``fault_schedule=``): a spec targeting worker *w* at occurrence
+*r* severs the link to that worker at the collector's *r*-th main collect
+pass — the recovery ladder then runs exactly as it would for a real
+failure.  (Worker-side injection — the ``repro-worker --fault`` flag —
+exercises the same ladder from the other end.)
 """
 
 from __future__ import annotations
@@ -55,6 +75,7 @@ from repro.fl.collector import (
     invalidate_buffer,
     resolve_rows,
 )
+from repro.fl.faults import FaultSchedule
 from repro.fl.transport.client import WorkerConnection, parse_address
 from repro.fl.transport.codec import CodecError, encode_state_dict
 from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES, FrameError
@@ -71,9 +92,24 @@ class DistributedCollector(GradientCollector):
             order.
         connect_timeout: socket timeout for connect/handshake/setup.
         round_timeout: how long to wait for one worker's round reply
-            before declaring it failed (its rows become dropouts).
-            ``None`` waits forever.
+            before declaring it failed (its rows enter the recovery
+            ladder).  ``None`` waits forever.
         max_frame_bytes: per-frame receive ceiling.
+        retry_attempts: connect attempts per worker per repair
+            (:meth:`~repro.fl.transport.client.WorkerConnection.\
+            connect_with_retry`); 1 disables retrying.
+        retry_backoff: base backoff delay between connect attempts
+            (exponential, jittered, capped at ``retry_backoff_max``).
+        retry_backoff_max: ceiling on one backoff sleep.
+        retry_seed: seed for the per-worker backoff-jitter streams (the
+            jitter is the only randomness the collector owns).
+        redispatch: when True (default), a failed worker's rows are
+            recomputed on surviving workers before any demotion; False
+            skips straight to dropout semantics (useful to *observe* the
+            demote rung of the ladder).
+        fault_schedule: deterministic caller-side fault injection — a
+            spec for worker ``w`` at occurrence ``r`` severs that link at
+            this collector's ``r``-th main collect pass.
     """
 
     def __init__(
@@ -83,8 +119,14 @@ class DistributedCollector(GradientCollector):
         connect_timeout: float = 10.0,
         round_timeout: Optional[float] = 120.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        retry_attempts: int = 3,
+        retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
+        retry_seed: int = 0,
+        redispatch: bool = True,
+        fault_schedule: Optional[FaultSchedule] = None,
     ):
-        super().__init__()
+        super().__init__(fault_schedule=fault_schedule)
         specs = [str(spec) for spec in workers]
         if not specs:
             raise ValueError("distributed collect requires at least one worker")
@@ -94,14 +136,21 @@ class DistributedCollector(GradientCollector):
             raise ValueError(f"duplicate worker specs: {specs}")
         self.worker_addresses = specs
         self.n_workers = len(specs)
+        self.redispatch = bool(redispatch)
         self._conns = [
             WorkerConnection(
                 spec,
                 connect_timeout=connect_timeout,
                 round_timeout=round_timeout,
                 max_frame_bytes=max_frame_bytes,
+                retry_attempts=retry_attempts,
+                retry_backoff=retry_backoff,
+                retry_backoff_max=retry_backoff_max,
+                # Independent jitter stream per worker, derived from one
+                # seed, so retry timing is reproducible fleet-wide.
+                retry_rng=np.random.default_rng([int(retry_seed), index]),
             )
-            for spec in specs
+            for index, spec in enumerate(specs)
         ]
         # True while the worker needs a (re-)setup before serving rounds:
         # initially, and again after any dropped connection — a worker that
@@ -119,6 +168,10 @@ class DistributedCollector(GradientCollector):
         self.failed_rows: Tuple[int, ...] = ()
         #: ``(bytes_sent, bytes_received)`` across the last ``collect``.
         self.last_round_bytes: Tuple[int, int] = (0, 0)
+        #: Client ids recovered by re-dispatch during the last ``collect``.
+        self.last_round_redispatched: Tuple[int, ...] = ()
+        #: Successful worker reconnects during the last ``collect``.
+        self.last_round_reconnects: int = 0
 
     # -- fleet management ----------------------------------------------------
 
@@ -151,7 +204,7 @@ class DistributedCollector(GradientCollector):
                 continue
             try:
                 if not conn.connected:
-                    conn.connect(model)
+                    conn.connect_with_retry(model)
                 if conn.has_shard:
                     conn.reset()
                 chunk = self._chunks[index]
@@ -188,6 +241,11 @@ class DistributedCollector(GradientCollector):
     ) -> np.ndarray:
         subset = resolve_rows(clients, out, rows)
         _check_deterministic_forward(model, type(self).__name__)
+        # Straggler passes share the main pass's fault clock: a fault spec's
+        # "round" means "this collector's N-th round", not its N-th network
+        # exchange.
+        fault_round = self._advance_fault_round(apply_batch_stats)
+        reconnects_before = sum(conn.reconnects for conn in self._conns)
         self._ensure_fleet(clients, model)
         if not any(conn.connected for conn in self._conns):
             raise TransportError(
@@ -211,6 +269,13 @@ class DistributedCollector(GradientCollector):
             hi = int(np.searchsorted(all_rows, chunk[-1] + 1))
             if hi == lo:
                 continue  # none of this worker's clients participate
+            if self.fault_schedule.any_fires(fault_round, index):
+                # Injected link fault: sever the connection before the
+                # broadcast.  The worker never sees the round, so its
+                # clients' RNG streams stay untouched — recovery (or
+                # demotion) is bit-identical to a real dead link.
+                self._mark_failed(index, all_rows[lo:hi], failed)
+                continue
             if not conn.connected:
                 failed.extend(int(i) for i in all_rows[lo:hi])
                 continue
@@ -230,16 +295,29 @@ class DistributedCollector(GradientCollector):
             except (TransportError, FrameError, CodecError, OSError):
                 self._mark_failed(index, all_rows[lo:hi], failed)
                 continue
-            self.worker_timings.append(
-                (conn.address, float(trailer["seconds"]), int(trailer["count"]))
+            error = self._consume_trailer(conn, trailer, clients, stats_by_row)
+            if error is not None and first_error is None:
+                first_error = error
+
+        # Recovery rung 2: recompute the failed rows on surviving workers
+        # before falling back to dropout demotion.
+        self.last_round_redispatched = ()
+        if failed and self.redispatch and first_error is None:
+            recovered, error = self._redispatch(
+                clients, model, out, all_rows, sorted(failed),
+                state_blob, stats_by_row,
             )
-            for row, loss in trailer["losses"]:
-                clients[row].last_loss = loss
-            stats_by_row.extend(trailer["stats"])
-            self._rng_states.update(trailer["rng_states"])
-            if trailer["error"] is not None and first_error is None:
-                first_error = trailer["error"]
+            if error is not None:
+                first_error = error
+            if recovered:
+                recovered_set = set(recovered)
+                failed = [row for row in failed if row not in recovered_set]
+                self.last_round_redispatched = tuple(sorted(recovered))
+
         self.failed_rows = tuple(sorted(failed))
+        self.last_round_reconnects = (
+            sum(conn.reconnects for conn in self._conns) - reconnects_before
+        )
         self.last_round_bytes = tuple(
             after - before for after, before in zip(self._wire_totals(), bytes_before)
         )
@@ -248,6 +326,96 @@ class DistributedCollector(GradientCollector):
         if apply_batch_stats:
             _replay_batch_stats(model, stats_by_row)
         return out
+
+    def _consume_trailer(
+        self,
+        conn: WorkerConnection,
+        trailer: Dict,
+        clients: Sequence[FederatedClient],
+        stats_by_row: List[Tuple[int, list]],
+    ) -> Optional[BaseException]:
+        """Fold one round trailer into the collect bookkeeping."""
+        self.worker_timings.append(
+            (conn.address, float(trailer["seconds"]), int(trailer["count"]))
+        )
+        for row, loss in trailer["losses"]:
+            clients[row].last_loss = loss
+        stats_by_row.extend(trailer["stats"])
+        self._rng_states.update(trailer["rng_states"])
+        return trailer["error"]
+
+    def _redispatch(
+        self,
+        clients: Sequence[FederatedClient],
+        model: Module,
+        out: np.ndarray,
+        all_rows: np.ndarray,
+        failed: Sequence[int],
+        state_blob: bytes,
+        stats_by_row: List[Tuple[int, list]],
+    ) -> Tuple[List[int], Optional[BaseException]]:
+        """Recompute ``failed`` rows on surviving (or repaired) workers.
+
+        The failed clients are merged into the survivors' shards together
+        with their last-known post-round RNG states, so the recomputation
+        is bit-identical to what their own worker would have produced —
+        the dead worker never reported this round, so the lost streams
+        stand at the previous completed round.  A survivor that dies
+        during recovery forfeits only its re-dispatch group (its own rows
+        are already gathered); there is no recursive retry.
+        """
+        # Give failed workers one repaired chance first: _ensure_fleet
+        # reconnects under the bounded backoff policy and re-ships shards
+        # with resumed streams, so a transient link blip rejoins here.
+        self._ensure_fleet(clients, model)
+        survivors = [
+            index
+            for index, conn in enumerate(self._conns)
+            if conn.connected and not self._needs_setup[index]
+        ]
+        if not survivors:
+            return [], None
+        dim = out.shape[-1]
+        groups = np.array_split(np.asarray(failed, dtype=int), len(survivors))
+        recovered: List[int] = []
+        first_error: Optional[BaseException] = None
+        for index, group in zip(survivors, groups):
+            if not len(group):
+                continue
+            conn = self._conns[index]
+            ids = [int(i) for i in group]
+            try:
+                conn.extend(
+                    ids,
+                    [clients[i] for i in ids],
+                    {i: self._rng_states[i] for i in ids if i in self._rng_states}
+                    or None,
+                )
+                conn.begin_round(state_blob, ids, out.dtype, dim)
+                scratch = np.empty((len(ids), dim), dtype=out.dtype)
+                trailer = conn.finish_round(scratch)
+            except (TransportError, FrameError, CodecError, OSError):
+                conn.drop()
+                self._needs_setup[index] = True
+                continue
+            # The recovered rows scatter back into the caller's buffer at
+            # their plan positions (the groups are contiguous id ranges,
+            # but their buffer rows need not be).
+            out[np.searchsorted(all_rows, group)] = scratch
+            error = self._consume_trailer(conn, trailer, clients, stats_by_row)
+            if error is not None and first_error is None:
+                first_error = error
+            recovered.extend(ids)
+        return recovered, first_error
+
+    def client_rng_states(self) -> Dict[int, dict]:
+        """Latest known post-round RNG state per client id (checkpointing).
+
+        Worker-side streams are authoritative for every client that has
+        completed at least one round; the caller's client objects still
+        hold the correct (construction-time) state for the rest.
+        """
+        return dict(self._rng_states)
 
     def _mark_failed(
         self, index: int, rows: np.ndarray, failed: List[int]

@@ -21,28 +21,44 @@ from __future__ import annotations
 import selectors
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.fl.faults import FaultSchedule
 from repro.fl.transport.worker import WorkerServer
 
 
 class WorkerProcess:
     """Handle on one spawned ``repro-worker`` subprocess."""
 
-    def __init__(self, process: subprocess.Popen, address: str):
+    def __init__(self, process: subprocess.Popen, address: str, stderr_file=None):
         self.process = process
         self.address = address
+        self._stderr_file = stderr_file
 
     @property
     def alive(self) -> bool:
         return self.process.poll() is None
 
+    def stderr_tail(self, limit: int = 2000) -> str:
+        """The last ``limit`` characters the worker wrote to stderr."""
+        return _stderr_tail(self._stderr_file, limit)
+
+    def _close_stderr(self) -> None:
+        if self._stderr_file is not None:
+            try:
+                self._stderr_file.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._stderr_file = None
+
     def kill(self) -> None:
         """Hard-kill the worker (simulates a host failure)."""
         self.process.kill()
         self.process.wait(timeout=10)
+        self._close_stderr()
 
     def terminate(self) -> None:
         if self.process.poll() is None:
@@ -52,6 +68,7 @@ class WorkerProcess:
             except subprocess.TimeoutExpired:  # pragma: no cover - defensive
                 self.process.kill()
                 self.process.wait(timeout=5)
+        self._close_stderr()
 
 
 class LocalFleet:
@@ -90,14 +107,36 @@ def _worker_environment() -> dict:
     return env
 
 
+def _stderr_tail(stderr_file, limit: int = 2000) -> str:
+    """Last ``limit`` characters of a captured-stderr file (``""`` if none)."""
+    if stderr_file is None:
+        return ""
+    try:
+        stderr_file.seek(0)
+        text = stderr_file.read()
+    except (OSError, ValueError):  # pragma: no cover - defensive
+        return ""
+    return text[-limit:].strip()
+
+
 def spawn_worker_process(
     *,
     host: str = "127.0.0.1",
     port: int = 0,
     extra_args: Sequence[str] = (),
     startup_timeout: float = 30.0,
+    worker_index: Optional[int] = None,
 ) -> WorkerProcess:
-    """Spawn one ``repro-worker`` subprocess and scrape its address."""
+    """Spawn one ``repro-worker`` subprocess and scrape its address.
+
+    Startup is bounded: if the worker exits or stays silent past
+    ``startup_timeout``, it is killed and a ``RuntimeError`` names the
+    worker (``worker_index``, when given), its exit code, and the tail of
+    its captured stderr — the actual traceback, not just "failed to
+    start".
+    """
+    label = "repro-worker" if worker_index is None else f"repro-worker {worker_index}"
+    stderr_file = tempfile.TemporaryFile(mode="w+", prefix="repro-worker-stderr-")
     process = subprocess.Popen(
         [
             sys.executable,
@@ -110,16 +149,28 @@ def spawn_worker_process(
             *extra_args,
         ],
         stdout=subprocess.PIPE,
-        stderr=subprocess.DEVNULL,
+        stderr=stderr_file,
         text=True,
         env=_worker_environment(),
     )
     line = _read_line_with_timeout(process, startup_timeout)
     if line is None or "listening on" not in line:
         process.kill()
-        raise RuntimeError(f"repro-worker failed to start (first line: {line!r})")
+        process.wait(timeout=10)
+        returncode = process.poll()
+        detail = (
+            f"exited with code {returncode}"
+            if returncode is not None
+            else f"printed no address within {startup_timeout:.0f}s"
+        )
+        tail = _stderr_tail(stderr_file)
+        stderr_file.close()
+        raise RuntimeError(
+            f"{label} failed to start: {detail} (first stdout line: {line!r})"
+            + (f"\n--- worker stderr ---\n{tail}" if tail else "")
+        )
     address = line.rsplit(" ", 1)[-1].strip()
-    return WorkerProcess(process, address)
+    return WorkerProcess(process, address, stderr_file)
 
 
 def _read_line_with_timeout(process: subprocess.Popen, timeout: float):
@@ -128,7 +179,9 @@ def _read_line_with_timeout(process: subprocess.Popen, timeout: float):
     A plain ``readline()`` would block forever on a worker that wedges
     before printing its address; waiting for the pipe to become readable
     first keeps the deadline real.  Once data arrives, ``readline()`` is
-    safe: the worker prints its address as a single flushed write.
+    safe: the worker prints its address as a single flushed write.  A
+    worker that dies during startup is noticed immediately (EOF makes the
+    pipe readable), not at the deadline.
     """
     deadline = time.monotonic() + timeout
     selector = selectors.DefaultSelector()
@@ -136,6 +189,8 @@ def _read_line_with_timeout(process: subprocess.Popen, timeout: float):
     try:
         while time.monotonic() < deadline:
             if selector.select(timeout=0.1):
+                return process.stdout.readline() or None
+            if process.poll() is not None:  # died without writing anything
                 return process.stdout.readline() or None
     finally:
         selector.close()
@@ -148,16 +203,34 @@ def spawn_local_fleet(
     host: str = "127.0.0.1",
     extra_args: Sequence[str] = (),
     startup_timeout: float = 30.0,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> LocalFleet:
-    """Spawn ``n_workers`` localhost ``repro-worker`` subprocesses."""
+    """Spawn ``n_workers`` localhost ``repro-worker`` subprocesses.
+
+    ``fault_schedule`` distributes a fleet-wide
+    :class:`~repro.fl.faults.FaultSchedule` across the workers: each
+    worker receives its own specs as ``--fault`` CLI arguments (worker
+    *i*'s specs are re-keyed to the single-process worker's index 0).
+    """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    schedule = fault_schedule or FaultSchedule()
+    for worker in schedule.worker_indices():
+        if worker >= n_workers:
+            raise ValueError(
+                f"fault schedule targets worker {worker} but the fleet has "
+                f"only {n_workers} workers"
+            )
     workers: List[WorkerProcess] = []
     try:
-        for _ in range(n_workers):
+        for index in range(n_workers):
+            args = list(extra_args) + schedule.for_worker(index).to_cli_args()
             workers.append(
                 spawn_worker_process(
-                    host=host, extra_args=extra_args, startup_timeout=startup_timeout
+                    host=host,
+                    extra_args=args,
+                    startup_timeout=startup_timeout,
+                    worker_index=index,
                 )
             )
     except BaseException:
@@ -191,20 +264,30 @@ class ThreadFleet:
 
 
 def start_thread_fleet(
-    n_workers: int, *, stall_at_round: Optional[int] = None, **worker_kwargs
+    n_workers: int,
+    *,
+    fault_schedule: Optional[FaultSchedule] = None,
+    **worker_kwargs,
 ) -> ThreadFleet:
     """Start ``n_workers`` in-process workers on OS-assigned loopback ports.
 
-    ``stall_at_round`` (and any other :class:`WorkerServer` fault knob in
-    ``worker_kwargs``) applies to the *first* worker only — the usual
-    shape of a fault-injection test.
+    ``fault_schedule`` is a fleet-wide
+    :class:`~repro.fl.faults.FaultSchedule`: each server receives its own
+    worker's specs (re-keyed to its local index 0).  Other
+    :class:`WorkerServer` knobs in ``worker_kwargs`` apply to every
+    worker.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    servers = []
-    for index in range(n_workers):
-        kwargs = dict(worker_kwargs)
-        if index == 0 and stall_at_round is not None:
-            kwargs["stall_at_round"] = stall_at_round
-        servers.append(WorkerServer(**kwargs))
+    schedule = fault_schedule or FaultSchedule()
+    for worker in schedule.worker_indices():
+        if worker >= n_workers:
+            raise ValueError(
+                f"fault schedule targets worker {worker} but the fleet has "
+                f"only {n_workers} workers"
+            )
+    servers = [
+        WorkerServer(fault_schedule=schedule.for_worker(index), **worker_kwargs)
+        for index in range(n_workers)
+    ]
     return ThreadFleet(servers)

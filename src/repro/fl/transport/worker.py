@@ -36,11 +36,16 @@ for callers you trust (the handshake's magic/version/signature checks
 guard against accidents, not adversaries); the state-dict broadcasts and
 gradient shards themselves are pickle-free.
 
-Fault injection (used by the test suite and deliberately undocumented in
-``--help``'s prose beyond one line): ``--crash-at-round N`` makes the
-process exit hard upon *receiving* its N-th round request — from the
-caller's side, a worker that died mid-round; ``--stall-at-round N``
-makes it sleep through the round instead — a worker that times out.
+Fault injection: ``--fault KIND@ROUND[:SECONDS]`` (repeatable) attaches a
+:class:`~repro.fl.faults.FaultSchedule` to the worker — the one
+fault-injection API shared with the in-process backends.  ``crash``
+hard-exits the process upon *receiving* its N-th lifetime ``ROUND``
+request (from the caller's side, a worker that died mid-round);
+``stall`` sleeps SECONDS through it instead (a worker that times out);
+``corrupt_frame`` answers it with a torn gradient frame (a worker whose
+reply the framing layer rejects); ``refuse_connect`` silently drops the
+N-th *connection attempt* (``HELLO``) — the failure the caller's
+connect-retry policy exists to ride out.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ import numpy as np
 
 from repro.fl.client import FederatedClient
 from repro.fl.collector import _batch_stat_modules, _collect_client
+from repro.fl.faults import FaultSchedule
 from repro.fl.transport.codec import (
     MSG_BYE,
     MSG_ERROR,
@@ -89,10 +95,17 @@ class WorkerServer:
         port: TCP port; 0 lets the OS choose (see :attr:`address`).
         max_frame_bytes: per-frame receive ceiling (oversized frames are
             refused before any allocation).
-        crash_at_round: fault injection — hard-exit the process upon
-            receiving this (1-based, lifetime) round request.
-        stall_at_round: fault injection — sleep ``stall_seconds`` upon
-            receiving this round request instead of replying.
+        fault_schedule: deterministic fault injection (see
+            :mod:`repro.fl.faults`).  ``crash``/``stall``/``corrupt_frame``
+            specs trigger on this worker's N-th lifetime ``ROUND`` request,
+            ``refuse_connect`` on its N-th ``HELLO``.  A server is a fleet
+            of one, so the schedule must target worker 0
+            (:meth:`~repro.fl.faults.FaultSchedule.for_worker`).
+        hard_crash: when True, ``crash`` faults ``os._exit`` the whole
+            process (the CLI behaviour — real host death); when False (the
+            in-process default), they close the listener and drop the
+            connection, so a thread-fleet test's interpreter survives but
+            callers observe the same dead worker.
     """
 
     def __init__(
@@ -101,14 +114,19 @@ class WorkerServer:
         port: int = 0,
         *,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-        crash_at_round: Optional[int] = None,
-        stall_at_round: Optional[int] = None,
-        stall_seconds: float = 3600.0,
+        fault_schedule: Optional[FaultSchedule] = None,
+        hard_crash: bool = False,
     ):
         self.max_frame_bytes = int(max_frame_bytes)
-        self.crash_at_round = crash_at_round
-        self.stall_at_round = stall_at_round
-        self.stall_seconds = float(stall_seconds)
+        self.fault_schedule = fault_schedule or FaultSchedule()
+        indices = self.fault_schedule.worker_indices()
+        if indices not in ((), (0,)):
+            raise ValueError(
+                "a WorkerServer is a single worker; its fault schedule must "
+                f"target worker 0, got workers {indices} — call "
+                "FaultSchedule.for_worker() first"
+            )
+        self.hard_crash = bool(hard_crash)
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self._closed = False
@@ -117,6 +135,7 @@ class WorkerServer:
         self._clients: Dict[int, FederatedClient] = {}
         self._signature: Optional[str] = None
         self._rounds_received = 0
+        self._hellos_received = 0
 
     @property
     def address(self) -> str:
@@ -180,6 +199,13 @@ class WorkerServer:
         if msg_type != MSG_HELLO:
             self._refuse(channel, "handshake must start with HELLO")
             return
+        self._hellos_received += 1
+        if self.fault_schedule.fires("refuse_connect", self._hellos_received):
+            # Fault injection: hang up without a word.  The caller sees a
+            # connection closed mid-handshake — the transient failure its
+            # connect-retry policy is built for (a real HandshakeError,
+            # being an explicit refusal, is deliberately NOT retried).
+            return
         refusal = check_hello(header)
         claimed_signature = header.get("model_signature")
         if refusal is None and self.has_shard and claimed_signature != self._signature:
@@ -212,7 +238,10 @@ class WorkerServer:
                 self._signature = None
                 channel.send(MSG_READY, {"num_clients": 0})
             elif msg_type == MSG_SETUP:
-                if not self._handle_setup(channel, claimed_signature, body):
+                if header.get("merge"):
+                    if not self._handle_merge(channel, body):
+                        return
+                elif not self._handle_setup(channel, claimed_signature, body):
                     return
             elif msg_type == MSG_ROUND:
                 self._handle_round(channel, header, body)
@@ -249,14 +278,49 @@ class WorkerServer:
         channel.send(MSG_READY, {"num_clients": len(clients)})
         return True
 
+    def _handle_merge(self, channel: Channel, body: bytes) -> bool:
+        """Merge re-dispatched clients into the held shard (no model ships)."""
+        if self._model is None:
+            self._refuse(channel, "merge SETUP requires an existing shard")
+            return False
+        try:
+            _, client_ids, clients, rng_states = pickle.loads(body)
+        except Exception as exc:
+            self._refuse(channel, f"SETUP payload failed to unpickle: {exc!r}")
+            return False
+        if rng_states:
+            # Re-dispatched clients resume their sampling streams at their
+            # last *completed* round — the dead worker never reported this
+            # round's advance, so recomputing here is bit-identical.
+            for client_id, state in rng_states.items():
+                clients[client_ids.index(client_id)].loader.rng_state = state
+        self._clients.update(zip(client_ids, clients))
+        channel.send(MSG_READY, {"num_clients": len(self._clients)})
+        return True
+
     def _handle_round(self, channel: Channel, header: dict, body: bytes) -> None:
         self._rounds_received += 1
-        if self.crash_at_round is not None:
-            if self._rounds_received >= self.crash_at_round:
+        if self.fault_schedule.fires("crash", self._rounds_received):
+            if self.hard_crash:
                 os._exit(17)  # fault injection: die without replying
-        if self.stall_at_round is not None:
-            if self._rounds_received == self.stall_at_round:
-                time.sleep(self.stall_seconds)  # fault injection: miss deadline
+            # In-process flavour: stop listening and hang up.  Callers see
+            # exactly what a dead process shows them — a connection that
+            # drops mid-round and a port that then refuses.
+            self.close()
+            raise ConnectionAbortedError("fault injection: crash")
+        stall = self.fault_schedule.fires("stall", self._rounds_received)
+        if stall is not None:
+            time.sleep(stall.seconds)  # fault injection: miss the deadline
+        if self.fault_schedule.fires("corrupt_frame", self._rounds_received):
+            # Fault injection: announce the shard, then tear the gradient
+            # frame.  Nothing was computed — client RNG streams are
+            # untouched, so a re-dispatched recomputation stays bit-exact.
+            rows = [int(row) for row in header["rows"]]
+            dtype = np.dtype(header["dtype"])
+            nbytes = len(rows) * int(header["dim"]) * dtype.itemsize
+            channel.send(MSG_SHARD, {"rows": len(rows), "nbytes": nbytes})
+            channel.send_raw(b"\x00" * min(8, max(nbytes - 1, 0)))
+            raise ConnectionAbortedError("fault injection: corrupt frame")
         if self._model is None:
             self._refuse(channel, "ROUND before SETUP: worker holds no shard")
             return
@@ -341,31 +405,23 @@ def main(argv=None) -> int:
         help="per-frame receive ceiling in MiB",
     )
     parser.add_argument(
-        "--crash-at-round",
-        type=int,
-        default=None,
-        help="fault injection: exit hard on receiving the N-th round request",
-    )
-    parser.add_argument(
-        "--stall-at-round",
-        type=int,
-        default=None,
-        help="fault injection: sleep through the N-th round request",
-    )
-    parser.add_argument(
-        "--stall-seconds",
-        type=float,
-        default=3600.0,
-        help="how long --stall-at-round sleeps",
+        "--fault",
+        action="append",
+        default=[],
+        metavar="KIND@ROUND[:SECONDS]",
+        help=(
+            "fault injection (repeatable): crash@N / stall@N[:SECS] / "
+            "corrupt_frame@N trigger on the N-th round request, "
+            "refuse_connect@N on the N-th connection attempt"
+        ),
     )
     args = parser.parse_args(argv)
     server = WorkerServer(
         args.host,
         args.port,
         max_frame_bytes=int(args.max_frame_mb * 2**20),
-        crash_at_round=args.crash_at_round,
-        stall_at_round=args.stall_at_round,
-        stall_seconds=args.stall_seconds,
+        fault_schedule=FaultSchedule.from_args(args.fault),
+        hard_crash=True,
     )
     print(f"repro-worker listening on {server.address}", flush=True)
     try:

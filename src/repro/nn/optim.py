@@ -85,6 +85,44 @@ class SGD:
             )
         self.step()
 
+    def state_dict(self) -> dict:
+        """Mutable optimizer state (learning rate + momentum velocities).
+
+        Velocities are copied, so the snapshot is decoupled from further
+        :meth:`step` calls — this is the optimizer half of a run
+        checkpoint (:mod:`repro.fl.checkpoint`).
+        """
+        return {
+            "lr": float(self.lr),
+            "velocities": [
+                None if velocity is None else velocity.copy()
+                for velocity in self._velocities
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        velocities = state["velocities"]
+        if len(velocities) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state has {len(velocities)} velocities but this "
+                f"optimizer manages {len(self.parameters)} parameters"
+            )
+        restored: List[Optional[np.ndarray]] = []
+        for param, velocity in zip(self.parameters, velocities):
+            if velocity is None:
+                restored.append(None)
+                continue
+            velocity = np.asarray(velocity)
+            if velocity.shape != param.data.shape:
+                raise ValueError(
+                    f"velocity shape {velocity.shape} does not match "
+                    f"parameter shape {param.data.shape}"
+                )
+            restored.append(velocity.astype(param.data.dtype, copy=True))
+        self._velocities = restored
+        self.lr = float(state["lr"])
+
 
 class ConstantLR:
     """Constant learning-rate schedule (no-op)."""

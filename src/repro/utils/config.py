@@ -90,6 +90,15 @@ class TrainingConfig:
     ``"fixed_cohort"`` (exactly ``cohort_size`` clients per round).
     ``dropout_rate`` and ``straggler_rate`` simulate sampled clients that
     fail before computing / compute but miss the synchronous deadline.
+
+    The fault-tolerance knobs: ``connect_timeout`` / ``round_timeout``
+    bound the distributed backend's worker handshakes and round replies
+    (``round_timeout=None`` waits forever); ``min_cohort_fraction`` is the
+    round quorum (at least ``ceil(fraction * cohort_size)`` clients must
+    aggregate) and ``on_quorum_loss`` what to do beneath it — ``"accept"``
+    the degraded round, ``"retry"`` the plan up to ``quorum_retries``
+    times, or ``"abort"`` the run (see
+    :class:`~repro.fl.simulation.FederatedSimulation`).
     """
 
     model: str = "simple_cnn"
@@ -110,6 +119,11 @@ class TrainingConfig:
     cohort_size: Optional[int] = None
     dropout_rate: float = 0.0
     straggler_rate: float = 0.0
+    connect_timeout: float = 10.0
+    round_timeout: Optional[float] = 120.0
+    min_cohort_fraction: float = 0.0
+    on_quorum_loss: str = "accept"
+    quorum_retries: int = 2
 
     def validate(self) -> "TrainingConfig":
         check_integer_in_range(self.rounds, "rounds", minimum=1)
@@ -170,6 +184,18 @@ class TrainingConfig:
         check_fraction(self.straggler_rate, "straggler_rate")
         if self.dropout_rate >= 1.0 or self.straggler_rate >= 1.0:
             raise ValueError("dropout_rate and straggler_rate must be < 1")
+        check_positive(self.connect_timeout, "connect_timeout")
+        if self.round_timeout is not None:
+            check_positive(self.round_timeout, "round_timeout")
+        check_fraction(self.min_cohort_fraction, "min_cohort_fraction")
+        from repro.fl.faults import QUORUM_POLICIES
+
+        if self.on_quorum_loss not in QUORUM_POLICIES:
+            raise ValueError(
+                f"on_quorum_loss must be one of {QUORUM_POLICIES}, "
+                f"got {self.on_quorum_loss!r}"
+            )
+        check_integer_in_range(self.quorum_retries, "quorum_retries", minimum=0)
         return self
 
 

@@ -39,6 +39,16 @@ class RoundRecord:
     num_dropped: int = 0
     num_stragglers: int = 0
     cohort_clients: Sequence[int] = field(default_factory=tuple)
+    #: Clients whose shard was recomputed on surviving workers after their
+    #: own worker failed mid-round (distributed collect re-dispatch).
+    num_redispatched: int = 0
+    #: Successful worker reconnects during this round's collect.
+    num_reconnects: int = 0
+    #: Whole-round retries taken under ``on_quorum_loss="retry"``.
+    num_retries: int = 0
+    #: False when the round finished below ``min_cohort_fraction`` and the
+    #: ``accept`` policy recorded it anyway.
+    quorum_met: bool = True
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -76,8 +86,47 @@ class RoundRecord:
             "num_dropped": self.num_dropped,
             "num_stragglers": self.num_stragglers,
             "cohort_clients": list(self.cohort_clients),
+            "num_redispatched": self.num_redispatched,
+            "num_reconnects": self.num_reconnects,
+            "num_retries": self.num_retries,
+            "quorum_met": self.quorum_met,
             "extra": dict(self.extra),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RoundRecord":
+        """Reconstruct a record from :meth:`to_dict` output.
+
+        Tolerates payloads from older records (missing keys get their
+        defaults) — checkpoint files must stay readable across versions
+        that only *add* fields.
+        """
+        record = cls(
+            round_index=int(payload["round_index"]),
+            train_loss=float(payload["train_loss"]),
+        )
+        for key in (
+            "test_accuracy",
+            "test_loss",
+            "benign_selected",
+            "benign_total",
+            "byzantine_selected",
+            "byzantine_total",
+            "attack_name",
+            "cohort_size",
+            "num_dropped",
+            "num_stragglers",
+            "num_redispatched",
+            "num_reconnects",
+            "num_retries",
+            "quorum_met",
+        ):
+            if key in payload:
+                setattr(record, key, payload[key])
+        record.selected_clients = tuple(payload.get("selected_clients", ()))
+        record.cohort_clients = tuple(payload.get("cohort_clients", ()))
+        record.extra = dict(payload.get("extra", {}))
+        return record
 
 
 class RunRecorder:
@@ -153,6 +202,18 @@ class RunRecorder:
         """Total simulated stragglers (computed but missed deadline)."""
         return int(sum(r.num_stragglers for r in self.rounds))
 
+    def total_redispatched(self) -> int:
+        """Total client shards recovered by re-dispatch across the run."""
+        return int(sum(r.num_redispatched for r in self.rounds))
+
+    def total_reconnects(self) -> int:
+        """Total successful worker reconnects across the run."""
+        return int(sum(r.num_reconnects for r in self.rounds))
+
+    def total_retries(self) -> int:
+        """Total quorum-policy round retries across the run."""
+        return int(sum(r.num_retries for r in self.rounds))
+
     def to_dict(self) -> Dict[str, Any]:
         """Serialize the whole run (for EXPERIMENTS.md bookkeeping)."""
         return {
@@ -162,6 +223,20 @@ class RunRecorder:
             "best_accuracy": self.best_accuracy(),
             "final_accuracy": self.final_accuracy(),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecorder":
+        """Reconstruct a recorder from :meth:`to_dict` output.
+
+        This is how checkpoint resume rebuilds the run history; the
+        derived summary fields in the payload are recomputed, not trusted.
+        """
+        recorder = cls(description=payload.get("description", ""))
+        recorder.metadata = dict(payload.get("metadata", {}))
+        recorder.rounds = [
+            RoundRecord.from_dict(entry) for entry in payload.get("rounds", [])
+        ]
+        return recorder
 
     def summary(self) -> str:
         """One-line summary used by example scripts and bench output."""

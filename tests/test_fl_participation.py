@@ -786,3 +786,67 @@ class TestExperimentIntegration:
         assert restored.training.participation_fraction == 0.5
         assert restored.training.dropout_rate == 0.2
         assert restored.training.cohort_size is None
+
+
+class TestDemoteToDropped:
+    """Edge cases of the recovery ladder's demotion rung."""
+
+    def make_plan(self, **overrides):
+        fields = dict(
+            round_index=2,
+            population_size=10,
+            cohort=[0, 2, 4, 6, 8],
+            active=[0, 2, 4, 6],
+            dropped=[8],
+            stragglers=[],
+            weights=[0.25, 0.25, 0.25, 0.25],
+        )
+        fields.update(overrides)
+        return RoundPlan(**fields)
+
+    def test_demotion_moves_and_renormalizes(self):
+        plan = self.make_plan().demote_to_dropped([2, 6])
+        np.testing.assert_array_equal(plan.active, [0, 4])
+        np.testing.assert_array_equal(plan.dropped, [2, 6, 8])
+        np.testing.assert_array_equal(plan.cohort, [0, 2, 4, 6, 8])
+        np.testing.assert_allclose(plan.weights, [0.5, 0.5])
+        assert plan.weights.sum() == 1.0
+
+    def test_empty_demotion_returns_the_same_plan(self):
+        plan = self.make_plan()
+        assert plan.demote_to_dropped([]) is plan
+
+    def test_demoting_every_active_client_raises(self):
+        # No survivor can report: the caller must escalate to a run-level
+        # failure (FleetOutageError), never a zero-row aggregation.
+        with pytest.raises(ValueError, match="every active client"):
+            self.make_plan().demote_to_dropped([0, 2, 4, 6])
+
+    def test_demoting_non_active_clients_raises(self):
+        # Stragglers and already-dropped clients are not active rows; a
+        # collector reporting them as failed is a bookkeeping bug.
+        plan = self.make_plan(
+            active=[0, 2, 4], stragglers=[6], weights=[0.3, 0.3, 0.4]
+        )
+        with pytest.raises(ValueError, match="not active"):
+            plan.demote_to_dropped([6])  # straggler
+        with pytest.raises(ValueError, match="not active"):
+            plan.demote_to_dropped([8])  # already dropped
+        with pytest.raises(ValueError, match="not active"):
+            plan.demote_to_dropped([1])  # not even in the cohort
+
+    def test_zero_total_weight_renormalizes_uniformly(self):
+        # If the survivors jointly carried zero weight, renormalization
+        # cannot divide by the sum; they split the round evenly instead.
+        plan = self.make_plan(weights=[0.0, 0.0, 0.5, 0.5])
+        demoted = plan.demote_to_dropped([4, 6])
+        np.testing.assert_array_equal(demoted.active, [0, 2])
+        np.testing.assert_allclose(demoted.weights, [0.5, 0.5])
+
+    def test_repeated_demotion_accumulates(self):
+        # The distributed collector may demote in waves (a survivor dying
+        # during re-dispatch); each wave renormalizes the remainder.
+        plan = self.make_plan().demote_to_dropped([0]).demote_to_dropped([6])
+        np.testing.assert_array_equal(plan.active, [2, 4])
+        np.testing.assert_array_equal(plan.dropped, [0, 6, 8])
+        np.testing.assert_allclose(plan.weights, [0.5, 0.5])

@@ -27,6 +27,7 @@ from repro.data.factory import build_dataset
 from repro.fl.client import BenignClient
 from repro.fl.collector import SequentialCollector, build_collector
 from repro.fl.experiment import run_experiment
+from repro.fl.faults import FaultSchedule
 from repro.fl.participation import ParticipationSchedule, RoundPlan
 from repro.fl.server import FederatedServer
 from repro.fl.simulation import FederatedSimulation
@@ -565,8 +566,12 @@ class TestFaultInjection:
     def test_stalled_worker_times_out_into_dropouts(self):
         # Worker 0 sleeps through its second round request: the round must
         # complete with its 4 clients recorded as dropouts, not crash.
-        with start_thread_fleet(2, stall_at_round=2) as fleet:
-            collector = DistributedCollector(fleet.addresses, round_timeout=2.0)
+        # (redispatch off: this test pins the demote rung of the ladder.)
+        stall = FaultSchedule.from_args(["stall@2"])
+        with start_thread_fleet(2, fault_schedule=stall) as fleet:
+            collector = DistributedCollector(
+                fleet.addresses, round_timeout=2.0, redispatch=False
+            )
             simulation = build_simulation(collector)
             try:
                 healthy = simulation.run_round(0)
@@ -580,13 +585,14 @@ class TestFaultInjection:
     def test_killed_worker_mid_round_becomes_dropouts(self):
         # A real subprocess worker exits hard upon receiving its second
         # round request — the caller sees a dead connection mid-round.
-        crashing = spawn_worker_process(extra_args=["--crash-at-round", "2"])
+        crashing = spawn_worker_process(extra_args=["--fault", "crash@2"])
         healthy = spawn_worker_process()
         try:
             collector = DistributedCollector(
                 [crashing.address, healthy.address],
                 connect_timeout=5.0,
                 round_timeout=30.0,
+                redispatch=False,
             )
             simulation = build_simulation(collector)
             try:
@@ -626,7 +632,7 @@ class TestFaultInjection:
         reference_state = reference.model.state_dict()
         reference.close()
 
-        crashing = spawn_worker_process(extra_args=["--crash-at-round", "2"])
+        crashing = spawn_worker_process(extra_args=["--fault", "crash@2"])
         port = parse_address(crashing.address)[1]
         healthy = spawn_worker_process()
         replacement = None
@@ -635,6 +641,7 @@ class TestFaultInjection:
                 [crashing.address, healthy.address],
                 connect_timeout=5.0,
                 round_timeout=30.0,
+                redispatch=False,
             )
             simulation = build_simulation(collector)
             try:

@@ -37,6 +37,35 @@ class TestTrainingConfig:
         with pytest.raises(ValueError):
             TrainingConfig(learning_rate=-0.1).validate()
 
+    def test_fault_tolerance_defaults_valid(self):
+        config = TrainingConfig()
+        assert config.connect_timeout == pytest.approx(10.0)
+        assert config.round_timeout == pytest.approx(120.0)
+        assert config.min_cohort_fraction == 0.0
+        assert config.on_quorum_loss == "accept"
+        assert config.quorum_retries == 2
+        config.validate()
+
+    def test_unbounded_round_timeout_is_valid(self):
+        TrainingConfig(round_timeout=None).validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("connect_timeout", 0.0),
+            ("connect_timeout", -1.0),
+            ("round_timeout", 0.0),
+            ("round_timeout", -5.0),
+            ("min_cohort_fraction", -0.1),
+            ("min_cohort_fraction", 1.5),
+            ("on_quorum_loss", "panic"),
+            ("quorum_retries", -1),
+        ],
+    )
+    def test_rejects_bad_fault_tolerance_values(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            TrainingConfig(**{field: value}).validate()
+
 
 class TestAttackConfig:
     def test_rejects_byzantine_majority(self):
@@ -60,7 +89,15 @@ class TestExperimentConfig:
             num_clients=30,
             seed=7,
             data=DataConfig(dataset="cifar_like", partition="dirichlet"),
-            training=TrainingConfig(model="resnet_lite", rounds=5),
+            training=TrainingConfig(
+                model="resnet_lite",
+                rounds=5,
+                connect_timeout=2.5,
+                round_timeout=None,
+                min_cohort_fraction=0.5,
+                on_quorum_loss="retry",
+                quorum_retries=4,
+            ),
             attack=AttackConfig(name="lie", byzantine_fraction=0.3, params={"z": 0.5}),
             defense=DefenseConfig(name="signguard_sim"),
             tag="round-trip",

@@ -74,3 +74,67 @@ class TestRunRecorder:
         payload = recorder.to_dict()
         assert payload["best_accuracy"] == 0.9
         assert len(payload["rounds"]) == 1
+
+
+class TestRecoverySerialization:
+    """Round-trip fidelity of the fault-tolerance bookkeeping fields."""
+
+    def make_recovery_record(self):
+        record = make_record(4, acc=0.7)
+        record.num_redispatched = 3
+        record.num_reconnects = 1
+        record.num_retries = 2
+        record.quorum_met = False
+        record.selected_clients = (0, 2, 5)
+        record.extra = {"note": "degraded"}
+        return record
+
+    def test_recovery_fields_survive_to_dict(self):
+        payload = self.make_recovery_record().to_dict()
+        assert payload["num_redispatched"] == 3
+        assert payload["num_reconnects"] == 1
+        assert payload["num_retries"] == 2
+        assert payload["quorum_met"] is False
+
+    def test_round_record_from_dict_round_trips(self):
+        original = self.make_recovery_record()
+        restored = RoundRecord.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_from_dict_defaults_missing_recovery_fields(self):
+        # Checkpoints written before these fields existed must stay
+        # readable: absent keys fall back to the healthy-round defaults.
+        restored = RoundRecord.from_dict({"round_index": 1, "train_loss": 0.5})
+        assert restored.num_redispatched == 0
+        assert restored.num_reconnects == 0
+        assert restored.num_retries == 0
+        assert restored.quorum_met is True
+
+    def test_recorder_recovery_totals(self):
+        recorder = RunRecorder()
+        for redispatched, reconnects, retries in [(4, 1, 0), (0, 0, 2), (2, 1, 1)]:
+            record = make_record(len(recorder))
+            record.num_redispatched = redispatched
+            record.num_reconnects = reconnects
+            record.num_retries = retries
+            recorder.add(record)
+        assert recorder.total_redispatched() == 6
+        assert recorder.total_reconnects() == 2
+        assert recorder.total_retries() == 3
+
+    def test_recorder_from_dict_round_trips(self):
+        recorder = RunRecorder("chaos run")
+        recorder.metadata = {"config": {"seed": 3}}
+        recorder.add(self.make_recovery_record())
+        recorder.add(make_record(5, acc=0.8))
+        restored = RunRecorder.from_dict(recorder.to_dict())
+        assert restored.description == "chaos run"
+        assert restored.metadata == {"config": {"seed": 3}}
+        assert restored.rounds == recorder.rounds
+        assert restored.total_redispatched() == 3
+        assert restored.to_dict() == recorder.to_dict()
+
+    def test_recorder_from_dict_tolerates_empty_payload(self):
+        restored = RunRecorder.from_dict({})
+        assert restored.description == ""
+        assert len(restored) == 0
