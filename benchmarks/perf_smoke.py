@@ -46,6 +46,14 @@ repo's round-level speedups:
   ``cpu_count``.  Before any timing, full **and** sampled distributed
   collects are verified bit-identical to the sequential path over an
   in-process fleet.
+* ``collect_gradients_wire_codec/<codec>`` — one row per registered
+  gradient wire codec (``raw``, ``sign1bit``, ``int8``, ``fp16``,
+  ``topk``): the same distributed collect with the codec negotiated,
+  recording the **steady-state received bytes per round** and the
+  compression ratio vs ``raw``.  Two floors are enforced (ISSUE 7's
+  acceptance numbers): ``sign1bit`` must receive <= raw/16 and ``int8``
+  <= raw/4, each plus a small fixed-overhead allowance for message
+  envelopes and trailers.
 * ``profiled_round``       — per-stage timings of real federated rounds via
   :class:`repro.perf.RoundProfiler`, including per-worker collect stages
   (context, not a speedup claim).
@@ -83,7 +91,7 @@ from repro.clustering import MeanShift  # noqa: E402
 from repro.core.pipeline import SignGuardPipeline  # noqa: E402
 from repro.data.factory import build_dataset  # noqa: E402
 from repro.fl.client import BenignClient  # noqa: E402
-from repro.fl.collector import (  # noqa: E402
+from repro.fl import (  # noqa: E402
     ParallelCollector,
     ProcessCollector,
     SequentialCollector,
@@ -92,6 +100,7 @@ from repro.fl.transport import (  # noqa: E402
     DistributedCollector,
     spawn_local_fleet,
     start_thread_fleet,
+    wire_codec_names,
 )
 from repro.nn.models.factory import build_model  # noqa: E402
 from repro.perf import (  # noqa: E402
@@ -586,10 +595,49 @@ def main(argv=None) -> int:
     )
 
     # ------------------------------------------------------------------
+    # Wire codecs: shard traffic per round under each negotiated codec
+    # ------------------------------------------------------------------
+    # Fresh population and fleet per codec; run_benchmark's warmup pass
+    # absorbs the handshake + setup round, so the timed collects — and the
+    # byte counters read afterwards — are steady-state rounds.
+    codec_benches = []
+    codec_bytes_by_name = {}
+    for codec_name in wire_codec_names():
+        codec_clients, codec_model, codec_buffer = make_collect_population(
+            collect_clients, latency_s=0.0, plain_clients=True
+        )
+        with start_thread_fleet(distributed_workers) as fleet:
+            with DistributedCollector(
+                fleet.addresses, wire_codec=codec_name
+            ) as codec_collector:
+                codec_bench = run_benchmark(
+                    lambda: codec_collector.collect(
+                        codec_clients, codec_model, codec_buffer
+                    ),
+                    name=f"collect_gradients_wire_codec/{codec_name}",
+                    repeats=repeats,
+                )
+                codec_bytes_by_name[codec_name] = int(
+                    codec_collector.last_round_bytes[1]
+                )
+        codec_benches.append(codec_bench)
+    raw_bytes_round = codec_bytes_by_name["raw"]
+    codec_compression = {
+        name: raw_bytes_round / max(1, received)
+        for name, received in codec_bytes_by_name.items()
+    }
+    for codec_name in wire_codec_names():
+        print(
+            f"wire_codec/{codec_name}: "
+            f"{codec_bytes_by_name[codec_name] / 2**20:.3f} MiB/round received "
+            f"({codec_compression[codec_name]:.1f}x vs raw)"
+        )
+
+    # ------------------------------------------------------------------
     # Per-stage profile of real federated rounds (context numbers)
     # ------------------------------------------------------------------
     from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig
-    from repro.fl.experiment import run_experiment
+    from repro.fl import run_experiment
 
     profiler = RoundProfiler()
     run_experiment(
@@ -673,6 +721,17 @@ def main(argv=None) -> int:
             "floor_enforced": False,
         }
     )
+    for codec_bench in codec_benches:
+        codec_name = codec_bench.name.rsplit("/", 1)[1]
+        codec_bench.extra.update(
+            {
+                **cpu_extra,
+                "n_workers": distributed_workers,
+                "wire_codec": codec_name,
+                "bytes_received_per_round": codec_bytes_by_name[codec_name],
+                "compression_vs_raw": codec_compression[codec_name],
+            }
+        )
     results.extend(
         [
             seed_collect,
@@ -682,6 +741,7 @@ def main(argv=None) -> int:
             cpu_threaded,
             process_collect,
             distributed_collect,
+            *codec_benches,
         ]
     )
 
@@ -707,6 +767,8 @@ def main(argv=None) -> int:
         "distributed": {
             "n_workers": distributed_workers,
             "bytes_per_round": distributed_bytes_round,
+            "bytes_per_round_by_codec": codec_bytes_by_name,
+            "compression_vs_raw_by_codec": codec_compression,
             "cpu_count": cpu_count,
             "bit_identical_to_sequential": True,
         },
@@ -764,6 +826,23 @@ def main(argv=None) -> int:
         binned_meanshift_speedup >= 1.0,
         "binned Mean-Shift regressed below the unbinned fit: "
         f"{binned_meanshift_speedup:.2f}x",
+    )
+    # Per-round overhead every codec pays identically (message envelopes,
+    # pickled trailers with per-client RNG states) — allowed on top of the
+    # shard-traffic compression ratios.
+    codec_overhead_allowance = 64 * 1024
+    _require(
+        codec_bytes_by_name["sign1bit"]
+        <= raw_bytes_round / 16 + codec_overhead_allowance,
+        "sign1bit wire traffic misses its 16x compression floor: "
+        f"{codec_bytes_by_name['sign1bit']} bytes/round vs raw "
+        f"{raw_bytes_round}",
+    )
+    _require(
+        codec_bytes_by_name["int8"]
+        <= raw_bytes_round / 4 + codec_overhead_allowance,
+        "int8 wire traffic misses its 4x compression floor: "
+        f"{codec_bytes_by_name['int8']} bytes/round vs raw {raw_bytes_round}",
     )
     if enforce_process_floor:
         _require(

@@ -19,7 +19,7 @@ from repro.analysis import SignStatisticsTrace
 from repro.attacks import NoAttack
 from repro.data import build_dataset, partition_dataset
 from repro.fl.server import FederatedServer
-from repro.fl.simulation import FederatedSimulation, build_clients
+from repro.fl import FederatedSimulation, build_clients
 from repro.nn.models import build_model
 from repro.utils.rng import RngFactory
 

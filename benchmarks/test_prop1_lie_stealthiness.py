@@ -16,7 +16,7 @@ from benchmarks.conftest import make_config
 from repro.analysis import lie_stealthiness_report
 from repro.core.features import sign_statistics
 from repro.data import build_dataset, partition_dataset
-from repro.fl.simulation import build_clients
+from repro.fl import build_clients
 from repro.nn.models import build_model
 from repro.utils.rng import RngFactory
 

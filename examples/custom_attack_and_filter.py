@@ -26,7 +26,7 @@ from repro.core import (
 )
 from repro.aggregators.base import ServerContext
 from repro.data import build_dataset, partition_dataset
-from repro.fl.simulation import build_clients
+from repro.fl import build_clients
 from repro.nn.models import build_model
 from repro.utils.rng import RngFactory
 

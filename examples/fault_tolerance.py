@@ -42,7 +42,7 @@ from repro import (
     TrainingConfig,
     run_experiment,
 )
-from repro.fl.faults import FaultSchedule, FleetOutageError, QuorumLossError
+from repro.fl import FaultSchedule, FleetOutageError, QuorumLossError
 from repro.fl.transport import start_thread_fleet
 
 

@@ -16,11 +16,14 @@ optional dropouts and stragglers — the cross-device regime.
 from repro.fl.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
 from repro.fl.collector import (
+    COLLECT_BACKENDS,
+    COLLECTOR_REGISTRY,
     GradientCollector,
     ParallelCollector,
     ProcessCollector,
     SequentialCollector,
     build_collector,
+    make_collector,
 )
 from repro.fl.faults import (
     FaultSchedule,
@@ -38,19 +41,31 @@ from repro.fl.participation import (
     build_participation,
 )
 from repro.fl.server import FederatedServer
-from repro.fl.simulation import FederatedSimulation
+from repro.fl.simulation import FederatedSimulation, build_clients
 from repro.fl.metrics import attack_impact, evaluate_model
 from repro.fl.experiment import run_experiment, run_grid
 
 
-def __getattr__(name):
-    # Lazy export: the distributed backend pulls in the whole socket
-    # transport, which purely in-process runs never need (build_collector
-    # defers the same import for the same reason).
-    if name == "DistributedCollector":
-        from repro.fl.transport.collector import DistributedCollector
+#: Names re-exported lazily from the transport package: the distributed
+#: backend and the wire-codec layer pull in socket machinery that purely
+#: in-process runs never need (build_collector defers the same import for
+#: the same reason).
+_TRANSPORT_EXPORTS = {
+    "DistributedCollector": "repro.fl.transport.collector",
+    "GradientCodec": "repro.fl.transport.codec",
+    "CodecError": "repro.fl.transport.codec",
+    "build_codec": "repro.fl.transport.codec",
+    "wire_codec_names": "repro.fl.transport.codec",
+    "GRADIENT_CODECS": "repro.fl.transport.codec",
+}
 
-        return DistributedCollector
+
+def __getattr__(name):
+    module_name = _TRANSPORT_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -59,12 +74,21 @@ __all__ = [
     "ByzantineClient",
     "FederatedServer",
     "FederatedSimulation",
+    "build_clients",
     "GradientCollector",
     "SequentialCollector",
     "ParallelCollector",
     "ProcessCollector",
     "DistributedCollector",
     "build_collector",
+    "make_collector",
+    "COLLECT_BACKENDS",
+    "COLLECTOR_REGISTRY",
+    "GradientCodec",
+    "CodecError",
+    "build_codec",
+    "wire_codec_names",
+    "GRADIENT_CODECS",
     "FaultSchedule",
     "FaultSpec",
     "FleetOutageError",

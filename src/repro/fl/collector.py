@@ -102,6 +102,7 @@ from repro.fl.faults import FaultSchedule
 from repro.nn.layers import _BatchNormBase
 from repro.nn.module import Module
 from repro.perf.timers import monotonic
+from repro.utils.registry import Registry
 
 #: (worker_label, seconds, clients_processed) for one collect call.  The
 #: label is the worker's integer index for in-process backends and the
@@ -336,6 +337,19 @@ class GradientCollector:
         objects are authoritative (sequential, thread).
         """
         return {}
+
+    def codec_states(self) -> Dict[int, np.ndarray]:
+        """Per-client wire-codec state (topk error-feedback residuals).
+
+        Only the distributed backend with a stateful wire codec has any;
+        every other backend/codec combination reports ``{}``.  Captured in
+        checkpoints next to the RNG states and restored via
+        :meth:`load_codec_states`.
+        """
+        return {}
+
+    def load_codec_states(self, states: Dict[int, np.ndarray]) -> None:
+        """Adopt checkpointed wire-codec state (no-op without one)."""
 
     def collect(
         self,
@@ -900,8 +914,61 @@ class ProcessCollector(GradientCollector):
 
 
 #: Collect backend names accepted by :func:`build_collector` and
-#: :class:`~repro.utils.config.TrainingConfig`.
+#: :class:`~repro.utils.config.TrainingConfig`.  Kept as an explicit tuple
+#: (rather than derived from the registry) so error messages preserve the
+#: documented order.
 COLLECT_BACKENDS = ("sequential", "thread", "process", "distributed")
+
+#: Backend name → factory taking the normalized collect options dict (see
+#: :func:`build_collector`, which assembles it).  New backends register
+#: here and become constructible through the same audited code path —
+#: ``TrainingConfig(collect_backend=...)`` → :func:`make_collector` →
+#: :func:`build_collector` → registry dispatch.
+COLLECTOR_REGISTRY = Registry("collect backend")
+
+
+@COLLECTOR_REGISTRY.register("sequential")
+def _make_sequential_collector(options: Dict[str, Any]) -> GradientCollector:
+    return SequentialCollector(fault_schedule=options["fault_schedule"])
+
+
+@COLLECTOR_REGISTRY.register("thread")
+def _make_thread_collector(options: Dict[str, Any]) -> GradientCollector:
+    if options["n_workers"] <= 1:
+        return _make_sequential_collector(options)
+    return ParallelCollector(
+        options["n_workers"], fault_schedule=options["fault_schedule"]
+    )
+
+
+@COLLECTOR_REGISTRY.register("process")
+def _make_process_collector(options: Dict[str, Any]) -> GradientCollector:
+    if options["n_workers"] <= 1:
+        return _make_sequential_collector(options)
+    return ProcessCollector(
+        options["n_workers"], fault_schedule=options["fault_schedule"]
+    )
+
+
+@COLLECTOR_REGISTRY.register("distributed")
+def _make_distributed_collector(options: Dict[str, Any]) -> GradientCollector:
+    if not options["workers"]:
+        raise ValueError(
+            "collect_backend='distributed' requires workers=[host:port, ...]"
+        )
+    # Imported here: the transport subsystem pulls in socket machinery
+    # that purely in-process runs never need.
+    from repro.fl.transport.collector import DistributedCollector
+
+    return DistributedCollector(
+        options["workers"],
+        connect_timeout=options["connect_timeout"],
+        round_timeout=options["round_timeout"],
+        fault_schedule=options["fault_schedule"],
+        redispatch=options["redispatch"],
+        retry_seed=options["retry_seed"],
+        wire_codec=options["wire_codec"],
+    )
 
 
 def build_collector(
@@ -914,6 +981,7 @@ def build_collector(
     fault_schedule: Optional[FaultSchedule] = None,
     redispatch: bool = True,
     retry_seed: int = 0,
+    wire_codec: str = "raw",
 ) -> GradientCollector:
     """Build the collect strategy for ``backend`` at ``n_workers``.
 
@@ -924,35 +992,78 @@ def build_collector(
     (``host:port`` specs) through a
     :class:`~repro.fl.transport.collector.DistributedCollector`.
 
-    ``connect_timeout``/``round_timeout``/``redispatch``/``retry_seed``
-    shape the distributed backend's recovery behaviour and are ignored by
-    the in-process backends (which have no sockets to time out or
-    survivors to re-dispatch to); ``fault_schedule`` injects deterministic
-    faults into any backend.
+    ``connect_timeout``/``round_timeout``/``redispatch``/``retry_seed``/
+    ``wire_codec`` shape the distributed backend's recovery behaviour and
+    wire format and are ignored by the in-process backends (which have no
+    sockets to time out or frames to compress); ``fault_schedule`` injects
+    deterministic faults into any backend.
+
+    Dispatch goes through :data:`COLLECTOR_REGISTRY`; prefer
+    :func:`make_collector` when starting from a
+    :class:`~repro.utils.config.TrainingConfig`.
     """
-    if backend not in COLLECT_BACKENDS:
+    if backend not in COLLECTOR_REGISTRY:
+        # The error names the built-ins in documented order; third-party
+        # backends registered in COLLECTOR_REGISTRY dispatch the same way.
         raise ValueError(
             f"collect backend must be one of {COLLECT_BACKENDS}, got {backend!r}"
         )
-    if backend == "distributed":
-        if not workers:
-            raise ValueError(
-                "collect_backend='distributed' requires workers=[host:port, ...]"
-            )
-        # Imported here: the transport subsystem pulls in socket machinery
-        # that purely in-process runs never need.
-        from repro.fl.transport.collector import DistributedCollector
+    options: Dict[str, Any] = {
+        "n_workers": int(n_workers),
+        "workers": list(workers) if workers else None,
+        "connect_timeout": connect_timeout,
+        "round_timeout": round_timeout,
+        "fault_schedule": fault_schedule,
+        "redispatch": redispatch,
+        "retry_seed": retry_seed,
+        "wire_codec": wire_codec,
+    }
+    return COLLECTOR_REGISTRY.create(backend, options)
 
-        return DistributedCollector(
-            workers,
-            connect_timeout=connect_timeout,
-            round_timeout=round_timeout,
-            fault_schedule=fault_schedule,
-            redispatch=redispatch,
-            retry_seed=retry_seed,
-        )
-    if n_workers <= 1 or backend == "sequential":
-        return SequentialCollector(fault_schedule=fault_schedule)
-    if backend == "process":
-        return ProcessCollector(n_workers, fault_schedule=fault_schedule)
-    return ParallelCollector(n_workers, fault_schedule=fault_schedule)
+
+#: Sentinel for :func:`make_collector` overrides — ``None`` is a meaningful
+#: value for several knobs (``round_timeout=None`` waits forever), so the
+#: "not overridden" marker must be something else.
+_UNSET: Any = object()
+
+
+def make_collector(
+    config: Any = None,
+    *,
+    backend: str = _UNSET,
+    n_workers: int = _UNSET,
+    workers: Optional[Sequence[str]] = _UNSET,
+    connect_timeout: float = _UNSET,
+    round_timeout: Optional[float] = _UNSET,
+    wire_codec: str = _UNSET,
+    fault_schedule: Optional[FaultSchedule] = None,
+    redispatch: bool = True,
+    retry_seed: int = 0,
+) -> GradientCollector:
+    """Build the collect strategy a config describes (the one public path).
+
+    ``config`` is a :class:`~repro.utils.config.TrainingConfig`, an
+    :class:`~repro.utils.config.ExperimentConfig` (its ``training`` is
+    used), or ``None`` (defaults).  Keyword overrides take precedence over
+    the config's fields — pass only what should differ.  Dispatches
+    through :data:`COLLECTOR_REGISTRY`, so registered third-party backends
+    construct through the same code path as the built-ins.
+    """
+    training = getattr(config, "training", config)
+
+    def _field(override: Any, name: str, default: Any) -> Any:
+        if override is not _UNSET:
+            return override
+        return getattr(training, name, default) if training is not None else default
+
+    return build_collector(
+        n_workers=_field(n_workers, "n_workers", 1),
+        backend=_field(backend, "collect_backend", "thread"),
+        workers=_field(workers, "workers", None),
+        connect_timeout=_field(connect_timeout, "connect_timeout", 10.0),
+        round_timeout=_field(round_timeout, "round_timeout", 120.0),
+        wire_codec=_field(wire_codec, "wire_codec", "raw"),
+        fault_schedule=fault_schedule,
+        redispatch=redispatch,
+        retry_seed=retry_seed,
+    )

@@ -144,6 +144,7 @@ def run_experiment(
         workers=config.training.workers,
         connect_timeout=config.training.connect_timeout,
         round_timeout=config.training.round_timeout,
+        wire_codec=config.training.wire_codec,
         fault_schedule=fault_schedule,
         min_cohort_fraction=config.training.min_cohort_fraction,
         on_quorum_loss=config.training.on_quorum_loss,

@@ -22,7 +22,7 @@ from repro.attacks.base import Attack, AttackContext
 from repro.data.datasets import ArrayDataset
 from repro.fl.checkpoint import Checkpoint, save_checkpoint
 from repro.fl.client import BenignClient, ByzantineClient, FederatedClient
-from repro.fl.collector import GradientCollector, build_collector
+from repro.fl.collector import GradientCollector, make_collector
 from repro.fl.faults import (
     QUORUM_POLICIES,
     FaultSchedule,
@@ -88,6 +88,10 @@ class FederatedSimulation:
             worker connect/handshake.
         round_timeout: distributed backend only — deadline for a worker's
             round reply (``None`` waits forever).
+        wire_codec: distributed backend only — the gradient wire codec its
+            shard frames travel in (``"raw"`` default; see
+            :mod:`repro.fl.transport.codec`).  A stateful codec's
+            per-client residuals are captured/restored with checkpoints.
         fault_schedule: a :class:`~repro.fl.faults.FaultSchedule` of
             deterministic injected faults, honoured by every backend
             (ignored when ``collector`` is given — configure the collector
@@ -151,6 +155,7 @@ class FederatedSimulation:
         collector: Optional[GradientCollector] = None,
         connect_timeout: float = 10.0,
         round_timeout: Optional[float] = 120.0,
+        wire_codec: str = "raw",
         fault_schedule: Optional[FaultSchedule] = None,
         redispatch: bool = True,
         min_cohort_fraction: float = 0.0,
@@ -198,12 +203,13 @@ class FederatedSimulation:
         self.collector = (
             collector
             if collector is not None
-            else build_collector(
-                n_workers,
-                collect_backend,
+            else make_collector(
+                n_workers=n_workers,
+                backend=collect_backend,
                 workers=workers,
                 connect_timeout=connect_timeout,
                 round_timeout=round_timeout,
+                wire_codec=wire_codec,
                 fault_schedule=fault_schedule,
                 redispatch=redispatch,
                 retry_seed=seed,
@@ -483,6 +489,7 @@ class FederatedSimulation:
             client_rng_states=client_states,
             attack_state=self.attack.state_dict(),
             recorder_state=self.recorder.to_dict(),
+            codec_states=self.collector.codec_states(),
             config=config,
         )
 
@@ -525,8 +532,12 @@ class FederatedSimulation:
                 client.loader.rng_state = state
         self.recorder = RunRecorder.from_dict(checkpoint.recorder_state or {})
         # Drop worker-held copies of model/client state: the next collect
-        # rebuilds the fleet from the restored objects above.
+        # rebuilds the fleet from the restored objects above.  Codec state
+        # loads *after* the close (which clears the collector's cache) so
+        # the rebuilt fleet resumes a stateful wire codec's residuals.
         self.collector.close()
+        if checkpoint.codec_states:
+            self.collector.load_codec_states(checkpoint.codec_states)
         return int(checkpoint.rounds_completed)
 
     def run(

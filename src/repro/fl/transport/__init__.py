@@ -3,9 +3,11 @@
 This package takes the :class:`~repro.fl.collector.GradientCollector`
 contract across the network: length-prefixed binary framing over TCP
 (:mod:`~repro.fl.transport.framing`), a pickle-free codec for
-``Module.state_dict()`` broadcasts and gradient-shard replies
-(:mod:`~repro.fl.transport.codec`), a versioned handshake with a model
-signature check plus heartbeats (:mod:`~repro.fl.transport.protocol`),
+``Module.state_dict()`` broadcasts plus pluggable gradient wire codecs
+for the shard replies — ``raw``, ``sign1bit``, ``int8``, ``fp16``,
+``topk`` (:mod:`~repro.fl.transport.codec`), a versioned handshake with a
+model signature check, codec negotiation, and heartbeats
+(:mod:`~repro.fl.transport.protocol`),
 the ``repro-worker`` server (:mod:`~repro.fl.transport.worker`), and the
 :class:`DistributedCollector` backend that drives a fleet of workers
 (``TrainingConfig(collect_backend="distributed", workers=[...])``).
@@ -17,7 +19,19 @@ the run.
 """
 
 from repro.fl.transport.client import WorkerConnection, parse_address
-from repro.fl.transport.codec import model_signature
+from repro.fl.transport.codec import (
+    GRADIENT_CODECS,
+    CodecError,
+    Fp16Codec,
+    GradientCodec,
+    Int8Codec,
+    RawCodec,
+    Sign1BitCodec,
+    TopKCodec,
+    build_codec,
+    model_signature,
+    wire_codec_names,
+)
 from repro.fl.transport.collector import DistributedCollector
 from repro.fl.transport.fleet import (
     LocalFleet,
@@ -51,6 +65,16 @@ __all__ = [
     "start_thread_fleet",
     "parse_address",
     "model_signature",
+    "GradientCodec",
+    "RawCodec",
+    "Sign1BitCodec",
+    "Int8Codec",
+    "Fp16Codec",
+    "TopKCodec",
+    "CodecError",
+    "build_codec",
+    "wire_codec_names",
+    "GRADIENT_CODECS",
     "DEFAULT_MAX_FRAME_BYTES",
     "FrameError",
     "TruncatedFrameError",

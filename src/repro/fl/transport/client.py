@@ -33,8 +33,11 @@ from repro.fl.transport.codec import (
     MSG_ROUND,
     MSG_SETUP,
     MSG_SHARD,
+    MSG_STATE,
     MSG_TRAILER,
     MSG_WELCOME,
+    RawCodec,
+    build_codec,
     model_signature,
 )
 from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES, FrameError
@@ -47,6 +50,7 @@ from repro.fl.transport.protocol import (
 )
 from repro.nn.module import Module
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.serialization import blob_to_arrays
 
 
 def parse_address(spec: str) -> tuple:
@@ -81,6 +85,10 @@ class WorkerConnection:
         retry_rng: seed or generator for the backoff jitter — seeded by
             the collector so retry timing is as reproducible as the rest
             of the run.
+        wire_codec: gradient wire codec negotiated at HELLO time; the
+            worker encodes its shard frames with it and this connection
+            decodes them into the caller's round buffer.  The default
+            ``raw`` keeps the pre-codec wire format byte for byte.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class WorkerConnection:
         retry_backoff: float = 0.05,
         retry_backoff_max: float = 2.0,
         retry_rng: RngLike = None,
+        wire_codec: str = "raw",
     ):
         if retry_attempts < 1:
             raise ValueError(f"retry_attempts must be >= 1, got {retry_attempts}")
@@ -108,6 +117,8 @@ class WorkerConnection:
         self.retry_backoff = float(retry_backoff)
         self.retry_backoff_max = float(retry_backoff_max)
         self._retry_rng = as_rng(retry_rng)
+        self._codec = build_codec(wire_codec)
+        self.wire_codec = self._codec.name
         self._channel: Optional[Channel] = None
         self.has_shard = False
         self._drained_sent = 0
@@ -140,7 +151,8 @@ class WorkerConnection:
 
         Raises :class:`~repro.fl.transport.protocol.HandshakeError` (via
         the worker's ERROR reply) when the worker refuses — wrong protocol
-        version, or a shard built for a differently-shaped model.
+        version, a wire codec the worker does not serve, or a shard built
+        for a differently-shaped model.
         """
         sock = socket.create_connection(
             (self.host, self.port), timeout=self.connect_timeout
@@ -148,7 +160,10 @@ class WorkerConnection:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         channel = Channel(sock, max_frame_bytes=self.max_frame_bytes)
         try:
-            channel.send(MSG_HELLO, hello_header(model_signature(model)))
+            channel.send(
+                MSG_HELLO,
+                hello_header(model_signature(model), wire_codec=self.wire_codec),
+            )
             header, _ = channel.expect(MSG_WELCOME)
         except RemoteWorkerError as exc:
             channel.close()
@@ -207,12 +222,15 @@ class WorkerConnection:
         client_ids: Sequence[int],
         clients: Sequence[FederatedClient],
         rng_states: Optional[Dict[int, dict]] = None,
+        codec_states: Optional[Dict[int, np.ndarray]] = None,
     ) -> None:
         """Ship the worker its population shard (once per worker process).
 
         This is the protocol's largest transfer (every client carries its
         local dataset), so it runs under ``round_timeout`` — the knob
         sized for bulk payloads — not the handshake's ``connect_timeout``.
+        ``codec_states`` resumes a stateful wire codec's per-client state
+        (topk error-feedback residuals) alongside the RNG states.
         """
         channel = self._require_channel()
         channel.settimeout(self.round_timeout)
@@ -220,7 +238,13 @@ class WorkerConnection:
             MSG_SETUP,
             {},
             pickle.dumps(
-                (model, [int(i) for i in client_ids], list(clients), rng_states)
+                (
+                    model,
+                    [int(i) for i in client_ids],
+                    list(clients),
+                    rng_states,
+                    codec_states,
+                )
             ),
         )
         channel.expect(MSG_READY)
@@ -231,15 +255,17 @@ class WorkerConnection:
         client_ids: Sequence[int],
         clients: Sequence[FederatedClient],
         rng_states: Optional[Dict[int, dict]] = None,
+        codec_states: Optional[Dict[int, np.ndarray]] = None,
     ) -> None:
         """Merge extra clients into the worker's *existing* shard.
 
         This is the re-dispatch path: when another worker dies mid-round,
-        its clients (with their last-known RNG states) are shipped to a
-        survivor, which then recomputes the lost rows.  The worker keeps
-        its original clients; the merged ones are replaced if already
-        present.  Requires a held shard (the worker refuses otherwise —
-        merging into nothing would skip the model transfer).
+        its clients (with their last-known RNG states, and — for a
+        stateful wire codec — their last-known residuals) are shipped to
+        a survivor, which then recomputes the lost rows.  The worker
+        keeps its original clients; the merged ones are replaced if
+        already present.  Requires a held shard (the worker refuses
+        otherwise — merging into nothing would skip the model transfer).
         """
         channel = self._require_channel()
         channel.settimeout(self.round_timeout)
@@ -247,7 +273,13 @@ class WorkerConnection:
             MSG_SETUP,
             {"merge": True},
             pickle.dumps(
-                (None, [int(i) for i in client_ids], list(clients), rng_states)
+                (
+                    None,
+                    [int(i) for i in client_ids],
+                    list(clients),
+                    rng_states,
+                    codec_states,
+                )
             ),
         )
         channel.expect(MSG_READY)
@@ -272,21 +304,53 @@ class WorkerConnection:
         """Gather the worker's shard into ``out`` and return its trailer.
 
         ``out`` must be the C-contiguous ``(len(rows), dim)`` slice of the
-        caller's round buffer that this worker's rows occupy — the raw
-        gradient frame is received straight into it, no intermediate copy.
+        caller's round buffer that this worker's rows occupy.  With the
+        ``raw`` codec the gradient frame is received straight into it, no
+        intermediate copy; other codecs receive the encoded payload and
+        decode it into ``out``.
         """
         channel = self._require_channel()
         header, _ = channel.expect(MSG_SHARD)
-        expected = int(header["nbytes"])
-        view = memoryview(out).cast("B")
-        if expected != len(view):
+        announced = header.get("codec", "raw")
+        if announced != self.wire_codec:
             raise TransportError(
-                f"worker {self.address} announced a {expected}-byte shard "
-                f"for a {len(view)}-byte buffer slice"
+                f"worker {self.address} answered with codec {announced!r}, "
+                f"this connection negotiated {self.wire_codec!r}"
             )
-        channel.recv_raw_into(view)
+        expected = int(header["nbytes"])
+        if isinstance(self._codec, RawCodec):
+            view = memoryview(out).cast("B")
+            if expected != len(view):
+                raise TransportError(
+                    f"worker {self.address} announced a {expected}-byte shard "
+                    f"for a {len(view)}-byte buffer slice"
+                )
+            channel.recv_raw_into(view)
+        else:
+            payload = channel.recv_raw()
+            if expected != len(payload):
+                raise TransportError(
+                    f"worker {self.address} announced a {expected}-byte "
+                    f"encoded shard but sent {len(payload)} bytes"
+                )
+            self._codec.decode(payload, out)
         _, body = channel.expect(MSG_TRAILER)
         return pickle.loads(body)
+
+    def fetch_codec_state(self) -> Dict[int, np.ndarray]:
+        """Fetch the worker's per-client wire-codec state (for checkpoints).
+
+        Returns an empty dict for stateless codecs; for ``topk`` it is the
+        worker-held error-feedback residual per client id.
+        """
+        channel = self._require_channel()
+        channel.settimeout(self.round_timeout)
+        channel.send(MSG_STATE)
+        _, body = channel.expect(MSG_STATE)
+        return {
+            int(client_id): residual.copy()
+            for client_id, residual in blob_to_arrays(body).items()
+        }
 
     def ping(self) -> bool:
         """Heartbeat: True when the worker answers PONG in time."""

@@ -9,10 +9,56 @@ counters); the body carries bulk data — a :func:`encoded state dict
 State dicts travel as :func:`repro.utils.serialization.arrays_to_blob`
 blobs (a JSON manifest plus raw C-order array bytes): decoding is
 pickle-free, so a worker can parse a broadcast from an untrusted caller,
-and the per-round cost is a straight memcpy per parameter.  Gradient
-shards never pass through this codec at all — they are raw frames
-received directly into the caller's round buffer
-(:func:`~repro.fl.transport.framing.recv_frame_into`).
+and the per-round cost is a straight memcpy per parameter.
+
+Gradient shards travel as raw frames encoded by a **gradient wire
+codec** — a :class:`GradientCodec` negotiated in the handshake (the
+HELLO header's ``wire_codec`` field) and applied symmetrically: the
+worker encodes its ``(rows, dim)`` shard, the caller decodes the frame
+into its round buffer.  The registered codecs:
+
+``raw``
+    Today's behaviour and the default: the shard's bytes verbatim, one
+    memcpy on each side, bit-exact for any payload (NaN/inf included).
+    The caller still receives the frame straight into its round-buffer
+    slice (:func:`~repro.fl.transport.framing.recv_frame_into`) — zero
+    copies, byte-identical wire traffic to the pre-codec protocol.
+``sign1bit``
+    One packed sign bit per element plus one float32 scale per row
+    (``mean(|g|)``), the natural wire format for the paper's
+    sign-statistics defense — ~64x smaller than raw float64.
+``int8`` / ``fp16``
+    Linear 8-bit quantization (per-row scale ``max(|g|)/127``) and a
+    float16 downcast — 8x / 4x smaller than raw float64.
+``topk``
+    Deterministic per-row top-k sparsification (largest ``|value|``
+    entries, stable index tie-break) with per-client error-feedback
+    residuals: what a round leaves out is added back into the client's
+    next round, so the compression error telescopes instead of
+    accumulating.  The residuals are worker-side state, fetched for
+    checkpoints and re-shipped at setup like client RNG states.
+
+Lossy codecs refuse non-finite payloads with :class:`CodecError` rather
+than silently corrupting them (``raw`` round-trips them bit-exactly);
+every codec round-trips empty and zero-row shards and accepts
+non-C-contiguous or read-only input.
+
+Protocol-version bump rules
+---------------------------
+
+``repro.fl.transport.protocol.PROTOCOL_VERSION`` must be bumped whenever
+an already-released peer would *mis-parse* the conversation — not for
+purely additive fields a peer can ignore.  Concretely:
+
+* bump when a message's envelope, framing, or body layout changes, when
+  a codec's wire payload layout changes, or when the meaning of an
+  existing header field changes;
+* bump when the handshake itself changes shape (v1 → v2 added the
+  ``wire_codec`` negotiation: a v1 worker would silently serve raw
+  frames to a caller expecting sign1bit payloads);
+* do **not** bump for a *new* codec name — negotiation already refuses
+  names a worker does not support, with a clear error naming both sides'
+  expectations.
 
 :func:`model_signature` digests a model's architecture — the sorted
 ``(name, dtype, shape)`` table of its parameters and buffers — into a
@@ -25,12 +71,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import struct
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.utils.registry import Registry
 from repro.utils.serialization import arrays_to_blob, blob_to_arrays
 
 # -- message type tags -------------------------------------------------------
@@ -47,6 +95,7 @@ MSG_PING = 9  #: caller → worker: heartbeat probe.
 MSG_PONG = 10  #: worker → caller: heartbeat reply.
 MSG_BYE = 11  #: caller → worker: clean disconnect (worker keeps its shard).
 MSG_RESET = 12  #: caller → worker: discard the held shard (re-setup follows).
+MSG_STATE = 13  #: both ways: fetch / report stateful-codec state (topk residuals).
 
 MESSAGE_NAMES = {
     MSG_HELLO: "HELLO",
@@ -61,6 +110,7 @@ MESSAGE_NAMES = {
     MSG_PONG: "PONG",
     MSG_BYE: "BYE",
     MSG_RESET: "RESET",
+    MSG_STATE: "STATE",
 }
 
 _ENVELOPE = struct.Struct("!BI")
@@ -133,3 +183,400 @@ def model_signature(model: Module) -> str:
     )
     digest = hashlib.sha256(repr(table).encode("utf-8"))
     return digest.hexdigest()[:16]
+
+
+# -- gradient wire codecs ----------------------------------------------------
+
+#: Registered gradient wire codecs (``TrainingConfig(wire_codec=...)``).
+GRADIENT_CODECS = Registry("wire codec")
+
+
+def wire_codec_names() -> Tuple[str, ...]:
+    """All registered wire-codec names, sorted (for errors and validation)."""
+    return tuple(GRADIENT_CODECS.names())
+
+
+def build_codec(name: str, **kwargs: Any) -> "GradientCodec":
+    """Instantiate the wire codec registered under ``name``.
+
+    Raises ``ValueError`` (not ``KeyError``) on an unknown name so config
+    validation surfaces it uniformly with the other registry checks.
+    """
+    try:
+        return GRADIENT_CODECS.create(name, **kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown wire codec {name!r}; registered: "
+            f"{', '.join(wire_codec_names())}"
+        ) from None
+
+
+def _as_shard(shard: np.ndarray) -> np.ndarray:
+    """Validate and normalize an encoder input to a C-contiguous 2-D array.
+
+    Non-C-contiguous (e.g. transposed or strided views) and read-only
+    inputs are accepted — ``np.ascontiguousarray`` copies them; anything
+    that is not a 2-D float array is a caller bug and raises
+    :class:`CodecError` rather than serializing garbage.
+    """
+    array = np.asarray(shard)
+    if array.ndim != 2:
+        raise CodecError(
+            f"gradient shard must be 2-D (rows, dim), got shape {array.shape}"
+        )
+    if array.dtype.kind != "f":
+        raise CodecError(
+            f"gradient shard must be a float array, got dtype {array.dtype}"
+        )
+    return np.ascontiguousarray(array)
+
+
+def _require_finite(shard: np.ndarray, codec: str) -> None:
+    """Lossy codecs refuse NaN/inf instead of silently corrupting them."""
+    if shard.size and not np.all(np.isfinite(shard)):
+        raise CodecError(
+            f"wire codec {codec!r} cannot represent non-finite gradients "
+            "(NaN/inf found in the shard); use wire_codec='raw' to ship "
+            "them bit-exactly"
+        )
+
+
+def _check_out(out: np.ndarray, rows: int, dim: int, codec: str) -> np.ndarray:
+    out = np.asarray(out)
+    if out.ndim != 2 or out.shape != (rows, dim):
+        raise CodecError(
+            f"wire codec {codec!r} decoded a ({rows}, {dim}) shard but the "
+            f"output buffer has shape {out.shape}"
+        )
+    return out
+
+
+class GradientCodec:
+    """One gradient wire format: ``(rows, dim)`` float shard ↔ bytes.
+
+    The worker calls :meth:`encode` on the shard it computed; the caller
+    calls :meth:`decode` on the received frame, writing into its round
+    buffer.  ``decode(encode(x))`` is bit-exact for lossless codecs
+    (:attr:`lossless`) and a documented, bounded approximation otherwise.
+
+    Stateful codecs (:attr:`stateful` — currently ``topk``'s per-client
+    error-feedback residuals) expose :meth:`state_dict` /
+    :meth:`load_state_dict` keyed by global client id; the state lives on
+    the encoding (worker) side and is fetched by the caller only for
+    checkpoints.
+    """
+
+    #: Registry name, also the value negotiated in the handshake.
+    name: str = ""
+    #: True when decode(encode(x)) is bit-exact for every accepted input.
+    lossless: bool = False
+    #: True when encode() carries per-client state across rounds.
+    stateful: bool = False
+
+    def encode(
+        self, shard: np.ndarray, client_ids: Optional[Sequence[int]] = None
+    ) -> bytes:
+        """Encode a ``(rows, dim)`` shard; row *r* belongs to
+        ``client_ids[r]`` (stateful codecs require the ids)."""
+        raise NotImplementedError
+
+    def decode(self, payload: bytes, out: np.ndarray) -> None:
+        """Decode ``payload`` into the preallocated ``(rows, dim)`` buffer
+        ``out``; raises :class:`CodecError` on any shape/size mismatch."""
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[int, np.ndarray]:
+        """Per-client codec state (``{}`` for stateless codecs)."""
+        return {}
+
+    def load_state_dict(self, states: Dict[int, np.ndarray]) -> None:
+        """Replace the codec's per-client state (no-op when stateless)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@GRADIENT_CODECS.register("raw")
+class RawCodec(GradientCodec):
+    """The identity codec: the shard's C-order bytes, verbatim.
+
+    Bit-exact for any payload including NaN/inf, and byte-identical to
+    the pre-codec wire format — the transport keeps its zero-copy receive
+    path (:meth:`~repro.fl.transport.protocol.Channel.recv_raw_into`
+    straight into the round buffer) when this codec is negotiated.
+    """
+
+    name = "raw"
+    lossless = True
+
+    def encode(self, shard, client_ids=None) -> bytes:
+        return _as_shard(shard).tobytes()
+
+    def decode(self, payload: bytes, out: np.ndarray) -> None:
+        out = np.asarray(out)
+        rows, dim = out.shape
+        expected = rows * dim * out.dtype.itemsize
+        if len(payload) != expected:
+            raise CodecError(
+                f"raw payload is {len(payload)} bytes; buffer expects {expected}"
+            )
+        out[...] = np.frombuffer(payload, dtype=out.dtype).reshape(rows, dim)
+
+
+_SIGN1BIT_HEADER = struct.Struct("!II")  # rows, dim
+
+
+@GRADIENT_CODECS.register("sign1bit")
+class Sign1BitCodec(GradientCodec):
+    """Packed sign bits plus one float32 scale per row.
+
+    ``encode`` ships ``sign(g)`` as one bit per element (``g >= 0`` maps
+    to +1) and reconstructs ``±scale`` where ``scale = mean(|g|)`` per
+    row — the magnitude that makes signSGD's update unbiased in
+    expectation.  ~64x smaller than raw float64 (~32x vs float32).
+    """
+
+    name = "sign1bit"
+
+    def encode(self, shard, client_ids=None) -> bytes:
+        shard = _as_shard(shard)
+        _require_finite(shard, self.name)
+        rows, dim = shard.shape
+        scales = (
+            np.mean(np.abs(shard), axis=1, dtype=np.float64)
+            if dim
+            else np.zeros(rows)
+        ).astype(np.float32)
+        bits = np.packbits(shard >= 0.0)
+        return b"".join(
+            [_SIGN1BIT_HEADER.pack(rows, dim), scales.tobytes(), bits.tobytes()]
+        )
+
+    def decode(self, payload: bytes, out: np.ndarray) -> None:
+        if len(payload) < _SIGN1BIT_HEADER.size:
+            raise CodecError("sign1bit payload shorter than its header")
+        rows, dim = _SIGN1BIT_HEADER.unpack_from(payload)
+        out = _check_out(out, rows, dim, self.name)
+        offset = _SIGN1BIT_HEADER.size
+        expected = offset + rows * 4 + -(-rows * dim // 8)
+        if len(payload) != expected:
+            raise CodecError(
+                f"sign1bit payload is {len(payload)} bytes, expected {expected}"
+            )
+        scales = np.frombuffer(payload, dtype=np.float32, count=rows, offset=offset)
+        bits = np.frombuffer(payload, dtype=np.uint8, offset=offset + rows * 4)
+        signs = np.unpackbits(bits, count=rows * dim).reshape(rows, dim)
+        signs = signs.astype(out.dtype) * 2.0 - 1.0
+        out[...] = signs * scales[:, None].astype(out.dtype)
+
+
+_INT8_HEADER = struct.Struct("!II")  # rows, dim
+
+
+@GRADIENT_CODECS.register("int8")
+class Int8Codec(GradientCodec):
+    """Per-row linear quantization to int8 (scale ``max(|g|)/127``).
+
+    Reconstruction error is at most ``max(|g|)/254`` per element — half a
+    quantization step.  8x smaller than raw float64 (4x vs float32).
+    """
+
+    name = "int8"
+
+    def encode(self, shard, client_ids=None) -> bytes:
+        shard = _as_shard(shard)
+        _require_finite(shard, self.name)
+        rows, dim = shard.shape
+        peaks = (
+            np.max(np.abs(shard), axis=1) if dim else np.zeros(rows)
+        )
+        scales = (peaks / 127.0).astype(np.float32)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            quantized = np.where(
+                scales[:, None] > 0.0,
+                shard / scales[:, None].astype(shard.dtype),
+                0.0,
+            )
+        quantized = np.clip(np.round(quantized), -127, 127).astype(np.int8)
+        return b"".join(
+            [_INT8_HEADER.pack(rows, dim), scales.tobytes(), quantized.tobytes()]
+        )
+
+    def decode(self, payload: bytes, out: np.ndarray) -> None:
+        if len(payload) < _INT8_HEADER.size:
+            raise CodecError("int8 payload shorter than its header")
+        rows, dim = _INT8_HEADER.unpack_from(payload)
+        out = _check_out(out, rows, dim, self.name)
+        offset = _INT8_HEADER.size
+        expected = offset + rows * 4 + rows * dim
+        if len(payload) != expected:
+            raise CodecError(
+                f"int8 payload is {len(payload)} bytes, expected {expected}"
+            )
+        scales = np.frombuffer(payload, dtype=np.float32, count=rows, offset=offset)
+        quantized = np.frombuffer(
+            payload, dtype=np.int8, offset=offset + rows * 4
+        ).reshape(rows, dim)
+        out[...] = quantized.astype(out.dtype) * scales[:, None].astype(out.dtype)
+
+
+_FP16_HEADER = struct.Struct("!II")  # rows, dim
+
+
+@GRADIENT_CODECS.register("fp16")
+class Fp16Codec(GradientCodec):
+    """Float16 downcast: 4x smaller than raw float64 (2x vs float32).
+
+    Round-trips bit-exactly for values exactly representable in float16
+    (including every value a previous fp16 round produced); values whose
+    magnitude overflows float16 (> 65504) raise :class:`CodecError`
+    instead of silently becoming inf.  Subnormal underflow to zero is
+    accepted — it is a rounding, not a corruption.
+    """
+
+    name = "fp16"
+
+    def encode(self, shard, client_ids=None) -> bytes:
+        shard = _as_shard(shard)
+        _require_finite(shard, self.name)
+        rows, dim = shard.shape
+        with np.errstate(over="ignore"):  # overflow is detected and refused
+            half = shard.astype(np.float16)
+        if half.size and not np.all(np.isfinite(half)):
+            peak = float(np.max(np.abs(shard)))
+            raise CodecError(
+                f"wire codec 'fp16' overflows on |g| up to {peak:.4g} "
+                "(float16 max is 65504); use int8 or raw for this payload"
+            )
+        return _FP16_HEADER.pack(rows, dim) + half.tobytes()
+
+    def decode(self, payload: bytes, out: np.ndarray) -> None:
+        if len(payload) < _FP16_HEADER.size:
+            raise CodecError("fp16 payload shorter than its header")
+        rows, dim = _FP16_HEADER.unpack_from(payload)
+        out = _check_out(out, rows, dim, self.name)
+        offset = _FP16_HEADER.size
+        expected = offset + rows * dim * 2
+        if len(payload) != expected:
+            raise CodecError(
+                f"fp16 payload is {len(payload)} bytes, expected {expected}"
+            )
+        half = np.frombuffer(payload, dtype=np.float16, offset=offset)
+        out[...] = half.reshape(rows, dim).astype(out.dtype)
+
+
+_TOPK_HEADER = struct.Struct("!IIIB")  # rows, dim, k, value itemsize
+
+
+@GRADIENT_CODECS.register("topk")
+class TopKCodec(GradientCodec):
+    """Deterministic top-k sparsification with error-feedback residuals.
+
+    Per row, the ``k = ceil(density * dim)`` largest-magnitude entries of
+    ``g + residual`` are shipped (uint32 indices + full-precision
+    values); everything left out becomes the client's next-round
+    residual, so the compression error telescopes across rounds instead
+    of accumulating.  Selection is deterministic: a stable sort on
+    magnitude breaks ties by index.
+
+    The residuals are **encoder-side state** keyed by global client id.
+    They live in the worker that owns the client; the collector fetches
+    them for checkpoints (``MSG_STATE``) and re-ships them at setup, like
+    client RNG states.  A residual whose shape or dtype no longer matches
+    the shard (a new model or precision) is silently discarded — the
+    codec restarts that client from a zero residual.  When a worker dies
+    mid-run, its clients' residuals fall back to the collector's
+    last-fetched copy (or zero): a bounded, documented perturbation of
+    the compression error, never a corruption.
+    """
+
+    name = "topk"
+    stateful = True
+
+    def __init__(self, density: float = 1.0 / 16.0):
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"topk density must be in (0, 1], got {density}")
+        self.density = float(density)
+        self.residuals: Dict[int, np.ndarray] = {}
+
+    def _k(self, dim: int) -> int:
+        return min(dim, max(1, math.ceil(self.density * dim))) if dim else 0
+
+    def encode(self, shard, client_ids=None) -> bytes:
+        shard = _as_shard(shard)
+        _require_finite(shard, self.name)
+        rows, dim = shard.shape
+        if client_ids is None:
+            raise CodecError(
+                "wire codec 'topk' requires the shard's client ids (its "
+                "error-feedback residuals are keyed by client)"
+            )
+        ids = [int(i) for i in client_ids]
+        if len(ids) != rows:
+            raise CodecError(
+                f"topk got {rows} shard rows but {len(ids)} client ids"
+            )
+        k = self._k(dim)
+        pieces = [_TOPK_HEADER.pack(rows, dim, k, shard.dtype.itemsize)]
+        for row, client_id in enumerate(ids):
+            residual = self.residuals.get(client_id)
+            if (
+                residual is None
+                or residual.shape != (dim,)
+                or residual.dtype != shard.dtype
+            ):
+                residual = np.zeros(dim, dtype=shard.dtype)
+            work = shard[row] + residual
+            # Stable sort on -|work|: ties resolve to the lowest index on
+            # every platform, so worker placement cannot change the wire.
+            top = np.argsort(-np.abs(work), kind="stable")[:k]
+            indices = np.sort(top).astype(np.uint32)
+            values = np.ascontiguousarray(work[indices])
+            next_residual = work.copy()
+            next_residual[indices] = 0.0
+            self.residuals[client_id] = next_residual
+            pieces.append(indices.tobytes())
+            pieces.append(values.tobytes())
+        return b"".join(pieces)
+
+    def decode(self, payload: bytes, out: np.ndarray) -> None:
+        if len(payload) < _TOPK_HEADER.size:
+            raise CodecError("topk payload shorter than its header")
+        rows, dim, k, itemsize = _TOPK_HEADER.unpack_from(payload)
+        out = _check_out(out, rows, dim, self.name)
+        if itemsize != out.dtype.itemsize:
+            raise CodecError(
+                f"topk payload carries {itemsize}-byte values but the "
+                f"buffer dtype is {out.dtype}"
+            )
+        row_bytes = k * (4 + itemsize)
+        expected = _TOPK_HEADER.size + rows * row_bytes
+        if len(payload) != expected:
+            raise CodecError(
+                f"topk payload is {len(payload)} bytes, expected {expected}"
+            )
+        out[...] = 0.0
+        offset = _TOPK_HEADER.size
+        for row in range(rows):
+            indices = np.frombuffer(payload, dtype=np.uint32, count=k, offset=offset)
+            values = np.frombuffer(
+                payload, dtype=out.dtype, count=k, offset=offset + k * 4
+            )
+            if k and (len(indices) != len(np.unique(indices)) or indices[-1] >= dim):
+                raise CodecError(
+                    f"topk row {row} carries out-of-range or duplicate indices"
+                )
+            out[row, indices] = values
+            offset += row_bytes
+
+    def state_dict(self) -> Dict[int, np.ndarray]:
+        return {
+            client_id: residual.copy()
+            for client_id, residual in self.residuals.items()
+        }
+
+    def load_state_dict(self, states: Dict[int, np.ndarray]) -> None:
+        self.residuals = {
+            int(client_id): np.array(residual, copy=True)
+            for client_id, residual in (states or {}).items()
+        }

@@ -77,9 +77,9 @@ from repro.fl.collector import (
 )
 from repro.fl.faults import FaultSchedule
 from repro.fl.transport.client import WorkerConnection, parse_address
-from repro.fl.transport.codec import CodecError, encode_state_dict
+from repro.fl.transport.codec import CodecError, build_codec, encode_state_dict
 from repro.fl.transport.framing import DEFAULT_MAX_FRAME_BYTES, FrameError
-from repro.fl.transport.protocol import TransportError
+from repro.fl.transport.protocol import HandshakeError, TransportError
 from repro.nn.module import Module
 
 
@@ -110,6 +110,12 @@ class DistributedCollector(GradientCollector):
         fault_schedule: deterministic caller-side fault injection — a
             spec for worker ``w`` at occurrence ``r`` severs that link at
             this collector's ``r``-th main collect pass.
+        wire_codec: gradient wire codec for the shard frames (see
+            :data:`~repro.fl.transport.codec.GRADIENT_CODECS`); the
+            default ``raw`` keeps the pre-codec wire format byte for
+            byte.  Lossy codecs trade the collect contract's
+            bit-exactness for bandwidth — their bounded error is
+            characterised in the codec docs and contract tests.
     """
 
     def __init__(
@@ -125,6 +131,7 @@ class DistributedCollector(GradientCollector):
         retry_seed: int = 0,
         redispatch: bool = True,
         fault_schedule: Optional[FaultSchedule] = None,
+        wire_codec: str = "raw",
     ):
         super().__init__(fault_schedule=fault_schedule)
         specs = [str(spec) for spec in workers]
@@ -137,6 +144,10 @@ class DistributedCollector(GradientCollector):
         self.worker_addresses = specs
         self.n_workers = len(specs)
         self.redispatch = bool(redispatch)
+        # One decode-side codec instance validates the name up front; each
+        # connection holds its own instance for the actual decoding.
+        self._codec = build_codec(wire_codec)
+        self.wire_codec = self._codec.name
         self._conns = [
             WorkerConnection(
                 spec,
@@ -149,6 +160,7 @@ class DistributedCollector(GradientCollector):
                 # Independent jitter stream per worker, derived from one
                 # seed, so retry timing is reproducible fleet-wide.
                 retry_rng=np.random.default_rng([int(retry_seed), index]),
+                wire_codec=self.wire_codec,
             )
             for index, spec in enumerate(specs)
         ]
@@ -163,6 +175,12 @@ class DistributedCollector(GradientCollector):
         #: Latest known post-round RNG state per client id, fed into worker
         #: (re-)setups so resumed clients continue their streams bit-exactly.
         self._rng_states: Dict[int, dict] = {}
+        #: Last-known per-client wire-codec state (topk error-feedback
+        #: residuals), refreshed by :meth:`codec_states` fetches and fed
+        #: into worker (re-)setups.  Deliberately NOT cleared when the
+        #: fleet is rebuilt: a checkpoint restore loads it *before* the
+        #: rebuild, and workers discard mismatched residuals themselves.
+        self._codec_states: Dict[int, np.ndarray] = {}
         #: Client ids whose gradients the last ``collect`` could not obtain
         #: because their worker died or timed out (rows left NaN).
         self.failed_rows: Tuple[int, ...] = ()
@@ -172,6 +190,9 @@ class DistributedCollector(GradientCollector):
         self.last_round_redispatched: Tuple[int, ...] = ()
         #: Successful worker reconnects during the last ``collect``.
         self.last_round_reconnects: int = 0
+        # Most recent permanent handshake refusal (surfaced when the whole
+        # fleet turns out unreachable — usually a codec/version mismatch).
+        self._last_handshake_refusal: Optional[HandshakeError] = None
 
     # -- fleet management ----------------------------------------------------
 
@@ -218,11 +239,31 @@ class DistributedCollector(GradientCollector):
                         if int(i) in self._rng_states
                     }
                     or None,
+                    self._chunk_codec_states(chunk),
                 )
                 self._needs_setup[index] = False
+            except HandshakeError as exc:
+                # A refusal is permanent (wrong version, codec, or model
+                # signature); remember it so an all-refused fleet raises
+                # the reason instead of a bare "unreachable".
+                self._last_handshake_refusal = exc
+                conn.drop()
+                self._needs_setup[index] = True
             except (TransportError, FrameError, CodecError, OSError):
                 conn.drop()
                 self._needs_setup[index] = True
+
+    def _chunk_codec_states(
+        self, ids: Sequence[int]
+    ) -> Optional[Dict[int, np.ndarray]]:
+        """The cached codec state slice to ship with a (re-)setup."""
+        if not self._codec.stateful:
+            return None
+        return {
+            int(i): self._codec_states[int(i)]
+            for i in ids
+            if int(i) in self._codec_states
+        } or None
 
     def heartbeat(self) -> Dict[str, bool]:
         """Ping every connected worker; ``{address: alive}``."""
@@ -248,9 +289,12 @@ class DistributedCollector(GradientCollector):
         reconnects_before = sum(conn.reconnects for conn in self._conns)
         self._ensure_fleet(clients, model)
         if not any(conn.connected for conn in self._conns):
+            detail = ""
+            if self._last_handshake_refusal is not None:
+                detail = f"; last refusal: {self._last_handshake_refusal}"
             raise TransportError(
                 f"no distributed-collect worker reachable "
-                f"(fleet: {self.worker_addresses})"
+                f"(fleet: {self.worker_addresses}){detail}"
             )
         bytes_before = self._wire_totals()
         invalidate_buffer(out)
@@ -390,6 +434,11 @@ class DistributedCollector(GradientCollector):
                     [clients[i] for i in ids],
                     {i: self._rng_states[i] for i in ids if i in self._rng_states}
                     or None,
+                    # Best effort for a stateful codec: the dead worker's
+                    # residuals since the last checkpoint fetch are lost (a
+                    # bounded, documented perturbation); the survivor adopts
+                    # the last-known cached ones.
+                    self._chunk_codec_states(ids),
                 )
                 conn.begin_round(state_blob, ids, out.dtype, dim)
                 scratch = np.empty((len(ids), dim), dtype=out.dtype)
@@ -417,6 +466,36 @@ class DistributedCollector(GradientCollector):
         """
         return dict(self._rng_states)
 
+    def codec_states(self) -> Dict[int, np.ndarray]:
+        """Per-client wire-codec state for checkpointing.
+
+        For a stateless codec this is empty.  For ``topk`` the
+        error-feedback residuals live inside the workers; this fetches
+        them from every live worker (refreshing the caller-side cache
+        used by re-setups) and returns copies.
+        """
+        if not self._codec.stateful:
+            return {}
+        for index, conn in enumerate(self._conns):
+            if not conn.connected or self._needs_setup[index]:
+                continue
+            try:
+                self._codec_states.update(conn.fetch_codec_state())
+            except (TransportError, FrameError, CodecError, OSError):
+                conn.drop()
+                self._needs_setup[index] = True
+        return {
+            client_id: residual.copy()
+            for client_id, residual in self._codec_states.items()
+        }
+
+    def load_codec_states(self, states: Dict[int, np.ndarray]) -> None:
+        """Adopt checkpointed codec state; shipped at the next (re-)setup."""
+        self._codec_states = {
+            int(client_id): np.asarray(residual).copy()
+            for client_id, residual in states.items()
+        }
+
     def _mark_failed(
         self, index: int, rows: np.ndarray, failed: List[int]
     ) -> None:
@@ -438,4 +517,5 @@ class DistributedCollector(GradientCollector):
         self._source_clients = None
         self._source_model = None
         self._rng_states = {}
+        self._codec_states = {}
         self._needs_setup = [True] * self.n_workers

@@ -8,23 +8,30 @@ The wire conversation between a caller (the
 :class:`~repro.fl.transport.collector.DistributedCollector`) and a worker
 (:class:`~repro.fl.transport.worker.WorkerServer`):
 
-1. **Handshake** — caller sends ``HELLO`` with the protocol version and
-   the signature of the model it is about to serve
-   (:func:`~repro.fl.transport.codec.model_signature`).  The worker
-   refuses (``ERROR`` + close) on a version mismatch, or — when it
-   already holds a population shard from an earlier connection — on a
-   signature mismatch.  Otherwise it answers ``WELCOME`` with
-   ``has_shard`` so the caller knows whether setup is needed.
+1. **Handshake** — caller sends ``HELLO`` with the protocol version, the
+   signature of the model it is about to serve
+   (:func:`~repro.fl.transport.codec.model_signature`), and the gradient
+   wire codec it expects shard frames in (``wire_codec``; see
+   :data:`~repro.fl.transport.codec.GRADIENT_CODECS`).  The worker
+   refuses (``ERROR`` + close) on a version mismatch, on a codec it does
+   not support, or — when it already holds a population shard from an
+   earlier connection — on a signature mismatch.  Otherwise it answers
+   ``WELCOME`` with ``has_shard`` so the caller knows whether setup is
+   needed.
 2. **Setup** (only when the worker has no shard) — caller sends ``SETUP``
    carrying its chunk of the client population and a model replica; the
    worker verifies the replica's signature against the one claimed in
    ``HELLO`` and answers ``READY``.
 3. **Rounds** — caller sends ``ROUND`` (encoded state dict + the round's
    row slice); worker computes and answers ``SHARD`` (announcement), one
-   raw frame of gradient bytes (received straight into the caller's
-   round buffer), and ``TRAILER`` (losses, BatchNorm batch statistics,
-   post-round client RNG states, timing, first client error).
-4. **Heartbeats** — ``PING``/``PONG`` at any point between rounds.
+   raw frame of gradient bytes — the shard encoded by the negotiated
+   wire codec; with the default ``raw`` codec it is received straight
+   into the caller's round buffer — and ``TRAILER`` (losses, BatchNorm
+   batch statistics, post-round client RNG states, timing, first client
+   error).
+4. **Heartbeats** — ``PING``/``PONG`` at any point between rounds;
+   ``STATE`` fetches a stateful codec's per-client state (topk
+   error-feedback residuals) for checkpointing.
 5. **Goodbye** — ``BYE``; the worker keeps its shard and accepts the next
    connection, so a restarted caller can resume without re-shipping.
 """
@@ -32,13 +39,14 @@ The wire conversation between a caller (the
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.fl.transport.codec import (
     MESSAGE_NAMES,
     MSG_ERROR,
     pack_message,
     unpack_message,
+    wire_codec_names,
 )
 from repro.fl.transport.framing import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -49,7 +57,10 @@ from repro.fl.transport.framing import (
 
 #: Version of the wire protocol.  Bumped on any incompatible change; the
 #: handshake refuses mismatched peers instead of mis-parsing their frames.
-PROTOCOL_VERSION = 1
+#: (See the bump rules in :mod:`repro.fl.transport.codec`.)
+#: v2: HELLO negotiates the gradient wire codec (``wire_codec`` field);
+#: SHARD frames carry codec-encoded payloads for non-raw codecs.
+PROTOCOL_VERSION = 2
 
 #: Leading bytes of every HELLO header's ``magic`` field.
 PROTOCOL_MAGIC = "repro-collect"
@@ -112,6 +123,12 @@ class Channel:
         """Send one raw (non-enveloped) frame — the gradient-shard path."""
         self.bytes_sent += send_frame(self.sock, bytes(data))
 
+    def recv_raw(self) -> bytes:
+        """Receive one raw frame as bytes — the encoded-shard path."""
+        payload = recv_frame(self.sock, max_bytes=self.max_frame_bytes)
+        self.bytes_received += 8 + len(payload)
+        return payload
+
     def recv_raw_into(self, view: memoryview) -> None:
         """Receive one raw frame straight into ``view`` (exact size)."""
         self.bytes_received += recv_frame_into(
@@ -129,17 +146,27 @@ class Channel:
         self.sock.close()
 
 
-def hello_header(signature: str) -> Dict[str, Any]:
+def hello_header(signature: str, wire_codec: str = "raw") -> Dict[str, Any]:
     """The HELLO header a caller sends to open a connection."""
     return {
         "magic": PROTOCOL_MAGIC,
         "protocol": PROTOCOL_VERSION,
         "model_signature": signature,
+        "wire_codec": wire_codec,
     }
 
 
-def check_hello(header: Dict[str, Any]) -> Optional[str]:
-    """Validate an incoming HELLO header; return a refusal reason or None."""
+def check_hello(
+    header: Dict[str, Any],
+    supported_codecs: Optional[Sequence[str]] = None,
+) -> Optional[str]:
+    """Validate an incoming HELLO header; return a refusal reason or None.
+
+    ``supported_codecs`` restricts which gradient wire codecs the worker
+    will serve (``None`` = every registered codec).  A caller announcing
+    a codec outside that set is refused with an error naming both sides'
+    expectations — the codec-mismatch analogue of the version check.
+    """
     if header.get("magic") != PROTOCOL_MAGIC:
         return f"not a {PROTOCOL_MAGIC} peer"
     version = header.get("protocol")
@@ -150,4 +177,17 @@ def check_hello(header: Dict[str, Any]) -> Optional[str]:
         )
     if not isinstance(header.get("model_signature"), str):
         return "HELLO carries no model signature"
+    codec = header.get("wire_codec", "raw")
+    if not isinstance(codec, str):
+        return f"HELLO carries a non-string wire codec: {codec!r}"
+    supported = (
+        tuple(supported_codecs)
+        if supported_codecs is not None
+        else wire_codec_names()
+    )
+    if codec not in supported:
+        return (
+            f"unsupported wire codec {codec!r}: this worker serves "
+            f"{', '.join(sorted(supported))}"
+        )
     return None

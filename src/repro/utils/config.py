@@ -83,6 +83,14 @@ class TrainingConfig:
     into :class:`~repro.fl.participation.RoundPlan` dropouts instead of
     crashing the run.
 
+    ``wire_codec`` picks the gradient wire codec of the distributed
+    backend's shard frames (see :mod:`repro.fl.transport.codec`):
+    ``"raw"`` (default — lossless, the pre-codec wire format byte for
+    byte), ``"sign1bit"``, ``"int8"``, ``"fp16"``, or ``"topk"``.  The
+    non-raw codecs trade the collect contract's bit-exactness for a
+    16–64× smaller gradient frame; only ``"raw"`` is meaningful for the
+    in-process backends (which have no wire).
+
     ``participation`` selects which clients train each round (see
     :mod:`repro.fl.participation`): ``"full"`` (default — every client,
     every round, the paper's cross-silo setting), ``"uniform"`` (a
@@ -114,6 +122,7 @@ class TrainingConfig:
     n_workers: int = 1
     collect_backend: str = "thread"
     workers: Optional[List[str]] = None
+    wire_codec: str = "raw"
     participation: str = "full"
     participation_fraction: float = 1.0
     cohort_size: Optional[int] = None
@@ -161,6 +170,19 @@ class TrainingConfig:
         elif self.workers:
             raise ValueError(
                 "workers= is only meaningful with collect_backend='distributed' "
+                f"(got collect_backend={self.collect_backend!r})"
+            )
+        from repro.fl.transport.codec import wire_codec_names
+
+        if self.wire_codec not in wire_codec_names():
+            raise ValueError(
+                f"wire_codec must be one of {wire_codec_names()}, "
+                f"got {self.wire_codec!r}"
+            )
+        if self.wire_codec != "raw" and self.collect_backend != "distributed":
+            raise ValueError(
+                "wire_codec= is only meaningful with collect_backend="
+                "'distributed' — the in-process backends have no wire "
                 f"(got collect_backend={self.collect_backend!r})"
             )
         from repro.fl.participation import PARTICIPATION_SCHEDULES

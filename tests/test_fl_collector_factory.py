@@ -1,0 +1,151 @@
+"""The collector factory API: registry dispatch, config-driven construction.
+
+``make_collector`` is the one public path from a config to a collect
+strategy; ``build_collector`` keeps its original keyword surface for
+callers that predate the factory.  Both dispatch through
+``COLLECTOR_REGISTRY``, so a registered third-party backend constructs
+exactly like the built-ins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExperimentConfig, TrainingConfig
+from repro.fl import (
+    COLLECT_BACKENDS,
+    COLLECTOR_REGISTRY,
+    ParallelCollector,
+    ProcessCollector,
+    SequentialCollector,
+    build_collector,
+    make_collector,
+)
+from repro.fl.transport import DistributedCollector
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(COLLECT_BACKENDS) <= set(COLLECTOR_REGISTRY.names())
+
+    def test_unknown_backend_keeps_documented_error(self):
+        with pytest.raises(ValueError, match="collect backend must be one of"):
+            build_collector(2, "carrier-pigeon")
+
+    def test_backend_names_are_case_insensitive(self):
+        collector = build_collector(1, "Sequential")
+        assert isinstance(collector, SequentialCollector)
+
+    def test_third_party_backend_constructs_through_the_factory(self):
+        class RecordingCollector(SequentialCollector):
+            def __init__(self, options):
+                super().__init__(fault_schedule=options["fault_schedule"])
+                self.options = options
+
+        COLLECTOR_REGISTRY.register("test_recording", RecordingCollector)
+        try:
+            collector = make_collector(
+                backend="test_recording", wire_codec="int8"
+            )
+            assert isinstance(collector, RecordingCollector)
+            assert collector.options["wire_codec"] == "int8"
+        finally:
+            COLLECTOR_REGISTRY._factories.pop("test_recording")
+
+
+class TestBuildCollector:
+    """The pre-factory keyword surface keeps working unchanged."""
+
+    def test_sequential(self):
+        assert isinstance(build_collector(1, "sequential"), SequentialCollector)
+
+    def test_thread(self):
+        collector = build_collector(4, "thread")
+        assert isinstance(collector, ParallelCollector)
+        assert collector.n_workers == 4
+
+    def test_single_worker_degrades_to_sequential(self):
+        assert isinstance(build_collector(1, "thread"), SequentialCollector)
+        assert isinstance(build_collector(1, "process"), SequentialCollector)
+
+    def test_process(self):
+        collector = build_collector(2, "process")
+        try:
+            assert isinstance(collector, ProcessCollector)
+        finally:
+            collector.close()
+
+    def test_distributed_passes_codec_and_timeouts(self):
+        collector = build_collector(
+            1,
+            "distributed",
+            workers=["127.0.0.1:1"],
+            round_timeout=None,
+            wire_codec="sign1bit",
+        )
+        assert isinstance(collector, DistributedCollector)
+        assert collector.wire_codec == "sign1bit"
+        assert all(conn.round_timeout is None for conn in collector._conns)
+
+    def test_distributed_requires_workers(self):
+        with pytest.raises(ValueError, match="requires workers"):
+            build_collector(1, "distributed")
+
+
+class TestMakeCollector:
+    def test_defaults_without_a_config(self):
+        # backend "thread" at n_workers=1 is the sequential strategy.
+        assert isinstance(make_collector(), SequentialCollector)
+
+    def test_from_training_config(self):
+        config = TrainingConfig(collect_backend="thread", n_workers=3)
+        collector = make_collector(config)
+        assert isinstance(collector, ParallelCollector)
+        assert collector.n_workers == 3
+
+    def test_from_experiment_config(self):
+        config = ExperimentConfig(
+            training=TrainingConfig(collect_backend="thread", n_workers=2)
+        )
+        collector = make_collector(config)
+        assert isinstance(collector, ParallelCollector)
+        assert collector.n_workers == 2
+
+    def test_config_wire_codec_flows_through(self):
+        config = TrainingConfig(
+            collect_backend="distributed",
+            workers=["127.0.0.1:1"],
+            wire_codec="topk",
+        )
+        collector = make_collector(config)
+        assert isinstance(collector, DistributedCollector)
+        assert collector.wire_codec == "topk"
+
+    def test_overrides_beat_the_config(self):
+        config = TrainingConfig(collect_backend="thread", n_workers=4)
+        assert isinstance(
+            make_collector(config, backend="sequential"), SequentialCollector
+        )
+        collector = make_collector(
+            config,
+            backend="distributed",
+            workers=["127.0.0.1:1"],
+            wire_codec="fp16",
+        )
+        assert collector.wire_codec == "fp16"
+
+    def test_none_is_a_meaningful_override(self):
+        # round_timeout=None means "wait forever" — the sentinel must not
+        # mistake it for "not overridden".
+        config = TrainingConfig(
+            collect_backend="distributed",
+            workers=["127.0.0.1:1"],
+            round_timeout=30.0,
+        )
+        collector = make_collector(config, round_timeout=None)
+        assert all(conn.round_timeout is None for conn in collector._conns)
+
+    def test_distributed_still_requires_workers(self):
+        config = TrainingConfig()
+        with pytest.raises(ValueError, match="requires workers"):
+            make_collector(config, backend="distributed")

@@ -22,7 +22,13 @@ import time
 import numpy as np
 import pytest
 
-from repro import DataConfig, DefenseConfig, ExperimentConfig, TrainingConfig
+from repro import (
+    AttackConfig,
+    DataConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    TrainingConfig,
+)
 from repro.data.factory import build_dataset
 from repro.fl.client import BenignClient
 from repro.fl.collector import SequentialCollector, build_collector
@@ -32,22 +38,29 @@ from repro.fl.participation import ParticipationSchedule, RoundPlan
 from repro.fl.server import FederatedServer
 from repro.fl.simulation import FederatedSimulation
 from repro.fl.transport import (
+    CodecError,
     DistributedCollector,
+    HandshakeError,
     OversizedFrameError,
     RemoteWorkerError,
     TransportError,
     TruncatedFrameError,
     WorkerConnection,
     WorkerServer,
+    build_codec,
     model_signature,
     parse_address,
     spawn_worker_process,
     start_thread_fleet,
+    wire_codec_names,
 )
 from repro.fl.transport.codec import (
     MSG_ERROR,
     MSG_HELLO,
+    MSG_SHARD,
+    MSG_TRAILER,
     MSG_WELCOME,
+    encode_state_dict,
     pack_message,
     unpack_message,
 )
@@ -801,3 +814,482 @@ class TestWorkerProcessLifecycle:
             assert worker.alive
         finally:
             worker.terminate()
+
+
+# ---------------------------------------------------------------------------
+# gradient wire codecs
+# ---------------------------------------------------------------------------
+
+
+ALL_CODECS = ("fp16", "int8", "raw", "sign1bit", "topk")
+LOSSY_CODECS = ("sign1bit", "int8", "fp16", "topk")
+#: Shapes every codec must round-trip, including the degenerate ones and a
+#: dim that is not a multiple of 8 (exercises sign1bit's packbits padding).
+CODEC_SHAPES = [(0, 5), (3, 0), (0, 0), (1, 1), (4, 7), (2, 33)]
+
+
+def _shard(shape, dtype=np.float64, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(shape) * scale).astype(dtype)
+
+
+def _make_codec(name):
+    # density=0.5 keeps topk lossy but non-trivial on tiny test shards.
+    return build_codec(name, density=0.5) if name == "topk" else build_codec(name)
+
+
+def _roundtrip(codec, shard):
+    payload = codec.encode(shard, list(range(shard.shape[0])))
+    out = np.empty_like(shard)
+    codec.decode(payload, out)
+    return out
+
+
+class TestCodecRegistry:
+    def test_registered_names(self):
+        assert wire_codec_names() == ALL_CODECS
+
+    def test_unknown_codec_is_value_error(self):
+        with pytest.raises(ValueError, match="unknown wire codec"):
+            build_codec("gzip")
+
+    def test_flags(self):
+        for name in ALL_CODECS:
+            codec = _make_codec(name)
+            assert codec.name == name
+            assert codec.lossless == (name == "raw")
+            assert codec.stateful == (name == "topk")
+
+    def test_topk_density_validated(self):
+        assert build_codec("topk", density=0.25).density == 0.25
+        with pytest.raises(ValueError, match="density"):
+            build_codec("topk", density=0.0)
+        with pytest.raises(ValueError, match="density"):
+            build_codec("topk", density=1.5)
+
+
+class TestCodecRoundtrip:
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("shape", CODEC_SHAPES)
+    def test_shapes_and_dtypes(self, name, dtype, shape):
+        shard = _shard(shape, dtype=dtype, seed=3)
+        out = _roundtrip(_make_codec(name), shard)
+        assert out.shape == shard.shape and out.dtype == shard.dtype
+        assert np.all(np.isfinite(out))
+        if shard.size == 0:  # empty and zero-row shards round-trip exactly
+            assert np.array_equal(out, shard)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_wire_bytes_deterministic_across_instances(self, name):
+        shard = _shard((3, 17), seed=9)
+        ids = [4, 0, 11]
+        assert _make_codec(name).encode(shard, ids) == _make_codec(name).encode(
+            shard, ids
+        )
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_non_contiguous_and_readonly_inputs(self, name):
+        base = _shard((4, 22), seed=5)
+        strided = base[:, ::2]  # non-C-contiguous view
+        assert not strided.flags["C_CONTIGUOUS"]
+        readonly = np.ascontiguousarray(strided)
+        readonly.setflags(write=False)
+        ids = list(range(4))
+        codec = _make_codec(name)
+        reference = codec.encode(np.array(strided, copy=True), ids)
+        assert _make_codec(name).encode(strided, ids) == reference
+        assert _make_codec(name).encode(readonly, ids) == reference
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_non_2d_or_non_float_refused(self, name):
+        codec = _make_codec(name)
+        with pytest.raises(CodecError, match="2-D"):
+            codec.encode(np.zeros(6), [0])
+        with pytest.raises(CodecError, match="float"):
+            codec.encode(np.zeros((2, 3), dtype=np.int64), [0, 1])
+
+    @pytest.mark.parametrize("name", LOSSY_CODECS)
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_lossy_codecs_refuse_non_finite(self, name, bad):
+        shard = _shard((2, 8), seed=1)
+        shard[1, 3] = bad
+        with pytest.raises(CodecError, match="non-finite"):
+            _make_codec(name).encode(shard, [0, 1])
+
+    def test_raw_ships_non_finite_bit_exactly(self):
+        shard = _shard((2, 8), seed=1)
+        shard[0, 0] = np.nan
+        shard[1, 5] = np.inf
+        out = _roundtrip(build_codec("raw"), shard)
+        assert np.array_equal(out, shard, equal_nan=True)
+        assert build_codec("raw").encode(shard) == shard.tobytes()
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_decode_into_wrong_shape_refused(self, name):
+        codec = _make_codec(name)
+        payload = codec.encode(_shard((2, 6)), [0, 1])
+        with pytest.raises(CodecError):
+            _make_codec(name).decode(payload, np.empty((3, 6)))
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_truncated_payload_refused(self, name):
+        codec = _make_codec(name)
+        payload = codec.encode(_shard((2, 6)), [0, 1])
+        with pytest.raises(CodecError):
+            _make_codec(name).decode(payload[:-1], np.empty((2, 6)))
+        with pytest.raises(CodecError):
+            _make_codec(name).decode(b"", np.empty((2, 6)))
+
+    def test_sign1bit_formula(self):
+        shard = _shard((5, 19), seed=7)
+        out = _roundtrip(build_codec("sign1bit"), shard)
+        scales = np.mean(np.abs(shard), axis=1, dtype=np.float64).astype(np.float32)
+        expected = np.where(shard >= 0.0, 1.0, -1.0) * scales[:, None].astype(
+            shard.dtype
+        )
+        assert np.array_equal(out, expected)
+
+    def test_int8_error_within_half_a_quantization_step(self):
+        shard = _shard((6, 40), seed=11, scale=3.0)
+        out = _roundtrip(build_codec("int8"), shard)
+        scales = (np.max(np.abs(shard), axis=1) / 127.0).astype(np.float32)
+        assert np.all(np.abs(out - shard) <= scales[:, None] * 0.5 + 1e-5)
+
+    def test_int8_zero_rows_stay_zero(self):
+        shard = np.zeros((3, 10))
+        assert np.array_equal(_roundtrip(build_codec("int8"), shard), shard)
+
+    def test_fp16_matches_float16_cast_exactly(self):
+        shard = _shard((4, 12), seed=2)
+        out = _roundtrip(build_codec("fp16"), shard)
+        assert np.array_equal(out, shard.astype(np.float16).astype(shard.dtype))
+        # fp16-representable values round-trip bit-exactly.
+        exact = shard.astype(np.float16).astype(np.float64)
+        assert np.array_equal(_roundtrip(build_codec("fp16"), exact), exact)
+
+    def test_fp16_overflow_refused(self):
+        shard = np.array([[1.0, 1e5]])
+        with pytest.raises(CodecError, match="overflows"):
+            build_codec("fp16").encode(shard, [0])
+
+    def test_topk_requires_client_ids(self):
+        codec = _make_codec("topk")
+        with pytest.raises(CodecError, match="client ids"):
+            codec.encode(_shard((2, 8)))
+        with pytest.raises(CodecError, match="client ids"):
+            codec.encode(_shard((2, 8)), [0])  # one id for two rows
+
+    def test_topk_full_density_is_exact(self):
+        shard = _shard((3, 9), seed=4)
+        codec = build_codec("topk", density=1.0)
+        out = _roundtrip(codec, shard)
+        assert np.array_equal(out, shard)
+        for residual in codec.state_dict().values():
+            assert np.array_equal(residual, np.zeros(9))
+
+    def test_topk_sparsity_bound(self):
+        codec = build_codec("topk", density=1.0 / 16.0)
+        shard = _shard((4, 100), seed=6)
+        out = _roundtrip(codec, shard)
+        k = 7  # ceil(100 / 16)
+        assert np.all(np.count_nonzero(out, axis=1) <= k)
+
+    def test_topk_stable_tie_break_prefers_low_indices(self):
+        codec = build_codec("topk", density=0.5)
+        out = _roundtrip(codec, np.ones((1, 4)))
+        assert np.array_equal(out, [[1.0, 1.0, 0.0, 0.0]])
+
+    def test_topk_error_feedback_telescopes(self):
+        # Round 1 ships the two largest entries; round 2 (zero gradient)
+        # ships the carried residual — the two rounds sum to the gradient.
+        codec = build_codec("topk", density=0.5)
+        gradient = np.array([[4.0, -3.0, 2.0, 1.0]])
+        first = _roundtrip(codec, gradient)
+        assert np.array_equal(first, [[4.0, -3.0, 0.0, 0.0]])
+        assert np.array_equal(codec.state_dict()[0], [0.0, 0.0, 2.0, 1.0])
+        second = _roundtrip(codec, np.zeros((1, 4)))
+        assert np.array_equal(second, [[0.0, 0.0, 2.0, 1.0]])
+        assert np.array_equal(first + second, gradient)
+        assert np.array_equal(codec.state_dict()[0], np.zeros(4))
+
+    def test_topk_state_dict_roundtrip_copies(self):
+        codec = build_codec("topk", density=0.5)
+        codec.encode(_shard((2, 8), seed=8), [3, 9])
+        state = codec.state_dict()
+        assert sorted(state) == [3, 9]
+        state[3][...] = 99.0  # mutating the copy must not touch the codec
+        assert not np.array_equal(codec.residuals[3], state[3])
+        other = build_codec("topk", density=0.5)
+        other.load_state_dict(state)
+        assert np.array_equal(other.residuals[3], state[3])
+        state[9][...] = -1.0
+        assert not np.array_equal(other.residuals[9], state[9])
+
+    def test_topk_discards_mismatched_residual(self):
+        # A residual from another model shape (or dtype) must not poison
+        # the stream: the codec restarts that client from zero.
+        codec = build_codec("topk", density=1.0)
+        codec.load_state_dict({0: np.ones(5)})
+        shard = _shard((1, 8), seed=10)
+        out = _roundtrip(codec, shard)
+        assert np.array_equal(out, shard)
+
+
+# ---------------------------------------------------------------------------
+# codec negotiation + wire compatibility
+# ---------------------------------------------------------------------------
+
+
+class TestCodecNegotiation:
+    def test_welcome_echoes_negotiated_codec(self):
+        with start_thread_fleet(1) as fleet:
+            header = hello_header(model_signature(make_model()), wire_codec="int8")
+            msg, reply, _ = _raw_hello(fleet.addresses[0], header)
+            assert msg == MSG_WELCOME
+            assert reply["wire_codec"] == "int8"
+
+    def test_unknown_codec_refused_with_supported_list(self):
+        with start_thread_fleet(1) as fleet:
+            header = hello_header(model_signature(make_model()), wire_codec="gzip")
+            msg, reply, _ = _raw_hello(fleet.addresses[0], header)
+            assert msg == MSG_ERROR
+            assert "unsupported wire codec 'gzip'" in reply["error"]
+            for name in ALL_CODECS:
+                assert name in reply["error"]
+
+    def test_restricted_worker_refuses_connection(self):
+        with start_thread_fleet(1, supported_codecs=("raw",)) as fleet:
+            conn = WorkerConnection(fleet.addresses[0], wire_codec="sign1bit")
+            with pytest.raises(HandshakeError, match="unsupported wire codec"):
+                conn.connect(make_model())
+            # The same worker still serves raw callers.
+            raw_conn = WorkerConnection(fleet.addresses[0])
+            raw_conn.connect(make_model())
+            raw_conn.close()
+
+    def test_collector_surfaces_codec_refusal(self):
+        with start_thread_fleet(1, supported_codecs=("raw",)) as fleet:
+            collector = DistributedCollector(
+                fleet.addresses, wire_codec="sign1bit", connect_timeout=2.0
+            )
+            clients = make_clients(2)
+            model = make_model()
+            out = np.empty((2, model.num_parameters()))
+            with pytest.raises(TransportError, match="last refusal") as excinfo:
+                collector.collect(clients, model, out)
+            collector.close()
+            assert "unsupported wire codec" in str(excinfo.value)
+
+
+class TestWireCompatibility:
+    def _begin_manual_round(self, conn, clients, model):
+        """Drive one round by hand up to the SHARD announcement."""
+        ids = list(range(len(clients)))
+        conn.connect(model)
+        conn.setup(model, ids, clients)
+        conn.begin_round(
+            encode_state_dict(model.state_dict()),
+            ids,
+            np.float64,
+            model.num_parameters(),
+        )
+        return conn._channel
+
+    def test_raw_wire_is_byte_identical_to_pre_codec_protocol(self):
+        # The compatibility contract of the default codec: the SHARD
+        # announcement carries exactly the pre-codec header fields (no
+        # "codec" key) and the gradient frame is the shard's bytes,
+        # verbatim — a pre-codec capture of this conversation would match
+        # byte for byte.
+        n = 3
+        model = make_model()
+        reference = np.empty((n, model.num_parameters()))
+        SequentialCollector().collect(make_clients(n), model, reference)
+        with start_thread_fleet(1) as fleet:
+            conn = WorkerConnection(fleet.addresses[0])
+            channel = self._begin_manual_round(conn, make_clients(n), model)
+            try:
+                header, _ = channel.expect(MSG_SHARD)
+                assert set(header) == {"rows", "nbytes"}
+                assert header["rows"] == n
+                assert header["nbytes"] == reference.nbytes
+                assert channel.recv_raw() == reference.tobytes()
+                channel.expect(MSG_TRAILER)
+            finally:
+                conn.drop()
+
+    def test_encoded_shard_announces_its_codec(self):
+        n = 3
+        model = make_model()
+        reference = np.empty((n, model.num_parameters()))
+        SequentialCollector().collect(make_clients(n), model, reference)
+        with start_thread_fleet(1) as fleet:
+            conn = WorkerConnection(fleet.addresses[0], wire_codec="sign1bit")
+            channel = self._begin_manual_round(conn, make_clients(n), model)
+            try:
+                header, _ = channel.expect(MSG_SHARD)
+                assert set(header) == {"rows", "nbytes", "codec"}
+                assert header["codec"] == "sign1bit"
+                payload = channel.recv_raw()
+                assert len(payload) == header["nbytes"]
+                assert len(payload) < reference.nbytes / 16
+                out = np.empty_like(reference)
+                build_codec("sign1bit").decode(payload, out)
+                expected = np.empty_like(reference)
+                build_codec("sign1bit").decode(
+                    build_codec("sign1bit").encode(reference), expected
+                )
+                assert np.array_equal(out, expected)
+                channel.expect(MSG_TRAILER)
+            finally:
+                conn.drop()
+
+
+# ---------------------------------------------------------------------------
+# codecs end to end
+# ---------------------------------------------------------------------------
+
+
+def _codec_bench_bytes(wire_codec):
+    """Steady-state received bytes for one collect round under a codec."""
+    with start_thread_fleet(2) as fleet:
+        clients = make_clients(8)
+        model = make_model()
+        out = np.empty((8, model.num_parameters()))
+        collector = DistributedCollector(fleet.addresses, wire_codec=wire_codec)
+        try:
+            collector.collect(clients, model, out)  # handshake + setup round
+            collector.collect(clients, model, out)  # steady state
+            _, received = collector.last_round_bytes
+        finally:
+            collector.close()
+    return received
+
+
+class TestCodecEndToEnd:
+    @pytest.fixture(scope="class")
+    def signguard_runs(self):
+        base = dict(
+            num_clients=10,
+            seed=7,
+            data=DataConfig(dataset="mnist_like", num_train=200, num_test=50),
+            attack=AttackConfig(name="sign_flip", byzantine_fraction=0.2),
+            defense=DefenseConfig(name="signguard"),
+        )
+        training = dict(model="mlp", rounds=3, batch_size=8)
+        sequential = run_experiment(
+            ExperimentConfig(
+                training=TrainingConfig(collect_backend="sequential", **training),
+                **base,
+            )
+        )
+        return base, training, sequential
+
+    def _run_with_codec(self, signguard_runs, wire_codec):
+        base, training, sequential = signguard_runs
+        with start_thread_fleet(2) as fleet:
+            distributed = run_experiment(
+                ExperimentConfig(
+                    training=TrainingConfig(
+                        collect_backend="distributed",
+                        workers=fleet.addresses,
+                        wire_codec=wire_codec,
+                        **training,
+                    ),
+                    **base,
+                )
+            )
+        return sequential, distributed
+
+    def test_raw_is_bit_identical_under_attack(self, signguard_runs):
+        sequential, distributed = self._run_with_codec(signguard_runs, "raw")
+        assert [r.train_loss for r in sequential.rounds] == [
+            r.train_loss for r in distributed.rounds
+        ]
+        assert [r.test_accuracy for r in sequential.rounds] == [
+            r.test_accuracy for r in distributed.rounds
+        ]
+
+    @pytest.mark.parametrize("wire_codec", LOSSY_CODECS)
+    def test_lossy_codecs_track_the_uncompressed_defense(
+        self, signguard_runs, wire_codec
+    ):
+        # Compression must not break SignGuard: the compressed run's final
+        # accuracy stays within a few points of the uncompressed run on
+        # the same attacked federation.
+        sequential, distributed = self._run_with_codec(signguard_runs, wire_codec)
+        assert all(np.isfinite(r.train_loss) for r in distributed.rounds)
+        delta = abs(
+            sequential.rounds[-1].test_accuracy
+            - distributed.rounds[-1].test_accuracy
+        )
+        assert delta <= 0.15
+
+    def test_bytes_on_wire_shrink_as_promised(self):
+        raw = _codec_bench_bytes("raw")
+        sign1bit = _codec_bench_bytes("sign1bit")
+        int8 = _codec_bench_bytes("int8")
+        # The ISSUE's acceptance floors: >= 16x for sign1bit and >= 4x for
+        # int8 on the shard traffic; the fixed per-round overhead (message
+        # envelopes, pickled trailers with RNG states) is shared by every
+        # codec, so allow it on top of the ratio.
+        overhead = 8 * 1024
+        assert sign1bit <= raw / 16 + overhead
+        assert int8 <= raw / 4 + overhead
+        assert sign1bit < int8 < raw
+
+
+class TestTopkCheckpointResume:
+    def test_codec_states_survive_the_checkpoint_file(self, tmp_path):
+        from repro.fl.checkpoint import load_checkpoint, save_checkpoint
+
+        with start_thread_fleet(2) as fleet:
+            simulation = build_simulation(
+                DistributedCollector(fleet.addresses, wire_codec="topk")
+            )
+            try:
+                simulation.run(2)
+                checkpoint = simulation.capture_checkpoint()
+            finally:
+                simulation.close()
+        assert sorted(checkpoint.codec_states) == list(range(8))
+        path = tmp_path / "topk.ckpt"
+        save_checkpoint(checkpoint, path)
+        loaded = load_checkpoint(path)
+        assert sorted(loaded.codec_states) == sorted(checkpoint.codec_states)
+        for client_id, residual in checkpoint.codec_states.items():
+            assert np.array_equal(loaded.codec_states[client_id], residual)
+
+    def test_topk_resume_onto_a_new_fleet_is_bit_identical(self):
+        # The stateful-codec acceptance story: the error-feedback residuals
+        # ride the checkpoint, so a topk run restored onto a brand-new
+        # fleet continues bit-identically to the run that never stopped.
+        with start_thread_fleet(2) as fleet:
+            simulation = build_simulation(
+                DistributedCollector(fleet.addresses, wire_codec="topk")
+            )
+            try:
+                simulation.run(2)
+                checkpoint = simulation.capture_checkpoint()
+                simulation.run(4, start_round=2)
+                reference = simulation.recorder.to_dict()
+                reference_state = simulation.model.state_dict()
+            finally:
+                simulation.close()
+        assert sorted(checkpoint.codec_states) == list(range(8))
+
+        with start_thread_fleet(2) as fleet:
+            replacement = build_simulation(
+                DistributedCollector(fleet.addresses, wire_codec="topk")
+            )
+            try:
+                assert replacement.restore_checkpoint(checkpoint) == 2
+                replacement.run(4, start_round=2)
+                resumed = replacement.recorder.to_dict()
+                resumed_state = replacement.model.state_dict()
+            finally:
+                replacement.close()
+        assert resumed == reference
+        for name in reference_state:
+            assert np.array_equal(resumed_state[name], reference_state[name])

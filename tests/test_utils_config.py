@@ -66,6 +66,40 @@ class TestTrainingConfig:
         with pytest.raises(ValueError, match=field):
             TrainingConfig(**{field: value}).validate()
 
+    def test_default_wire_codec_is_raw(self):
+        assert TrainingConfig().wire_codec == "raw"
+
+    @pytest.mark.parametrize(
+        "wire_codec", ["raw", "sign1bit", "int8", "fp16", "topk"]
+    )
+    def test_registered_wire_codecs_valid_on_distributed(self, wire_codec):
+        TrainingConfig(
+            collect_backend="distributed",
+            workers=["127.0.0.1:9000"],
+            wire_codec=wire_codec,
+        ).validate()
+
+    def test_unknown_wire_codec_rejected(self):
+        with pytest.raises(ValueError, match="wire_codec must be one of"):
+            TrainingConfig(
+                collect_backend="distributed",
+                workers=["127.0.0.1:9000"],
+                wire_codec="gzip",
+            ).validate()
+
+    @pytest.mark.parametrize("backend", ["sequential", "thread", "process"])
+    def test_non_raw_codec_requires_the_distributed_backend(self, backend):
+        # The in-process backends have no wire; a compressed codec there
+        # is a configuration mistake, not a silent no-op.
+        with pytest.raises(ValueError, match="only meaningful"):
+            TrainingConfig(
+                collect_backend=backend, wire_codec="sign1bit"
+            ).validate()
+
+    @pytest.mark.parametrize("backend", ["sequential", "thread", "process"])
+    def test_raw_codec_valid_everywhere(self, backend):
+        TrainingConfig(collect_backend=backend, wire_codec="raw").validate()
+
 
 class TestAttackConfig:
     def test_rejects_byzantine_majority(self):
