@@ -11,6 +11,19 @@ from repro.utils.batch import GradientBatch
 from repro.utils.rng import RngLike, as_rng
 
 
+def _default_server_rng() -> np.random.Generator:
+    """Deterministic generator for contexts built without an explicit seed.
+
+    ``ServerContext()`` used to default to an *unseeded* ``default_rng()``,
+    which made any aggregator that draws randomness (SignGuard's random
+    coordinate selection) non-reproducible unless every call site
+    remembered to pass a seed.  A fixed seed keeps the zero-config path
+    deterministic; experiments that want varied draws pass their own
+    generator via :meth:`ServerContext.make`.
+    """
+    return np.random.default_rng(0)
+
+
 @dataclass
 class ServerContext:
     """Per-round information available to the (defending) server.
@@ -34,7 +47,7 @@ class ServerContext:
     """
 
     round_index: int = 0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=_default_server_rng)
     previous_gradient: Optional[np.ndarray] = None
     reference_gradient: Optional[np.ndarray] = None
     num_byzantine_hint: Optional[int] = None

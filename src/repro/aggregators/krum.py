@@ -34,7 +34,7 @@ def krum_scores_from_sq_distances(
     return part[:, 1:].sum(axis=1)
 
 
-def _krum_scores(
+def krum_scores(
     gradients: np.ndarray,
     num_byzantine: int,
     *,
@@ -78,7 +78,7 @@ class KrumAggregator(Aggregator):
         self, gradients: np.ndarray, context: ServerContext
     ) -> AggregationResult:
         f = self._resolve_f(gradients, context)
-        scores = _krum_scores(gradients, f, batch=resolve_batch(gradients, context))
+        scores = krum_scores(gradients, f, batch=resolve_batch(gradients, context))
         winner = int(np.argmin(scores))
         return AggregationResult(
             gradient=gradients[winner].copy(),
@@ -111,7 +111,7 @@ class MultiKrumAggregator(KrumAggregator):
     ) -> AggregationResult:
         n = len(gradients)
         f = self._resolve_f(gradients, context)
-        scores = _krum_scores(gradients, f, batch=resolve_batch(gradients, context))
+        scores = krum_scores(gradients, f, batch=resolve_batch(gradients, context))
         num_selected = (
             self.num_selected if self.num_selected is not None else max(n - f, 1)
         )

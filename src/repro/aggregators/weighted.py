@@ -81,7 +81,7 @@ class WeightedMeanAggregator(Aggregator):
             weights = None
         if weights is None:
             aggregate = gradients.mean(axis=0)
-            used = np.full(len(gradients), 1.0 / len(gradients))
+            used = np.full(len(gradients), 1.0 / len(gradients), dtype=np.float64)
         else:
             # The weighted combination runs in the gradient dtype so the
             # float32 round path stays float32 end to end.

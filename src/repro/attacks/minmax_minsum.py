@@ -25,7 +25,7 @@ import numpy as np
 from repro.attacks.base import Attack, AttackContext
 
 
-def _max_pairwise_sq_distance(gradients: np.ndarray) -> float:
+def max_pairwise_sq_distance(gradients: np.ndarray) -> float:
     """Maximum squared distance between any two rows."""
     sq_norms = np.sum(gradients**2, axis=1)
     squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
@@ -33,7 +33,7 @@ def _max_pairwise_sq_distance(gradients: np.ndarray) -> float:
     return float(squared.max())
 
 
-def _max_sum_sq_distance(gradients: np.ndarray) -> float:
+def max_sum_sq_distance(gradients: np.ndarray) -> float:
     """Maximum over rows of the sum of squared distances to all other rows."""
     sq_norms = np.sum(gradients**2, axis=1)
     squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
@@ -131,7 +131,7 @@ class MinMaxAttack(_OptimizedPerturbationAttack):
     name = "min_max"
 
     def _constraint_satisfied(self, candidate: np.ndarray, benign: np.ndarray) -> bool:
-        max_benign_sq = _max_pairwise_sq_distance(benign)
+        max_benign_sq = max_pairwise_sq_distance(benign)
         distances_sq = np.sum((benign - candidate) ** 2, axis=1)
         return float(distances_sq.max()) <= max_benign_sq
 
@@ -142,6 +142,6 @@ class MinSumAttack(_OptimizedPerturbationAttack):
     name = "min_sum"
 
     def _constraint_satisfied(self, candidate: np.ndarray, benign: np.ndarray) -> bool:
-        max_benign_sum = _max_sum_sq_distance(benign)
+        max_benign_sum = max_sum_sq_distance(benign)
         distances_sq = np.sum((benign - candidate) ** 2, axis=1)
         return float(distances_sq.sum()) <= max_benign_sum

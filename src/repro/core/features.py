@@ -163,7 +163,7 @@ def euclidean_distance_feature(
     if reference is not None:
         distances = np.linalg.norm(batch.matrix - reference, axis=1)
     elif batch.n_clients == 1:
-        return np.zeros(1)
+        return np.zeros(1, dtype=np.float64)
     else:
         pairwise = np.array(batch.distances(), dtype=np.float64)
         np.fill_diagonal(pairwise, np.nan)

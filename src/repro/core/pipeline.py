@@ -129,7 +129,10 @@ class SignGuardPipeline:
             decision.info["clip_bound"] = bound
         else:
             scales = np.ones(len(selected))
-        weights = np.zeros(batch.n_clients)
+        # Weights accumulate in float64 and convert once below: the scales
+        # come from float64 norm statistics, so this keeps the fused product
+        # bit-identical to the previous clip-then-mean formulation.
+        weights = np.zeros(batch.n_clients, dtype=np.float64)
         weights[selected] = scales / len(selected)
         aggregated = weights.astype(batch.dtype, copy=False) @ batch.matrix
         return {

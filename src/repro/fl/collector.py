@@ -909,6 +909,9 @@ class ProcessCollector(GradientCollector):
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
         try:
             self._teardown()
+        # repro-lint: disable=exception-hygiene -- raising in __del__ during
+        # interpreter shutdown only prints an unraisable-error warning; the
+        # shared-memory block is reclaimed by the OS either way.
         except Exception:
             pass
 

@@ -139,7 +139,7 @@ class FaultSchedule:
     (:meth:`fires` / :meth:`any_fires`) and act.
     """
 
-    def __init__(self, specs: Iterable[FaultSpec] = ()):
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
         ordered = sorted(
             specs, key=lambda s: (s.worker, s.round, FAULT_KINDS.index(s.kind))
         )

@@ -55,8 +55,10 @@ def selection_confusion(
     Returns a dict with the number of benign and Byzantine clients selected
     and their totals.
     """
-    selected = set(int(i) for i in np.asarray(selected_indices).ravel())
-    byzantine = set(int(i) for i in np.asarray(byzantine_indices).ravel())
+    selected_rows = np.asarray(selected_indices, dtype=np.int64).ravel()
+    byzantine_rows = np.asarray(byzantine_indices, dtype=np.int64).ravel()
+    selected = set(int(i) for i in selected_rows)
+    byzantine = set(int(i) for i in byzantine_rows)
     benign = set(range(num_clients)) - byzantine
     return {
         "benign_selected": len(selected & benign),

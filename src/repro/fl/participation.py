@@ -186,7 +186,9 @@ class RoundPlan:
         if total > 0:
             weights = weights / total
         else:
-            weights = np.full(int(keep.sum()), 1.0 / int(keep.sum()))
+            weights = np.full(
+                int(keep.sum()), 1.0 / int(keep.sum()), dtype=np.float64
+            )
         return RoundPlan(
             round_index=self.round_index,
             population_size=self.population_size,
@@ -284,7 +286,7 @@ class _RandomizedSchedule(ParticipationSchedule):
         check_integer_in_range(population_size, "population_size", minimum=1)
         cohort = self._sample_cohort(round_index, population_size)
         active, dropped, stragglers = self._apply_failures(cohort)
-        weights = np.full(len(active), 1.0 / len(active))
+        weights = np.full(len(active), 1.0 / len(active), dtype=np.float64)
         return RoundPlan(
             round_index=round_index,
             population_size=population_size,

@@ -117,6 +117,7 @@ class FederatedServer:
         # Keep the round buffer's dtype: copying to float64 here would
         # silently double the float32 path's memory traffic for the
         # history-aware features that consume the previous aggregate.
+        # repro-lint: disable=dtype-discipline -- deliberately dtype-preserving
         previous = np.asarray(result.gradient)
         if previous.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             previous = previous.astype(np.float64)

@@ -76,10 +76,16 @@ import struct
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.nn.module import Module
 from repro.utils.registry import Registry
 from repro.utils.serialization import arrays_to_blob, blob_to_arrays
+
+#: Array type used across the transport signatures.  The element dtype is
+#: whatever the caller's round buffer carries (float32 or float64), so the
+#: alias is deliberately dtype-generic.
+Array = npt.NDArray[Any]
 
 # -- message type tags -------------------------------------------------------
 
@@ -121,7 +127,7 @@ class CodecError(ValueError):
 
 
 def pack_message(
-    msg_type: int, header: Dict[str, Any] = None, body: bytes = b""
+    msg_type: int, header: Optional[Dict[str, Any]] = None, body: bytes = b""
 ) -> bytes:
     """Assemble one message payload (ready to be sent as a frame)."""
     header_bytes = json.dumps(header or {}).encode("utf-8")
@@ -148,12 +154,12 @@ def unpack_message(payload: bytes) -> Tuple[int, Dict[str, Any], bytes]:
 # -- state-dict broadcast ----------------------------------------------------
 
 
-def encode_state_dict(state: Dict[str, np.ndarray]) -> bytes:
+def encode_state_dict(state: Dict[str, Array]) -> bytes:
     """Binary-encode a ``Module.state_dict()`` for broadcast (no pickle)."""
     return arrays_to_blob(state)
 
 
-def decode_state_dict(blob: bytes) -> Dict[str, np.ndarray]:
+def decode_state_dict(blob: bytes) -> Dict[str, Array]:
     """Decode a broadcast back into a ``{name: array}`` state dict.
 
     The arrays are read-only views into ``blob``;
@@ -203,15 +209,21 @@ def build_codec(name: str, **kwargs: Any) -> "GradientCodec":
     validation surfaces it uniformly with the other registry checks.
     """
     try:
-        return GRADIENT_CODECS.create(name, **kwargs)
+        codec = GRADIENT_CODECS.create(name, **kwargs)
     except KeyError:
         raise ValueError(
             f"unknown wire codec {name!r}; registered: "
             f"{', '.join(wire_codec_names())}"
         ) from None
+    if not isinstance(codec, GradientCodec):
+        raise TypeError(
+            f"wire codec {name!r} built a {type(codec).__name__}, "
+            "not a GradientCodec"
+        )
+    return codec
 
 
-def _as_shard(shard: np.ndarray) -> np.ndarray:
+def _as_shard(shard: Array) -> Array:
     """Validate and normalize an encoder input to a C-contiguous 2-D array.
 
     Non-C-contiguous (e.g. transposed or strided views) and read-only
@@ -219,6 +231,8 @@ def _as_shard(shard: np.ndarray) -> np.ndarray:
     that is not a 2-D float array is a caller bug and raises
     :class:`CodecError` rather than serializing garbage.
     """
+    # repro-lint: disable=dtype-discipline -- deliberately dtype-preserving:
+    # the shard keeps the caller's float32/float64 dtype end to end.
     array = np.asarray(shard)
     if array.ndim != 2:
         raise CodecError(
@@ -231,7 +245,7 @@ def _as_shard(shard: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(array)
 
 
-def _require_finite(shard: np.ndarray, codec: str) -> None:
+def _require_finite(shard: Array, codec: str) -> None:
     """Lossy codecs refuse NaN/inf instead of silently corrupting them."""
     if shard.size and not np.all(np.isfinite(shard)):
         raise CodecError(
@@ -241,7 +255,9 @@ def _require_finite(shard: np.ndarray, codec: str) -> None:
         )
 
 
-def _check_out(out: np.ndarray, rows: int, dim: int, codec: str) -> np.ndarray:
+def _check_out(out: Array, rows: int, dim: int, codec: str) -> Array:
+    # repro-lint: disable=dtype-discipline -- view of the caller's round
+    # buffer; decoding must write in whatever dtype that buffer carries.
     out = np.asarray(out)
     if out.ndim != 2 or out.shape != (rows, dim):
         raise CodecError(
@@ -274,22 +290,22 @@ class GradientCodec:
     stateful: bool = False
 
     def encode(
-        self, shard: np.ndarray, client_ids: Optional[Sequence[int]] = None
+        self, shard: Array, client_ids: Optional[Sequence[int]] = None
     ) -> bytes:
         """Encode a ``(rows, dim)`` shard; row *r* belongs to
         ``client_ids[r]`` (stateful codecs require the ids)."""
         raise NotImplementedError
 
-    def decode(self, payload: bytes, out: np.ndarray) -> None:
+    def decode(self, payload: bytes, out: Array) -> None:
         """Decode ``payload`` into the preallocated ``(rows, dim)`` buffer
         ``out``; raises :class:`CodecError` on any shape/size mismatch."""
         raise NotImplementedError
 
-    def state_dict(self) -> Dict[int, np.ndarray]:
+    def state_dict(self) -> Dict[int, Array]:
         """Per-client codec state (``{}`` for stateless codecs)."""
         return {}
 
-    def load_state_dict(self, states: Dict[int, np.ndarray]) -> None:
+    def load_state_dict(self, states: Dict[int, Array]) -> None:
         """Replace the codec's per-client state (no-op when stateless)."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -309,10 +325,14 @@ class RawCodec(GradientCodec):
     name = "raw"
     lossless = True
 
-    def encode(self, shard, client_ids=None) -> bytes:
+    def encode(
+        self, shard: Array, client_ids: Optional[Sequence[int]] = None
+    ) -> bytes:
         return _as_shard(shard).tobytes()
 
-    def decode(self, payload: bytes, out: np.ndarray) -> None:
+    def decode(self, payload: bytes, out: Array) -> None:
+        # repro-lint: disable=dtype-discipline -- dtype-preserving view;
+        # the raw codec ships whatever dtype the round buffer negotiated.
         out = np.asarray(out)
         rows, dim = out.shape
         expected = rows * dim * out.dtype.itemsize
@@ -338,21 +358,23 @@ class Sign1BitCodec(GradientCodec):
 
     name = "sign1bit"
 
-    def encode(self, shard, client_ids=None) -> bytes:
+    def encode(
+        self, shard: Array, client_ids: Optional[Sequence[int]] = None
+    ) -> bytes:
         shard = _as_shard(shard)
         _require_finite(shard, self.name)
         rows, dim = shard.shape
         scales = (
             np.mean(np.abs(shard), axis=1, dtype=np.float64)
             if dim
-            else np.zeros(rows)
+            else np.zeros(rows, dtype=np.float64)
         ).astype(np.float32)
         bits = np.packbits(shard >= 0.0)
         return b"".join(
             [_SIGN1BIT_HEADER.pack(rows, dim), scales.tobytes(), bits.tobytes()]
         )
 
-    def decode(self, payload: bytes, out: np.ndarray) -> None:
+    def decode(self, payload: bytes, out: Array) -> None:
         if len(payload) < _SIGN1BIT_HEADER.size:
             raise CodecError("sign1bit payload shorter than its header")
         rows, dim = _SIGN1BIT_HEADER.unpack_from(payload)
@@ -383,12 +405,16 @@ class Int8Codec(GradientCodec):
 
     name = "int8"
 
-    def encode(self, shard, client_ids=None) -> bytes:
+    def encode(
+        self, shard: Array, client_ids: Optional[Sequence[int]] = None
+    ) -> bytes:
         shard = _as_shard(shard)
         _require_finite(shard, self.name)
         rows, dim = shard.shape
         peaks = (
-            np.max(np.abs(shard), axis=1) if dim else np.zeros(rows)
+            np.max(np.abs(shard), axis=1)
+            if dim
+            else np.zeros(rows, dtype=np.float64)
         )
         scales = (peaks / 127.0).astype(np.float32)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -402,7 +428,7 @@ class Int8Codec(GradientCodec):
             [_INT8_HEADER.pack(rows, dim), scales.tobytes(), quantized.tobytes()]
         )
 
-    def decode(self, payload: bytes, out: np.ndarray) -> None:
+    def decode(self, payload: bytes, out: Array) -> None:
         if len(payload) < _INT8_HEADER.size:
             raise CodecError("int8 payload shorter than its header")
         rows, dim = _INT8_HEADER.unpack_from(payload)
@@ -436,7 +462,9 @@ class Fp16Codec(GradientCodec):
 
     name = "fp16"
 
-    def encode(self, shard, client_ids=None) -> bytes:
+    def encode(
+        self, shard: Array, client_ids: Optional[Sequence[int]] = None
+    ) -> bytes:
         shard = _as_shard(shard)
         _require_finite(shard, self.name)
         rows, dim = shard.shape
@@ -450,7 +478,7 @@ class Fp16Codec(GradientCodec):
             )
         return _FP16_HEADER.pack(rows, dim) + half.tobytes()
 
-    def decode(self, payload: bytes, out: np.ndarray) -> None:
+    def decode(self, payload: bytes, out: Array) -> None:
         if len(payload) < _FP16_HEADER.size:
             raise CodecError("fp16 payload shorter than its header")
         rows, dim = _FP16_HEADER.unpack_from(payload)
@@ -493,16 +521,18 @@ class TopKCodec(GradientCodec):
     name = "topk"
     stateful = True
 
-    def __init__(self, density: float = 1.0 / 16.0):
+    def __init__(self, density: float = 1.0 / 16.0) -> None:
         if not 0.0 < density <= 1.0:
             raise ValueError(f"topk density must be in (0, 1], got {density}")
         self.density = float(density)
-        self.residuals: Dict[int, np.ndarray] = {}
+        self.residuals: Dict[int, Array] = {}
 
     def _k(self, dim: int) -> int:
         return min(dim, max(1, math.ceil(self.density * dim))) if dim else 0
 
-    def encode(self, shard, client_ids=None) -> bytes:
+    def encode(
+        self, shard: Array, client_ids: Optional[Sequence[int]] = None
+    ) -> bytes:
         shard = _as_shard(shard)
         _require_finite(shard, self.name)
         rows, dim = shard.shape
@@ -539,7 +569,7 @@ class TopKCodec(GradientCodec):
             pieces.append(values.tobytes())
         return b"".join(pieces)
 
-    def decode(self, payload: bytes, out: np.ndarray) -> None:
+    def decode(self, payload: bytes, out: Array) -> None:
         if len(payload) < _TOPK_HEADER.size:
             raise CodecError("topk payload shorter than its header")
         rows, dim, k, itemsize = _TOPK_HEADER.unpack_from(payload)
@@ -569,13 +599,13 @@ class TopKCodec(GradientCodec):
             out[row, indices] = values
             offset += row_bytes
 
-    def state_dict(self) -> Dict[int, np.ndarray]:
+    def state_dict(self) -> Dict[int, Array]:
         return {
             client_id: residual.copy()
             for client_id, residual in self.residuals.items()
         }
 
-    def load_state_dict(self, states: Dict[int, np.ndarray]) -> None:
+    def load_state_dict(self, states: Dict[int, Array]) -> None:
         self.residuals = {
             int(client_id): np.array(residual, copy=True)
             for client_id, residual in (states or {}).items()

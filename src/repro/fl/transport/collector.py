@@ -492,6 +492,8 @@ class DistributedCollector(GradientCollector):
     def load_codec_states(self, states: Dict[int, np.ndarray]) -> None:
         """Adopt checkpointed codec state; shipped at the next (re-)setup."""
         self._codec_states = {
+            # repro-lint: disable=dtype-discipline -- checkpointed residuals
+            # keep the dtype they were saved with (the codec negotiated it).
             int(client_id): np.asarray(residual).copy()
             for client_id, residual in states.items()
         }

@@ -22,11 +22,11 @@ import selectors
 import subprocess
 import sys
 import tempfile
-import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.fl.faults import FaultSchedule
+from repro.perf.timers import monotonic
 from repro.fl.transport.worker import WorkerServer
 
 
@@ -126,6 +126,7 @@ def spawn_worker_process(
     extra_args: Sequence[str] = (),
     startup_timeout: float = 30.0,
     worker_index: Optional[int] = None,
+    allow_pickle_setup: bool = True,
 ) -> WorkerProcess:
     """Spawn one ``repro-worker`` subprocess and scrape its address.
 
@@ -134,6 +135,10 @@ def spawn_worker_process(
     worker (``worker_index``, when given), its exit code, and the tail of
     its captured stderr — the actual traceback, not just "failed to
     start".
+
+    ``allow_pickle_setup`` defaults to True (passing ``--allow-pickle-setup``
+    to the subprocess): this helper spawns loopback workers for the caller
+    itself, the trusted-operator case the CLI flag exists for.
     """
     label = "repro-worker" if worker_index is None else f"repro-worker {worker_index}"
     stderr_file = tempfile.TemporaryFile(mode="w+", prefix="repro-worker-stderr-")
@@ -146,6 +151,7 @@ def spawn_worker_process(
             host,
             "--port",
             str(port),
+            *(["--allow-pickle-setup"] if allow_pickle_setup else []),
             *extra_args,
         ],
         stdout=subprocess.PIPE,
@@ -183,11 +189,11 @@ def _read_line_with_timeout(process: subprocess.Popen, timeout: float):
     worker that dies during startup is noticed immediately (EOF makes the
     pipe readable), not at the deadline.
     """
-    deadline = time.monotonic() + timeout
+    deadline = monotonic() + timeout
     selector = selectors.DefaultSelector()
     selector.register(process.stdout, selectors.EVENT_READ)
     try:
-        while time.monotonic() < deadline:
+        while monotonic() < deadline:
             if selector.select(timeout=0.1):
                 return process.stdout.readline() or None
             if process.poll() is not None:  # died without writing anything

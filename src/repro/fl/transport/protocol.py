@@ -86,14 +86,17 @@ class Channel:
         sock: socket.socket,
         *,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-    ):
+    ) -> None:
         self.sock = sock
         self.max_frame_bytes = int(max_frame_bytes)
         self.bytes_sent = 0
         self.bytes_received = 0
 
     def send(
-        self, msg_type: int, header: Dict[str, Any] = None, body: bytes = b""
+        self,
+        msg_type: int,
+        header: Optional[Dict[str, Any]] = None,
+        body: bytes = b"",
     ) -> None:
         self.bytes_sent += send_frame(self.sock, pack_message(msg_type, header, body))
 
@@ -119,7 +122,7 @@ class Channel:
             f"{MESSAGE_NAMES.get(received, received)}"
         )
 
-    def send_raw(self, data) -> None:
+    def send_raw(self, data: "bytes | bytearray | memoryview") -> None:
         """Send one raw (non-enveloped) frame — the gradient-shard path."""
         self.bytes_sent += send_frame(self.sock, bytes(data))
 

@@ -31,10 +31,17 @@ With ``--port 0`` the OS picks a free port; the worker always prints a
 can scrape the address.
 
 Security note: after the handshake, ``SETUP`` bodies are unpickled — the
-same trust model as Python's own ``multiprocessing``.  Run workers only
-for callers you trust (the handshake's magic/version/signature checks
-guard against accidents, not adversaries); the state-dict broadcasts and
-gradient shards themselves are pickle-free.
+same trust model as Python's own ``multiprocessing``.  The unpickle path
+is therefore **gated**: the ``repro-worker`` CLI refuses ``SETUP`` unless
+started with ``--allow-pickle-setup``, because a CLI worker may be bound
+to a non-loopback interface where any peer that can complete the
+handshake could submit a pickle.  The in-process and local-subprocess
+fleet helpers (:func:`~repro.fl.transport.fleet.start_thread_fleet`,
+:func:`~repro.fl.transport.fleet.spawn_local_fleet`) enable the gate —
+they only ever talk to themselves over loopback.  The handshake's
+magic/version/signature checks guard against accidents, not adversaries;
+the state-dict broadcasts and gradient shards themselves are
+pickle-free.
 
 Fault injection: ``--fault KIND@ROUND[:SECONDS]`` (repeatable) attaches a
 :class:`~repro.fl.faults.FaultSchedule` to the worker — the one
@@ -116,6 +123,13 @@ class WorkerServer:
             (``None`` = every registered codec).  A caller announcing a
             codec outside the set is refused during the handshake with an
             error naming both sides' expectations.
+        allow_pickle_setup: whether ``SETUP``/merge bodies (which are
+            pickled) are accepted.  Defaults to True for programmatic use
+            — in-process and local fleets only talk to themselves — but
+            the ``repro-worker`` CLI defaults it to **False** so a worker
+            reachable from elsewhere never unpickles an unexpected
+            caller's payload unless the operator passed
+            ``--allow-pickle-setup``.
     """
 
     def __init__(
@@ -127,8 +141,10 @@ class WorkerServer:
         fault_schedule: Optional[FaultSchedule] = None,
         hard_crash: bool = False,
         supported_codecs: Optional[Tuple[str, ...]] = None,
+        allow_pickle_setup: bool = True,
     ):
         self.max_frame_bytes = int(max_frame_bytes)
+        self.allow_pickle_setup = bool(allow_pickle_setup)
         self.supported_codecs = (
             tuple(supported_codecs)
             if supported_codecs is not None
@@ -245,6 +261,10 @@ class WorkerServer:
                 "has_shard": self.has_shard,
                 "num_clients": len(self._clients),
                 "wire_codec": wire_codec,
+                # Additive field (no version bump per the codec-module bump
+                # rules): old callers ignore it, new callers can fail fast
+                # instead of shipping a SETUP the worker will refuse.
+                "accepts_pickle_setup": self.allow_pickle_setup,
             },
         )
         while True:
@@ -294,9 +314,20 @@ class WorkerServer:
             codec = self._codecs[name] = build_codec(name)
         return codec
 
+    def _refuse_pickle_setup(self, channel: Channel) -> None:
+        self._refuse(
+            channel,
+            "this worker refuses pickled SETUP payloads (started without "
+            "--allow-pickle-setup); restart it with the flag if you trust "
+            "every caller that can reach it",
+        )
+
     def _handle_setup(
         self, channel: Channel, claimed_signature: str, wire_codec: str, body: bytes
     ) -> bool:
+        if not self.allow_pickle_setup:
+            self._refuse_pickle_setup(channel)
+            return False
         try:
             model, client_ids, clients, rng_states, codec_states = pickle.loads(body)
         except Exception as exc:
@@ -329,6 +360,9 @@ class WorkerServer:
 
     def _handle_merge(self, channel: Channel, wire_codec: str, body: bytes) -> bool:
         """Merge re-dispatched clients into the held shard (no model ships)."""
+        if not self.allow_pickle_setup:
+            self._refuse_pickle_setup(channel)
+            return False
         if self._model is None:
             self._refuse(channel, "merge SETUP requires an existing shard")
             return False
@@ -459,7 +493,7 @@ class WorkerServer:
         )
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-worker",
         description=(
@@ -476,6 +510,15 @@ def main(argv=None) -> int:
         type=float,
         default=DEFAULT_MAX_FRAME_BYTES / 2**20,
         help="per-frame receive ceiling in MiB",
+    )
+    parser.add_argument(
+        "--allow-pickle-setup",
+        action="store_true",
+        help=(
+            "accept pickled SETUP payloads (required to serve a fleet; "
+            "off by default because unpickling executes caller-chosen "
+            "code — enable only where every reachable caller is trusted)"
+        ),
     )
     parser.add_argument(
         "--fault",
@@ -495,6 +538,7 @@ def main(argv=None) -> int:
         max_frame_bytes=int(args.max_frame_mb * 2**20),
         fault_schedule=FaultSchedule.from_args(args.fault),
         hard_crash=True,
+        allow_pickle_setup=bool(args.allow_pickle_setup),
     )
     print(f"repro-worker listening on {server.address}", flush=True)
     try:

@@ -1,0 +1,60 @@
+"""Project-specific static analysis (``repro-lint``).
+
+Every guarantee this repo makes — bit-identical results across all four
+collect backends, a pickle-free wire, a dtype-preserving float32 round
+path, deterministic fault injection — is an *invariant of the source*,
+not just a property the test suite happens to witness.  This subsystem
+checks those invariants statically, at CI time, on every line of the
+package: a small AST-based lint framework (:mod:`repro.tooling.engine`)
+plus the project rules ruff cannot express
+(:mod:`repro.tooling.rules`).
+
+Run it from the console script installed with the package::
+
+    repro-lint                  # lint src/repro + examples/benchmarks/tests
+    repro-lint --list-rules     # what is checked, and why
+
+or programmatically through :func:`run_lint` with a :class:`LintConfig`
+(the tests point the same engine at fixture trees with known
+violations).
+
+Findings are reported as ``file:line: rule: message``.  A finding can be
+silenced two ways, both test-covered:
+
+* inline, on the offending line::
+
+      risky_call()  # repro-lint: disable=rule-name -- why it is fine
+
+* or grandfathered in the checked-in baseline file
+  (``lint-baseline.json``), each entry carrying a one-line
+  justification.  ``repro-lint --update-baseline`` rewrites it; stale
+  entries (fixed findings still listed) are reported so the baseline
+  only ever shrinks deliberately.
+"""
+
+from __future__ import annotations
+
+from repro.tooling.engine import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    LintConfig,
+    LintResult,
+    Rule,
+    SourceFile,
+    run_lint,
+)
+from repro.tooling.rules import all_rules, default_rules
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "default_rules",
+    "run_lint",
+]

@@ -1,0 +1,188 @@
+"""Shared AST plumbing for the lint rules.
+
+The rules reason about *fully qualified* call targets ("is this call
+``numpy.random.default_rng``?") regardless of how the module spelled the
+import (``import numpy as np``, ``from numpy import random``, ``from
+numpy.random import default_rng as rng``...).  :func:`build_import_map`
+records what every imported alias stands for and :func:`qualified_name`
+resolves a ``Name``/``Attribute`` chain against that map.  Names that
+resolve to nothing in the map are local variables — the resolver returns
+``None`` for them rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+#: Matches one inline suppression comment.  The optional ``-- reason``
+#: tail is for the human reader; the linter ignores it.
+_SUPPRESSION = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\- ]+)"
+)
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``parent`` attribute (None for the root)."""
+    tree.parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def build_import_map(tree: ast.AST) -> Dict[str, str]:
+    """Map each imported local alias to the fully qualified name it binds.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from numpy
+    import random`` yields ``{"random": "numpy.random"}``; ``from time
+    import perf_counter as pc`` yields ``{"pc": "time.perf_counter"}``.
+    Relative imports (``from . import x``) are module-internal and are
+    deliberately not mapped.
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds only the top-level name ``a``.
+                    top = alias.name.split(".", 1)[0]
+                    mapping[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def qualified_name(
+    node: ast.AST, import_map: Dict[str, str]
+) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to its qualified dotted name.
+
+    Returns ``None`` when the chain's base is not an imported alias (a
+    local variable, a call result, a subscript...), so rules never
+    mistake ``self.time()`` for ``time.time()``.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = import_map.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def call_of(node: ast.AST) -> Optional[ast.Call]:
+    """The ``Call`` this node is the callee of, if any (needs parents)."""
+    parent = getattr(node, "parent", None)
+    if isinstance(parent, ast.Call) and parent.func is node:
+        return parent
+    return None
+
+
+def parse_suppressions(text: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract inline suppression comments from a module's source.
+
+    Returns ``(per_line, whole_file)``: per-line rule names keyed by
+    1-based line number (``# repro-lint: disable=rule1,rule2``) and the
+    file-wide set (``# repro-lint: disable-file=rule``).  The special
+    rule name ``all`` suppresses every rule.
+
+    A suppression written on a comment-only line applies to the next
+    code line (so a justification can precede the code it silences);
+    consecutive comment lines chain, and a blank line breaks the chain.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    pending: Set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        match = _SUPPRESSION.search(line)
+        rules: Set[str] = set()
+        if match:
+            # Everything after ``--`` is the human-readable justification.
+            names = match.group(2).split("--", 1)[0]
+            rules = {
+                rule.strip() for rule in names.split(",") if rule.strip()
+            }
+            if match.group(1) == "disable-file":
+                whole_file |= rules
+                rules = set()
+        if not stripped:
+            pending = set()
+            continue
+        if stripped.startswith("#"):
+            pending |= rules
+            continue
+        if rules or pending:
+            per_line.setdefault(lineno, set()).update(rules | pending)
+        pending = set()
+    return per_line, whole_file
+
+
+def iter_statement_names(body: list) -> Iterator[str]:
+    """Names bound by a module body's top-level statements.
+
+    Used by the export-consistency rule to check that every ``__all__``
+    entry resolves.  Descends into ``if``/``try`` blocks (the usual
+    optional-import pattern) but not into function or class bodies.
+    """
+    for node in body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            yield node.name
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from _target_names(target)
+        elif isinstance(node, ast.AnnAssign):
+            yield from _target_names(node.target)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.asname or alias.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    yield alias.asname or alias.name
+        elif isinstance(node, ast.If):
+            yield from iter_statement_names(node.body)
+            yield from iter_statement_names(node.orelse)
+        elif isinstance(node, ast.Try):
+            yield from iter_statement_names(node.body)
+            for handler in node.handlers:
+                yield from iter_statement_names(handler.body)
+            yield from iter_statement_names(node.orelse)
+            yield from iter_statement_names(node.finalbody)
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def string_list(node: ast.AST) -> Optional[list]:
+    """The literal strings of a list/tuple expression, or None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            return None
+        values.append(element.value)
+    return values

@@ -1,0 +1,213 @@
+"""The ``repro-lint`` command line.
+
+Usage (from the repository root)::
+
+    repro-lint                      # lint the whole tree
+    repro-lint src/repro/fl         # lint a subtree
+    repro-lint --select rng-hygiene,dtype-discipline
+    repro-lint --list-rules         # rule ids + one-line descriptions
+    repro-lint --update-baseline    # grandfather the current findings
+
+Exit codes: 0 — clean (possibly via baseline/suppressions); 1 — active
+findings; 2 — usage error (unknown rule id, bad baseline file, path
+outside the project root).  Stale baseline entries are reported on
+stderr but do not fail the run — deleting them is housekeeping, not an
+emergency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.tooling.engine import Baseline, LintConfig, LintResult, run_lint
+from repro.tooling.rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for this repository: RNG "
+            "hygiene, pickle boundaries, dtype discipline, wall-clock "
+            "bans, exception hygiene, protocol exhaustiveness, and "
+            "export consistency."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint, relative to --root "
+            "(default: the configured package and script roots)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root the configured paths resolve against",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: <root>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to grandfather every current finding "
+            "(full-tree runs only)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids with their descriptions and exit",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings absorbed by the baseline",
+    )
+    return parser
+
+
+def _selected_rules(specs: Optional[List[str]]) -> Optional[list]:
+    if specs is None:
+        return None
+    registry = all_rules()
+    selected = []
+    for spec in specs:
+        for name in spec.split(","):
+            name = name.strip()
+            if not name:
+                continue
+            if name not in registry:
+                known = ", ".join(sorted(registry))
+                raise SystemExit(
+                    f"repro-lint: unknown rule {name!r} (known: {known})"
+                )
+            selected.append(registry[name])
+    if not selected:
+        raise SystemExit("repro-lint: --select named no rules")
+    return selected
+
+
+def _print_report(result: LintResult, show_baselined: bool) -> None:
+    for finding in result.findings:
+        print(finding.format())
+    if show_baselined:
+        for finding in result.baselined:
+            print(f"{finding.format()} [baselined]")
+    for entry in result.stale_baseline:
+        print(
+            f"repro-lint: stale baseline entry: {entry.path}: "
+            f"{entry.rule}: {entry.message}",
+            file=sys.stderr,
+        )
+    noun = "file" if result.files_checked == 1 else "files"
+    summary = (
+        f"repro-lint: {result.files_checked} {noun} checked, "
+        f"{len(result.findings)} finding(s)"
+    )
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entr" + (
+            "y" if len(result.stale_baseline) == 1 else "ies"
+        )
+    print(summary, file=sys.stderr)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            print(f"{name:24s} {rule.description}")
+        return 0
+
+    root = Path(options.root).resolve()
+    if not root.is_dir():
+        print(f"repro-lint: root {root} is not a directory", file=sys.stderr)
+        return 2
+    config = LintConfig().with_root(root)
+    if options.baseline is not None:
+        config.baseline_path = options.baseline
+
+    try:
+        rules = _selected_rules(options.select)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if options.update_baseline and options.paths:
+        print(
+            "repro-lint: --update-baseline requires a full-tree run "
+            "(a subset run would drop entries for unchecked files)",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline_path = root / config.baseline_path
+    try:
+        baseline = Baseline.load(baseline_path)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_lint(
+            config,
+            rules=rules,
+            paths=options.paths or None,
+            baseline=baseline,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"repro-lint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+
+    if options.update_baseline:
+        from repro.tooling.engine import BaselineEntry
+
+        existing = {entry.key: entry for entry in baseline.entries}
+        entries = []
+        for finding in result.all_findings():
+            prior = existing.get(finding.baseline_key)
+            entries.append(
+                BaselineEntry(
+                    path=finding.path,
+                    rule=finding.rule,
+                    message=finding.message,
+                    justification=prior.justification if prior else "",
+                )
+            )
+        Baseline(entries).save(baseline_path)
+        print(
+            f"repro-lint: baseline updated with {len(entries)} entr"
+            + ("y" if len(entries) == 1 else "ies")
+            + f" at {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    _print_report(result, options.show_baselined)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

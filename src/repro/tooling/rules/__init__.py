@@ -1,0 +1,62 @@
+"""The project-specific rule set ``repro-lint`` ships.
+
+Each rule checks one invariant the repository's guarantees rest on;
+see the individual modules for the rationale and the exact policy.
+Rule ids (used in reports, ``--select``, inline suppressions, and the
+baseline file):
+
+========================  ====================================================
+``rng-hygiene``           randomness flows through seeded generators only
+``pickle-boundary``       pickle importable only on the transport allowlist
+``dtype-discipline``      hot-path array allocations pin an explicit dtype
+``wallclock-ban``         wall-clock reads stay behind ``repro.perf``
+``exception-hygiene``     no bare ``except:`` / swallowed broad excepts
+``protocol-exhaustive``   every ``MSG_*`` handled on both transport sides
+``export-consistency``    ``__all__`` complete + no private deep imports
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tooling.engine import Rule
+from repro.tooling.rules.dtype import DtypeDisciplineRule
+from repro.tooling.rules.exceptions import ExceptionHygieneRule
+from repro.tooling.rules.exports import ExportConsistencyRule
+from repro.tooling.rules.pickle_boundary import PickleBoundaryRule
+from repro.tooling.rules.protocol import ProtocolExhaustiveRule
+from repro.tooling.rules.rng import RngHygieneRule
+from repro.tooling.rules.wallclock import WallclockBanRule
+
+__all__ = [
+    "DtypeDisciplineRule",
+    "ExceptionHygieneRule",
+    "ExportConsistencyRule",
+    "PickleBoundaryRule",
+    "ProtocolExhaustiveRule",
+    "RngHygieneRule",
+    "WallclockBanRule",
+    "all_rules",
+    "default_rules",
+]
+
+_RULE_CLASSES = (
+    RngHygieneRule,
+    PickleBoundaryRule,
+    DtypeDisciplineRule,
+    WallclockBanRule,
+    ExceptionHygieneRule,
+    ProtocolExhaustiveRule,
+    ExportConsistencyRule,
+)
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every shipped rule, in reporting order."""
+    return [rule_class() for rule_class in _RULE_CLASSES]
+
+
+def all_rules() -> Dict[str, Rule]:
+    """Rule id → fresh instance, for ``--select`` and ``--list-rules``."""
+    return {rule.name: rule for rule in default_rules()}

@@ -1,0 +1,74 @@
+"""``dtype-discipline``: hot-path array allocations pin an explicit dtype.
+
+``TrainingConfig(dtype="float32")`` promises a float32 round path end to
+end: model parameters, client gradients, the round buffer, and every
+aggregator intermediate.  NumPy's allocation defaults work against that
+promise — ``np.zeros(n)`` is float64, and one float64 intermediate
+silently upcasts everything it touches, doubling memory traffic and
+breaking bit-equality with the float32 reference.
+
+In the hot-path modules (``LintConfig.dtype_modules``), the four
+allocating calls ``np.zeros`` / ``np.empty`` / ``np.full`` /
+``np.asarray`` must therefore state their dtype — either an explicit
+``dtype=`` (including a deliberate ``np.float64`` where the math *needs*
+double precision) or, for intentionally dtype-*preserving*
+``np.asarray`` validation shims, an inline suppression naming the
+intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.tooling.ast_utils import qualified_name
+from repro.tooling.engine import Finding, LintConfig, Rule, SourceFile
+
+#: Allocating call → number of leading positional args that includes the
+#: dtype parameter (np.full's signature is ``full(shape, fill, dtype)``).
+_ALLOC_CALLS = {
+    "numpy.zeros": 2,
+    "numpy.empty": 2,
+    "numpy.full": 3,
+    "numpy.asarray": 2,
+}
+
+
+class DtypeDisciplineRule(Rule):
+    name = "dtype-discipline"
+    description = (
+        "np.zeros/empty/full/asarray in hot-path modules must pass an "
+        "explicit dtype= (float64 defaults break the float32 round path)"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig) -> List[Finding]:
+        if not config.module_in(source.module, config.dtype_modules):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = qualified_name(node.func, source.import_map)
+            threshold = _ALLOC_CALLS.get(qualified or "")
+            if threshold is None:
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            if any(keyword.arg is None for keyword in node.keywords):
+                continue  # **kwargs may carry dtype; not statically decidable
+            if any(isinstance(arg, ast.Starred) for arg in node.args):
+                continue  # *args may carry dtype; not statically decidable
+            if len(node.args) >= threshold:
+                continue  # dtype passed positionally
+            short = (qualified or "").replace("numpy.", "np.")
+            findings.append(
+                Finding(
+                    source.rel,
+                    node.lineno,
+                    self.name,
+                    f"{short}(...) without an explicit dtype= allocates "
+                    "float64 by default and silently upcasts the float32 "
+                    "round path",
+                )
+            )
+        return findings

@@ -1,0 +1,89 @@
+"""``exception-hygiene``: no bare ``except:``, no swallowed broad excepts.
+
+A fault-tolerant runtime lives or dies by *which* exceptions it eats.
+The recovery ladder deliberately catches narrow transport types
+(``FrameError``, ``ConnectionError``, ``OSError``) and re-raises or
+records everything else; a bare ``except:`` (which also catches
+``KeyboardInterrupt`` and ``SystemExit``) or an ``except Exception:
+pass`` turns a real defect — a shape mismatch, a corrupted checkpoint —
+into a silent no-op that the chaos suite can no longer distinguish from
+success.
+
+Policy: bare handlers are always an error; ``except Exception`` /
+``except BaseException`` are an error when the handler body is only
+``pass`` (catching broadly in order to *record and act* is fine —
+the worker's outlive-any-connection loop does exactly that).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.tooling.engine import Finding, LintConfig, Rule, SourceFile
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _caught_names(node: ast.expr) -> List[str]:
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for element in node.elts:
+            names.extend(_caught_names(element))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _swallows(body: List[ast.stmt]) -> bool:
+    """True when the handler body does nothing observable."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or bare ``...``
+        return False
+    return True
+
+
+class ExceptionHygieneRule(Rule):
+    name = "exception-hygiene"
+    description = (
+        "no bare `except:`; `except Exception:` must handle, not `pass`"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    Finding(
+                        source.rel,
+                        node.lineno,
+                        self.name,
+                        "bare `except:` catches SystemExit and "
+                        "KeyboardInterrupt too; name the exception types",
+                    )
+                )
+                continue
+            caught = _caught_names(node.type)
+            if any(name in _BROAD for name in caught) and _swallows(
+                node.body
+            ):
+                findings.append(
+                    Finding(
+                        source.rel,
+                        node.lineno,
+                        self.name,
+                        "broad `except Exception: pass` swallows defects "
+                        "silently; narrow the types, or record and act",
+                    )
+                )
+        return findings

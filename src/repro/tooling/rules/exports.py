@@ -1,0 +1,152 @@
+"""``export-consistency``: the public surface is declared and respected.
+
+Three related checks keep the package boundary honest:
+
+* every package ``__init__`` declares ``__all__`` — the public surface
+  is an explicit, reviewable list, not whatever happens to be imported;
+* every name in an ``__all__`` resolves to something the ``__init__``
+  actually defines or imports — a renamed symbol cannot leave a dangling
+  export behind (modules with a PEP 562 ``__getattr__`` are exempt from
+  the resolution check: lazy exports are satisfied at runtime);
+* ``examples/``, ``benchmarks/``, and ``tests/`` import only public
+  names — no ``from repro.x import _private`` and no
+  ``repro.x._internal`` modules.  Scripts that reach for an underscore
+  name are evidence the name should be public (rename it) or the script
+  is coupling itself to an implementation detail that may change
+  without notice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence
+
+from repro.tooling.ast_utils import iter_statement_names, string_list
+from repro.tooling.engine import Finding, LintConfig, Rule, SourceFile
+
+
+def _find_all(source: SourceFile) -> Optional[ast.Assign]:
+    for node in source.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+        ):
+            return node
+    return None
+
+
+def _private_parts(module: str, package: str) -> bool:
+    """True when a dotted module path under ``package`` has a private part."""
+    if module != package and not module.startswith(package + "."):
+        return False
+    return any(
+        part.startswith("_") and part != "__init__"
+        for part in module.split(".")
+    )
+
+
+class ExportConsistencyRule(Rule):
+    name = "export-consistency"
+    description = (
+        "package __init__s declare a resolving __all__; examples/"
+        "benchmarks/tests never deep-import private names"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig) -> List[Finding]:
+        if not source.path.name == "__init__.py":
+            return []
+        declaration = _find_all(source)
+        if declaration is None:
+            return [
+                Finding(
+                    source.rel,
+                    1,
+                    self.name,
+                    "package __init__ declares no __all__; the public "
+                    "surface must be an explicit list",
+                )
+            ]
+        exported = string_list(declaration.value)
+        if exported is None:
+            # Computed __all__ (concatenation, comprehension...): presence
+            # satisfies the declaration check; resolution is not statically
+            # decidable, so stop here.
+            return []
+        if any(
+            isinstance(node, ast.FunctionDef) and node.name == "__getattr__"
+            for node in source.tree.body
+        ):
+            # PEP 562 lazy exports: a module-level __getattr__ can satisfy
+            # any name at runtime, so unresolved entries are deliberate.
+            return []
+        defined = set(iter_statement_names(source.tree.body))
+        findings: List[Finding] = []
+        for name in exported:
+            if name not in defined:
+                findings.append(
+                    Finding(
+                        source.rel,
+                        declaration.lineno,
+                        self.name,
+                        f"__all__ exports {name!r} but the __init__ "
+                        "neither defines nor imports it",
+                    )
+                )
+        return findings
+
+    def finalize(
+        self, sources: Sequence[SourceFile], config: LintConfig
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        package = config.package_name
+        for source in sources:
+            if source.kind != "script":
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ImportFrom) and not node.level:
+                    module = node.module or ""
+                    if module != package and not module.startswith(
+                        package + "."
+                    ):
+                        continue
+                    if _private_parts(module, package):
+                        findings.append(
+                            Finding(
+                                source.rel,
+                                node.lineno,
+                                self.name,
+                                f"imports from private module {module}; "
+                                "scripts and tests use the public "
+                                "surface only",
+                            )
+                        )
+                        continue
+                    for alias in node.names:
+                        if alias.name.startswith("_"):
+                            findings.append(
+                                Finding(
+                                    source.rel,
+                                    node.lineno,
+                                    self.name,
+                                    f"deep-imports private name "
+                                    f"{alias.name!r} from {module}; make "
+                                    "the helper public or test through "
+                                    "the public surface",
+                                )
+                            )
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if _private_parts(alias.name, package):
+                            findings.append(
+                                Finding(
+                                    source.rel,
+                                    node.lineno,
+                                    self.name,
+                                    f"imports private module "
+                                    f"{alias.name}; scripts and tests "
+                                    "use the public surface only",
+                                )
+                            )
+        return findings

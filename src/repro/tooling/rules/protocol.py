@@ -1,0 +1,130 @@
+"""``protocol-exhaustive``: every ``MSG_*`` is handled on both wire sides.
+
+The transport's message vocabulary is the ``MSG_*`` constants defined in
+:mod:`repro.fl.transport.codec`.  A new message type is only *deployed*
+when three places know it: the worker's dispatch loop, the caller side
+(connection or channel layer), and the ``MESSAGE_NAMES`` table that
+makes refusal errors readable.  Forgetting one side compiles fine and
+fails only when a live fleet meets the message — the worker answers
+"unexpected message type 14" to a caller that speaks it, which is a
+protocol bug surfacing as a runtime fleet error.
+
+This rule makes that a lint failure instead: it parses the constants out
+of the protocol module and requires each to be referenced in every
+configured worker-side module, in at least one caller-side module, and
+to appear as a key of ``MESSAGE_NAMES``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.tooling.engine import Finding, LintConfig, Rule, SourceFile
+
+_MSG_NAME = re.compile(r"^MSG_[A-Z0-9_]+$")
+
+
+def _message_constants(source: SourceFile) -> List[Tuple[str, int]]:
+    """(name, line) of every module-level ``MSG_*`` assignment."""
+    constants: List[Tuple[str, int]] = []
+    for node in source.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and _MSG_NAME.match(target.id):
+            constants.append((target.id, node.lineno))
+    return constants
+
+
+def _message_names_keys(source: SourceFile) -> Optional[Set[str]]:
+    """Keys of the module-level ``MESSAGE_NAMES`` dict literal, if any."""
+    for node in source.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "MESSAGE_NAMES"
+            and isinstance(node.value, ast.Dict)
+        ):
+            keys: Set[str] = set()
+            for key in node.value.keys:
+                if isinstance(key, ast.Name):
+                    keys.add(key.id)
+            return keys
+    return None
+
+
+def _referenced_names(source: SourceFile) -> Set[str]:
+    """Every identifier a module mentions (names and attribute tails)."""
+    names: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+class ProtocolExhaustiveRule(Rule):
+    name = "protocol-exhaustive"
+    description = (
+        "every MSG_* constant is dispatched by the worker AND the caller "
+        "side of the transport, and named in MESSAGE_NAMES"
+    )
+
+    def finalize(
+        self, sources: Sequence[SourceFile], config: LintConfig
+    ) -> List[Finding]:
+        by_module: Dict[str, SourceFile] = {
+            source.module: source
+            for source in sources
+            if source.module is not None
+        }
+        protocol = by_module.get(config.protocol_module)
+        if protocol is None:
+            # Subset run (e.g. ``repro-lint src/repro/aggregators``): the
+            # invariant is only checkable with the protocol module loaded.
+            return []
+        constants = _message_constants(protocol)
+        names_keys = _message_names_keys(protocol)
+        findings: List[Finding] = []
+        sides = (
+            ("worker", config.protocol_worker_modules),
+            ("caller", config.protocol_caller_modules),
+        )
+        for label, modules in sides:
+            present = [by_module[m] for m in modules if m in by_module]
+            if not present:
+                continue
+            referenced: Set[str] = set()
+            for source in present:
+                referenced |= _referenced_names(source)
+            for constant, line in constants:
+                if constant not in referenced:
+                    findings.append(
+                        Finding(
+                            protocol.rel,
+                            line,
+                            self.name,
+                            f"{constant} is never dispatched on the "
+                            f"{label} side ({', '.join(modules)}); a new "
+                            "message type must be handled by both ends "
+                            "before it ships",
+                        )
+                    )
+        if names_keys is not None:
+            for constant, line in constants:
+                if constant not in names_keys:
+                    findings.append(
+                        Finding(
+                            protocol.rel,
+                            line,
+                            self.name,
+                            f"{constant} is missing from MESSAGE_NAMES; "
+                            "protocol errors would report it as a bare "
+                            "integer",
+                        )
+                    )
+        return findings

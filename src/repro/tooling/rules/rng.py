@@ -1,0 +1,99 @@
+"""``rng-hygiene``: randomness must flow through seeded generators.
+
+The repository's bit-reproducibility contract derives every random draw
+from one experiment seed via :class:`repro.utils.rng.RngFactory` or an
+explicitly passed ``numpy.random.Generator``.  The two ways that
+contract silently breaks:
+
+* calling the **module-global legacy RNG** (``np.random.seed``,
+  ``np.random.normal``, ...) — hidden process-wide state that any import
+  can perturb;
+* creating an **unseeded generator** — ``np.random.default_rng()`` with
+  no arguments, or passing ``np.random.default_rng`` itself around as a
+  zero-argument factory (the ``dataclasses.field(default_factory=...)``
+  trap).
+
+Explicit constructions stay legal: ``default_rng(seed)``,
+``Generator(PCG64(seed))``, ``SeedSequence(...)`` — and so do
+annotations like ``rng: np.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.tooling.ast_utils import call_of, qualified_name
+from repro.tooling.engine import Finding, LintConfig, Rule, SourceFile
+
+#: numpy.random attributes that *construct* explicitly-seeded machinery
+#: (referencing or calling them is fine; everything else on the module
+#: is the legacy global-state API).
+_SEEDED_CONSTRUCTORS = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+
+class RngHygieneRule(Rule):
+    name = "rng-hygiene"
+    description = (
+        "no np.random module-global RNG and no unseeded default_rng(); "
+        "randomness flows through RngFactory / explicit Generators"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            qualified = qualified_name(node, source.import_map)
+            if not qualified or not qualified.startswith("numpy.random."):
+                continue
+            tail = qualified[len("numpy.random.") :]
+            if "." in tail or tail in _SEEDED_CONSTRUCTORS:
+                # Attribute *of* an attribute (e.g. Generator.random in an
+                # annotation) or an explicit-seed constructor: fine.
+                continue
+            call = call_of(node)
+            if tail == "default_rng":
+                if call is None:
+                    findings.append(
+                        Finding(
+                            source.rel,
+                            node.lineno,
+                            self.name,
+                            "np.random.default_rng referenced as a "
+                            "zero-argument factory creates an unseeded "
+                            "generator; wrap it with an explicit seed",
+                        )
+                    )
+                elif not call.args and not call.keywords:
+                    findings.append(
+                        Finding(
+                            source.rel,
+                            node.lineno,
+                            self.name,
+                            "unseeded np.random.default_rng(); pass a "
+                            "seed, SeedSequence, or RngFactory stream",
+                        )
+                    )
+                continue
+            if call is not None or tail == "RandomState":
+                findings.append(
+                    Finding(
+                        source.rel,
+                        node.lineno,
+                        self.name,
+                        f"np.random.{tail} uses the module-global legacy "
+                        "RNG; draw from an explicit seeded Generator "
+                        "instead",
+                    )
+                )
+        return findings

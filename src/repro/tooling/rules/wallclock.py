@@ -1,0 +1,67 @@
+"""``wallclock-ban``: wall-clock reads stay behind ``repro.perf``.
+
+Timing in this repository is an *instrument*, not an input: the profiler
+(:mod:`repro.perf`) owns every clock read so that simulation logic can
+never become time-dependent.  A ``time.time()`` in a scheduler, a
+``datetime.now()`` in a checkpoint header, or a stray ``perf_counter()``
+in a collector makes two identical runs differ — exactly the
+nondeterminism the deterministic fault/participation machinery exists to
+exclude.  Outside the allowlisted ``repro.perf`` package, code that
+needs a duration imports :func:`repro.perf.timers.monotonic`; code that
+needs a timestamp takes it as a parameter.
+
+``time.sleep`` stays legal everywhere: waiting is behaviour, not
+measurement (retry backoff and stall fault injection depend on it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.tooling.ast_utils import qualified_name
+from repro.tooling.engine import Finding, LintConfig, Rule, SourceFile
+
+_BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallclockBanRule(Rule):
+    name = "wallclock-ban"
+    description = (
+        "time.time/perf_counter/datetime.now only inside repro.perf; "
+        "everything else takes timings from the profiler"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig) -> List[Finding]:
+        if config.module_in(source.module, config.wallclock_allowed):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = qualified_name(node.func, source.import_map)
+            if qualified in _BANNED_CALLS:
+                findings.append(
+                    Finding(
+                        source.rel,
+                        node.lineno,
+                        self.name,
+                        f"{qualified}() reads the wall clock outside "
+                        "repro.perf; use repro.perf.timers.monotonic via "
+                        "the profiler, or take the timestamp as an input",
+                    )
+                )
+        return findings

@@ -9,7 +9,7 @@ while still giving each client and each subsystem an independent stream.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -57,9 +57,9 @@ class RngFactory:
     True
     """
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None) -> None:
         self._root = np.random.SeedSequence(seed)
-        self._counters: dict = {}
+        self._counters: Dict[str, int] = {}
 
     def make(self, name: str) -> np.random.Generator:
         """Return a new generator for stream ``name``.

@@ -1,0 +1,9 @@
+"""Script fixture: deep-imports private names from the fixture package."""
+
+import fixpkg._hidden  # line 3: private module
+from fixpkg.rng_ok import _secret_helper  # line 4: private name
+from fixpkg.rng_ok import seeded_draw  # legal: public name
+
+
+def run():
+    return seeded_draw(0), _secret_helper, fixpkg._hidden

@@ -1,0 +1,10 @@
+"""Fixture package with deliberate violations for the repro-lint tests.
+
+Every module here trips exactly the rules its name announces; the tests
+assert the resulting findings as golden ``path:line:rule`` tuples.  This
+tree is excluded from the repository's own lint run and from ruff.
+"""
+
+from fixpkg.rng_ok import seeded_draw
+
+__all__ = ["seeded_draw"]

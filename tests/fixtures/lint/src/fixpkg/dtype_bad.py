@@ -1,0 +1,27 @@
+"""dtype-discipline violations and the patterns that must NOT fire."""
+
+import numpy as np
+
+
+def bad_zeros(n):
+    return np.zeros(n)  # line 7
+
+
+def bad_full(n):
+    return np.full(n, 1.0)  # line 11
+
+
+def good_explicit(n):
+    return np.zeros(n, dtype=np.float32)
+
+
+def good_positional(n):
+    return np.empty(n, np.float64)
+
+
+def good_kwargs(n, **kwargs):
+    return np.zeros(n, **kwargs)
+
+
+def not_numpy(container):
+    return container.zeros(3)

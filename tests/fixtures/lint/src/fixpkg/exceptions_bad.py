@@ -1,0 +1,23 @@
+"""exception-hygiene violations plus a broad-but-handling legal catch."""
+
+
+def bare(callback):
+    try:
+        callback()
+    except:  # line 7: bare
+        return None
+
+
+def swallowed(callback):
+    try:
+        callback()
+    except Exception:  # line 14: broad + pass
+        pass
+
+
+def legal_broad(callback, log):
+    try:
+        callback()
+    except Exception as exc:  # legal: records and acts
+        log.append(exc)
+        raise

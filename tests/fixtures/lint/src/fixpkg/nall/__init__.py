@@ -1,0 +1,3 @@
+"""export-consistency fixture: a package ``__init__`` with no ``__all__``."""
+
+VALUE = 3

@@ -1,0 +1,8 @@
+"""pickle-boundary violations: pickle imported off the allowlist."""
+
+import pickle  # line 3
+from pickle import loads  # line 4
+
+
+def roundtrip(value):
+    return loads(pickle.dumps(value))

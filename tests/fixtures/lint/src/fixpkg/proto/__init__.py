@@ -1,0 +1,3 @@
+"""Protocol fixture: codec defines MSG_A/MSG_B; the worker forgets MSG_B."""
+
+__all__ = []

@@ -1,0 +1,8 @@
+"""Caller side: speaks both message types."""
+
+from fixpkg.proto.codec import MSG_A, MSG_B
+
+
+def converse(send):
+    send(MSG_A)
+    send(MSG_B)

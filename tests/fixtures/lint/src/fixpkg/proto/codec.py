@@ -1,0 +1,8 @@
+"""Message vocabulary: MSG_B is missing from MESSAGE_NAMES (line 7)."""
+
+MSG_A = 1
+MSG_B = 2  # line 4: never dispatched by the worker, unnamed
+
+MESSAGE_NAMES = {
+    MSG_A: "A",
+}

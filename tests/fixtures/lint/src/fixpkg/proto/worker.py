@@ -1,0 +1,9 @@
+"""Worker side: dispatches MSG_A only — MSG_B is forgotten."""
+
+from fixpkg.proto.codec import MSG_A
+
+
+def dispatch(msg_type):
+    if msg_type == MSG_A:
+        return "a"
+    raise ValueError(msg_type)

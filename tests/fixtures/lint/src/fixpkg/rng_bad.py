@@ -1,0 +1,23 @@
+"""rng-hygiene violations: unseeded generators and module-global RNG."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded_call():
+    return np.random.default_rng()  # line 8: unseeded default_rng
+
+
+def unseeded_alias_call():
+    return default_rng()  # line 12: unseeded via from-import
+
+
+def legacy_module_global():
+    return np.random.rand(3)  # line 16: legacy module-global RNG
+
+
+def legacy_random_state():
+    return np.random.RandomState(0)  # line 20: legacy RandomState
+
+
+FACTORY = default_rng  # line 23: bare reference (default_factory trap)

@@ -1,0 +1,12 @@
+"""Seeded randomness and a justified suppression: no findings expected."""
+
+import numpy as np
+
+
+def seeded_draw(seed):
+    return np.random.default_rng(seed).random()
+
+
+def suppressed_unseeded():
+    # repro-lint: disable=rng-hygiene -- fixture: suppression round-trip
+    return np.random.default_rng()

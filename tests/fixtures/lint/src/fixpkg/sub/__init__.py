@@ -1,0 +1,7 @@
+"""export-consistency fixture: ``__all__`` exports a name that is gone."""
+
+def present():
+    return 1
+
+
+__all__ = ["present", "vanished"]  # line 7: 'vanished' resolves to nothing

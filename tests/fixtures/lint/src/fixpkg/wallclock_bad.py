@@ -1,0 +1,21 @@
+"""wallclock-ban violations plus the legal ``time.sleep``."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp():
+    return time.time()  # line 9
+
+
+def tick():
+    return pc()  # line 13
+
+
+def today():
+    return datetime.now()  # line 17
+
+
+def wait(seconds):
+    time.sleep(seconds)  # legal: waiting is behaviour, not measurement

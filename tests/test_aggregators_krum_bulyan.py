@@ -5,7 +5,7 @@ import pytest
 
 from repro.aggregators import BulyanAggregator, KrumAggregator, MultiKrumAggregator
 from repro.aggregators.base import ServerContext
-from repro.aggregators.krum import _krum_scores
+from repro.aggregators.krum import krum_scores
 
 
 @pytest.fixture
@@ -23,11 +23,11 @@ def population_with_outliers(rng):
 
 class TestKrumScores:
     def test_outlier_scores_higher(self, population_with_outliers):
-        scores = _krum_scores(population_with_outliers, 3)
+        scores = krum_scores(population_with_outliers, 3)
         assert scores[:3].min() > scores[3:].max()
 
     def test_scores_shape(self, benign_gradients):
-        assert _krum_scores(benign_gradients, 4).shape == (len(benign_gradients),)
+        assert krum_scores(benign_gradients, 4).shape == (len(benign_gradients),)
 
 
 class TestKrum:

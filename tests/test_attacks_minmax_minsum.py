@@ -5,8 +5,8 @@ import pytest
 
 from repro.attacks import AttackContext, MinMaxAttack, MinSumAttack
 from repro.attacks.minmax_minsum import (
-    _max_pairwise_sq_distance,
-    _max_sum_sq_distance,
+    max_pairwise_sq_distance,
+    max_sum_sq_distance,
 )
 
 
@@ -18,12 +18,12 @@ def context(rng):
 class TestDistanceHelpers:
     def test_max_pairwise_distance(self):
         points = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 0.0]])
-        assert _max_pairwise_sq_distance(points) == pytest.approx(25.0)
+        assert max_pairwise_sq_distance(points) == pytest.approx(25.0)
 
     def test_max_sum_distance(self):
         points = np.array([[0.0], [1.0], [10.0]])
         sums = [1 + 100, 1 + 81, 100 + 81]
-        assert _max_sum_sq_distance(points) == pytest.approx(max(sums))
+        assert max_sum_sq_distance(points) == pytest.approx(max(sums))
 
 
 class TestMinMaxAttack:
@@ -32,7 +32,7 @@ class TestMinMaxAttack:
         attack = MinMaxAttack()
         malicious = attack.malicious_gradient(benign_gradients, context)
         benign = benign_gradients[4:]
-        max_benign = np.sqrt(_max_pairwise_sq_distance(benign))
+        max_benign = np.sqrt(max_pairwise_sq_distance(benign))
         max_to_malicious = np.max(np.linalg.norm(benign - malicious, axis=1))
         assert max_to_malicious <= max_benign * (1 + 1e-6)
 
@@ -64,7 +64,7 @@ class TestMinSumAttack:
         attack = MinSumAttack()
         malicious = attack.malicious_gradient(benign_gradients, context)
         benign = benign_gradients[4:]
-        bound = _max_sum_sq_distance(benign)
+        bound = max_sum_sq_distance(benign)
         total = np.sum(np.linalg.norm(benign - malicious, axis=1) ** 2)
         assert total <= bound * (1 + 1e-6)
 

@@ -15,7 +15,7 @@ import pytest
 from repro.aggregators.base import ServerContext
 from repro.aggregators.bulyan import BulyanAggregator
 from repro.aggregators.dnc import DivideAndConquerAggregator
-from repro.aggregators.krum import KrumAggregator, MultiKrumAggregator, _krum_scores
+from repro.aggregators.krum import KrumAggregator, MultiKrumAggregator, krum_scores
 from repro.clustering import MeanShift
 from repro.core.pipeline import SignGuardPipeline
 from repro.perf import reference as ref
@@ -34,7 +34,7 @@ def population(rng):
 class TestKrumEquivalence:
     def test_scores_bit_identical(self, population):
         for f in (0, 2, 6, 10):
-            optimized = _krum_scores(population, f)
+            optimized = krum_scores(population, f)
             seed = ref.krum_scores_reference(population, f)
             np.testing.assert_array_equal(optimized, seed)
 
@@ -58,7 +58,7 @@ class TestKrumEquivalence:
     def test_two_clients_edge_case(self, rng):
         pair = rng.normal(size=(2, 8))
         np.testing.assert_array_equal(
-            _krum_scores(pair, 0), ref.krum_scores_reference(pair, 0)
+            krum_scores(pair, 0), ref.krum_scores_reference(pair, 0)
         )
 
 

@@ -1,0 +1,307 @@
+"""Tests for the ``repro-lint`` framework: rules, suppressions, baseline, CLI.
+
+Each shipped rule is proven to fire on a fixture package
+(``tests/fixtures/lint``) that deliberately violates it, with golden
+``(path, line, rule)`` assertions; the suppression and baseline
+machinery round-trips; and a meta-test keeps the shipped tree itself
+clean under the default configuration.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tooling import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    LintConfig,
+    run_lint,
+)
+from repro.tooling.ast_utils import (
+    build_import_map,
+    parse_suppressions,
+    qualified_name,
+)
+from repro.tooling.cli import main as lint_main
+from repro.tooling.engine import collect_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_ROOT = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+
+def fixture_config(**overrides):
+    defaults = dict(
+        root=FIXTURE_ROOT,
+        package_root="src/fixpkg",
+        package_name="fixpkg",
+        script_roots=("scripts",),
+        exclude=(),
+        pickle_allowlist=("fixpkg.pickle_ok",),
+        dtype_modules=("fixpkg",),
+        wallclock_allowed=("fixpkg.perf",),
+        protocol_module="fixpkg.proto.codec",
+        protocol_worker_modules=("fixpkg.proto.worker",),
+        protocol_caller_modules=("fixpkg.proto.client",),
+    )
+    defaults.update(overrides)
+    return LintConfig(**defaults)
+
+
+def findings_for(rule, paths=None):
+    result = run_lint(fixture_config(), paths=paths, baseline=Baseline())
+    return [
+        (f.path, f.line, f.rule) for f in result.findings if f.rule == rule
+    ]
+
+
+class TestRuleFixtures:
+    def test_rng_hygiene_fires(self):
+        assert findings_for("rng-hygiene") == [
+            ("src/fixpkg/rng_bad.py", 8, "rng-hygiene"),
+            ("src/fixpkg/rng_bad.py", 12, "rng-hygiene"),
+            ("src/fixpkg/rng_bad.py", 16, "rng-hygiene"),
+            ("src/fixpkg/rng_bad.py", 20, "rng-hygiene"),
+            ("src/fixpkg/rng_bad.py", 23, "rng-hygiene"),
+        ]
+
+    def test_pickle_boundary_fires(self):
+        assert findings_for("pickle-boundary") == [
+            ("src/fixpkg/pickle_bad.py", 3, "pickle-boundary"),
+            ("src/fixpkg/pickle_bad.py", 4, "pickle-boundary"),
+        ]
+
+    def test_dtype_discipline_fires_and_spares_explicit(self):
+        assert findings_for("dtype-discipline") == [
+            ("src/fixpkg/dtype_bad.py", 7, "dtype-discipline"),
+            ("src/fixpkg/dtype_bad.py", 11, "dtype-discipline"),
+        ]
+
+    def test_wallclock_ban_fires_and_spares_sleep(self):
+        assert findings_for("wallclock-ban") == [
+            ("src/fixpkg/wallclock_bad.py", 9, "wallclock-ban"),
+            ("src/fixpkg/wallclock_bad.py", 13, "wallclock-ban"),
+            ("src/fixpkg/wallclock_bad.py", 17, "wallclock-ban"),
+        ]
+
+    def test_exception_hygiene_fires_and_spares_handlers(self):
+        assert findings_for("exception-hygiene") == [
+            ("src/fixpkg/exceptions_bad.py", 7, "exception-hygiene"),
+            ("src/fixpkg/exceptions_bad.py", 14, "exception-hygiene"),
+        ]
+
+    def test_protocol_exhaustive_fires_for_forgotten_message(self):
+        found = findings_for("protocol-exhaustive")
+        # MSG_B (defined on line 4) is missing on the worker side AND from
+        # MESSAGE_NAMES; the caller side speaks it.
+        assert found == [
+            ("src/fixpkg/proto/codec.py", 4, "protocol-exhaustive"),
+            ("src/fixpkg/proto/codec.py", 4, "protocol-exhaustive"),
+        ]
+
+    def test_export_consistency_fires(self):
+        assert findings_for("export-consistency") == [
+            ("scripts/use_private.py", 3, "export-consistency"),
+            ("scripts/use_private.py", 4, "export-consistency"),
+            ("src/fixpkg/nall/__init__.py", 1, "export-consistency"),
+            ("src/fixpkg/sub/__init__.py", 7, "export-consistency"),
+        ]
+
+    def test_subset_run_skips_project_wide_rules(self):
+        # Without the protocol module in the file set the exhaustiveness
+        # invariant is not checkable and must not fire spuriously.
+        assert (
+            findings_for(
+                "protocol-exhaustive", paths=["src/fixpkg/rng_bad.py"]
+            )
+            == []
+        )
+
+    def test_every_shipped_rule_has_a_firing_fixture(self):
+        from repro.tooling.rules import all_rules
+
+        result = run_lint(fixture_config(), baseline=Baseline())
+        fired = {finding.rule for finding in result.findings}
+        assert fired == set(all_rules())
+
+
+class TestSuppressions:
+    def test_inline_suppression_silences_the_next_line(self):
+        # rng_ok.py holds an unseeded default_rng() behind a justified
+        # suppression comment; no rng finding may survive from it.
+        result = run_lint(fixture_config(), baseline=Baseline())
+        assert not any("rng_ok" in f.path for f in result.findings)
+
+    def test_parse_same_line_and_reason_tail(self):
+        per_line, whole = parse_suppressions(
+            "x = 1  # repro-lint: disable=rule-a,rule-b -- because\n"
+        )
+        assert per_line == {1: {"rule-a", "rule-b"}}
+        assert whole == set()
+
+    def test_parse_comment_line_applies_to_next_code_line(self):
+        text = (
+            "# repro-lint: disable=rule-a -- justified\n"
+            "# second comment line keeps the chain alive\n"
+            "x = 1\n"
+        )
+        assert parse_suppressions(text)[0] == {3: {"rule-a"}}
+
+    def test_blank_line_breaks_the_chain(self):
+        text = "# repro-lint: disable=rule-a\n\nx = 1\n"
+        assert parse_suppressions(text)[0] == {}
+
+    def test_disable_file(self):
+        per_line, whole = parse_suppressions(
+            "# repro-lint: disable-file=rule-a\nx = 1\n"
+        )
+        assert whole == {"rule-a"}
+        assert per_line == {}
+
+
+class TestBaseline:
+    def entry(self, **kwargs):
+        defaults = dict(
+            path="a.py", rule="r", message="m", justification="why"
+        )
+        defaults.update(kwargs)
+        return BaselineEntry(**defaults)
+
+    def test_split_matches_by_path_rule_message_not_line(self):
+        baseline = Baseline([self.entry()])
+        finding = Finding("a.py", 999, "r", "m")
+        active, baselined, stale = baseline.split([finding])
+        assert active == [] and baselined == [finding] and stale == []
+
+    def test_split_is_multiset_aware(self):
+        baseline = Baseline([self.entry()])
+        twice = [Finding("a.py", 1, "r", "m"), Finding("a.py", 2, "r", "m")]
+        active, baselined, stale = baseline.split(twice)
+        assert len(active) == 1 and len(baselined) == 1 and stale == []
+
+    def test_stale_entries_are_reported(self):
+        baseline = Baseline([self.entry(), self.entry(path="b.py")])
+        active, baselined, stale = baseline.split(
+            [Finding("a.py", 1, "r", "m")]
+        )
+        assert active == [] and len(baselined) == 1
+        assert [entry.path for entry in stale] == ["b.py"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline([self.entry()]).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == [self.entry()]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+def make_mini_repo(tmp_path):
+    """A tiny repo-shaped tree with exactly one lint finding."""
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text('__all__ = []\n')
+    (package / "bad.py").write_text(
+        '"""One violation."""\n\nimport pickle  # noqa\n'
+    )
+    return tmp_path
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("rng-hygiene", "protocol-exhaustive"):
+            assert rule in out
+
+    def test_unknown_rule_is_usage_error(self):
+        assert lint_main(["--root", str(REPO_ROOT), "--select", "nope"]) == 2
+
+    def test_findings_exit_one_with_report(self, tmp_path, capsys):
+        root = make_mini_repo(tmp_path)
+        assert lint_main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/bad.py:3: pickle-boundary:" in out
+
+    def test_update_baseline_round_trip(self, tmp_path, capsys):
+        root = make_mini_repo(tmp_path)
+        assert lint_main(["--root", str(root), "--update-baseline"]) == 0
+        assert (root / "lint-baseline.json").exists()
+        assert lint_main(["--root", str(root)]) == 0
+        # Fixing the violation leaves the entry stale: reported, not fatal.
+        (root / "src" / "repro" / "bad.py").write_text('"""Fixed."""\n')
+        assert lint_main(["--root", str(root)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_update_baseline_refuses_subset_runs(self, tmp_path):
+        root = make_mini_repo(tmp_path)
+        code = lint_main(
+            ["--root", str(root), "--update-baseline", "src/repro/bad.py"]
+        )
+        assert code == 2
+
+    def test_show_baselined(self, tmp_path, capsys):
+        root = make_mini_repo(tmp_path)
+        lint_main(["--root", str(root), "--update-baseline"])
+        capsys.readouterr()
+        assert lint_main(["--root", str(root), "--show-baselined"]) == 0
+        assert "[baselined]" in capsys.readouterr().out
+
+    def test_bad_root_is_usage_error(self, tmp_path):
+        assert lint_main(["--root", str(tmp_path / "missing")]) == 2
+
+
+class TestAstUtils:
+    def test_import_map_and_qualified_name(self):
+        import ast as ast_module
+
+        tree = ast_module.parse(
+            "import numpy as np\n"
+            "from time import perf_counter as pc\n"
+            "x = np.random.default_rng\n"
+            "y = pc\n"
+        )
+        mapping = build_import_map(tree)
+        assert mapping["np"] == "numpy"
+        assert mapping["pc"] == "time.perf_counter"
+        assigns = [
+            node.value
+            for node in tree.body
+            if isinstance(node, ast_module.Assign)
+        ]
+        assert qualified_name(assigns[0], mapping) == (
+            "numpy.random.default_rng"
+        )
+        assert qualified_name(assigns[1], mapping) == "time.perf_counter"
+
+    def test_local_names_resolve_to_none(self):
+        import ast as ast_module
+
+        tree = ast_module.parse("t = object()\nv = t.time\n")
+        mapping = build_import_map(tree)
+        assert qualified_name(tree.body[1].value, mapping) is None
+
+
+class TestShippedTreeIsClean:
+    def test_repro_lint_is_clean_on_the_repository(self):
+        result = run_lint(LintConfig().with_root(REPO_ROOT))
+        formatted = "\n".join(f.format() for f in result.findings)
+        assert result.clean, f"repro-lint found:\n{formatted}"
+        assert result.files_checked > 100
+
+    def test_baseline_is_empty_or_small_and_justified(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        assert len(baseline.entries) <= 10
+        for entry in baseline.entries:
+            assert entry.justification.strip()
+
+    def test_fixture_tree_is_excluded_from_the_default_run(self):
+        sources = collect_sources(LintConfig().with_root(REPO_ROOT))
+        assert not any("fixtures" in source.rel for source in sources)
