@@ -1,0 +1,502 @@
+#!/usr/bin/env python
+"""Large-cohort bench tier: n=10,000 robust aggregation without n x n memory.
+
+A 10k-client cohort makes every dense pairwise matrix 10_000 x 10_000
+float64 = 800 MB — the allocation this tier proves the defenses no longer
+need.  Sections (all floors fail loudly with a non-zero exit):
+
+* ``large_cohort/krum_scoring``      — blocked Krum neighbor-sum scoring via
+  :meth:`GradientBatch.k_smallest_neighbor_sums`; a ``tracemalloc`` pass
+  enforces the memory floor (traced peak well below the 800 MB dense
+  matrix, i.e. no n x n allocation happened).
+* ``large_cohort/signguard_features/*`` — the full SignGuard feature
+  extraction (sign statistics + pairwise-median euclidean / cosine
+  fallbacks) streamed through row-block tiles, same memory floor.
+* ``large_cohort/bandwidth/*``       — Mean-Shift bandwidth estimation: the
+  seeded subsampled estimator at n=10k, its determinism (two calls, one
+  value), and a dense-vs-subsampled speedup floor at a bridge size where
+  the dense estimator is still tractable, plus a quantile-agreement check.
+* ``large_cohort/dnc/*``             — DnC spectral filtering with
+  ``svd="power"`` vs ``svd="full"``: speedup floor plus selection
+  agreement (Jaccard) under identical rng streams.
+
+Before any large-n work, the tier asserts the four dense accessors
+(``gram`` / ``sq_distances`` / ``distances`` / ``cosine_similarities``)
+refuse to materialize at n=10k (:class:`PairwiseMemoryError`), and that the
+blocked primitives match the dense caches at a small n where both paths
+are tractable.
+
+Run standalone (CI runs ``--check``), or let ``perf_smoke.py`` embed these
+rows into ``BENCH_round_engine.json``::
+
+    PYTHONPATH=src python benchmarks/large_cohort.py            # full sizes
+    PYTHONPATH=src python benchmarks/large_cohort.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/large_cohort.py --check    # floors only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.aggregators.base import ServerContext  # noqa: E402
+from repro.aggregators.dnc import DivideAndConquerAggregator  # noqa: E402
+from repro.clustering.meanshift import (  # noqa: E402
+    BANDWIDTH_MAX_PAIRS,
+    estimate_bandwidth,
+)
+from repro.core.features import extract_features  # noqa: E402
+from repro.perf import run_benchmark, speedup, write_bench_json  # noqa: E402
+from repro.utils.batch import (  # noqa: E402
+    GradientBatch,
+    PairwiseMemoryError,
+)
+
+LARGE_N = 10_000
+
+# Memory floor: the traced peak of every streamed large-n section must stay
+# below this fraction of the dense n x n matrix — proof the blocked
+# primitives never materialized it (the matrix alone would blow the floor).
+MEMORY_FLOOR_FRACTION = 0.75
+
+# Speedup floors for the subquadratic paths (measured values sit above;
+# the floors catch silent fallbacks to the dense implementations).
+BANDWIDTH_SPEEDUP_FLOOR = 3.0
+DNC_POWER_SPEEDUP_FLOOR = 2.0
+DNC_SELECTION_JACCARD_FLOOR = 0.95
+BANDWIDTH_RELATIVE_TOLERANCE = 0.1
+
+
+class LargeCohortFailure(RuntimeError):
+    """Raised when a memory floor, speedup floor, or agreement guard fails."""
+
+
+def _default_require(condition: bool, message: str) -> None:
+    if not condition:
+        raise LargeCohortFailure(message)
+
+
+def make_attack_population(
+    n_clients: int, dim: int, seed: int = 0
+) -> np.ndarray:
+    """Honest majority around a signal, 20% sign-inverted malicious cluster.
+
+    The benign/malicious separation gives the population the dominant
+    spectral component DnC's power iteration locks onto — the regime the
+    defenses are actually deployed in.
+    """
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(0.05, 1.0, size=dim)
+    honest = signal[None, :] + rng.normal(
+        0, 0.3, size=(n_clients - n_clients // 5, dim)
+    )
+    malicious = -signal[None, :] + rng.normal(
+        0, 0.05, size=(n_clients // 5, dim)
+    )
+    return np.vstack([honest, malicious])
+
+
+def make_spectral_population(
+    n_clients: int, dim: int, seed: int = 1, rank: int = 8
+) -> np.ndarray:
+    """Attack population whose honest cohort has low-rank heterogeneity.
+
+    DnC removes its highest scorers along the top singular direction each
+    iteration; on :func:`make_attack_population` the first iteration strips
+    the malicious cluster and leaves isotropic noise, where the remaining
+    removals are spectrally arbitrary (under full SVD and power iteration
+    alike).  Geometrically-decaying component scales keep a spectral gap —
+    and therefore a well-defined top direction — alive through *every*
+    iteration, which is the regime where full-vs-power selection agreement
+    is meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    basis, _ = np.linalg.qr(rng.normal(size=(dim, rank)))
+    scales = 2.0 ** -np.arange(rank)
+    n_malicious = n_clients // 5
+    n_honest = n_clients - n_malicious
+    weights = rng.normal(size=(n_honest, rank)) * scales
+    signal = rng.normal(0.05, 1.0, size=dim)
+    honest = (
+        signal[None, :]
+        + weights @ basis.T
+        + rng.normal(0, 0.05, size=(n_honest, dim))
+    )
+    malicious = -signal[None, :] + rng.normal(0, 0.05, size=(n_malicious, dim))
+    return np.vstack([honest, malicious])
+
+
+def traced_peak_bytes(fn) -> int:
+    """Peak traced allocation of one ``fn()`` call (numpy buffers included)."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def check_dense_refusal(batch: GradientBatch, require) -> None:
+    """All four dense accessors must refuse above the pairwise threshold."""
+    for accessor in ("gram", "sq_distances", "distances", "cosine_similarities"):
+        try:
+            getattr(batch, accessor)()
+        except PairwiseMemoryError:
+            continue
+        require(
+            False,
+            f"GradientBatch.{accessor}() materialized an n x n matrix at "
+            f"n={batch.n_clients} instead of raising PairwiseMemoryError",
+        )
+
+
+def check_small_n_equivalence(require) -> None:
+    """Streamed primitives must match the dense caches where both run.
+
+    A forced-streaming batch (threshold below n) and a dense batch over the
+    same matrix must agree on Krum scoring (same selection), the feature
+    medians, and the attack-scale maxima.
+    """
+    small = make_attack_population(512, 32, seed=7)
+    dense = GradientBatch(small)
+    streamed = GradientBatch(small, max_dense_pairwise=64, block_rows=96)
+    num_neighbors = max(512 - 512 // 5 - 2, 1)
+    dense_scores = dense.k_smallest_neighbor_sums(num_neighbors)
+    streamed_scores = streamed.k_smallest_neighbor_sums(num_neighbors)
+    require(
+        bool(np.allclose(dense_scores, streamed_scores, rtol=1e-9, atol=1e-9)),
+        "streamed Krum neighbor sums diverged from the dense cache at small n",
+    )
+    require(
+        int(np.argmin(dense_scores)) == int(np.argmin(streamed_scores)),
+        "streamed Krum scoring selected a different client than dense",
+    )
+    require(
+        bool(
+            np.allclose(
+                dense.median_distances(),
+                streamed.median_distances(),
+                rtol=1e-9,
+                atol=1e-9,
+            )
+        ),
+        "streamed median distances diverged from the dense cache at small n",
+    )
+    require(
+        bool(
+            np.allclose(
+                dense.median_cosine_similarities(),
+                streamed.median_cosine_similarities(),
+                rtol=1e-9,
+                atol=1e-9,
+            )
+        ),
+        "streamed median cosines diverged from the dense cache at small n",
+    )
+
+
+def run_large_cohort(*, quick: bool, require=None):
+    """Run every large-cohort section; returns ``(results, metadata)``.
+
+    ``require`` lets a host harness (``perf_smoke.py``) substitute its own
+    failure type; the default raises :class:`LargeCohortFailure`.
+    """
+    require = require or _default_require
+    n = LARGE_N
+    dim = 64 if quick else 256
+    repeats = 1 if quick else 2
+    # Below ~3k clients the dense estimator's single BLAS matmul still wins
+    # over the chunked subsampled gathers; 4k is the smallest bridge where
+    # the subquadratic path shows a stable, enforceable margin.
+    bridge_n = 4_000
+    f = n // 5
+    dense_matrix_bytes = n * n * np.dtype(np.float64).itemsize
+    memory_floor_bytes = int(MEMORY_FLOOR_FRACTION * dense_matrix_bytes)
+    results = []
+
+    print(
+        f"large cohort: n={n} dim={dim} repeats={repeats} "
+        f"(dense n x n would be {dense_matrix_bytes / 2**30:.2f} GiB; "
+        f"memory floor {memory_floor_bytes / 2**20:.0f} MiB)"
+    )
+
+    check_small_n_equivalence(require)
+    print("small-n equivalence: OK (streamed primitives match dense caches)")
+
+    gradients = make_attack_population(n, dim)
+    batch = GradientBatch(gradients)
+    check_dense_refusal(batch, require)
+    print("dense refusal: OK (all four dense accessors raise at n=10k)")
+
+    # ------------------------------------------------------------------
+    # Blocked Krum scoring
+    # ------------------------------------------------------------------
+    num_neighbors = max(n - f - 2, 1)
+    krum_bench = run_benchmark(
+        lambda: batch.k_smallest_neighbor_sums(num_neighbors),
+        name="large_cohort/krum_scoring",
+        repeats=repeats,
+        warmup=0,
+    )
+    krum_peak = traced_peak_bytes(
+        lambda: batch.k_smallest_neighbor_sums(num_neighbors)
+    )
+    require(
+        krum_peak < memory_floor_bytes,
+        f"blocked Krum scoring traced {krum_peak / 2**20:.0f} MiB peak, "
+        f"above the {memory_floor_bytes / 2**20:.0f} MiB no-dense-matrix "
+        "floor",
+    )
+    krum_bench.extra.update({"peak_traced_bytes": krum_peak})
+    results.append(krum_bench)
+    print(
+        f"krum_scoring: {krum_bench.best_s:.2f} s, traced peak "
+        f"{krum_peak / 2**20:.0f} MiB (floor "
+        f"{memory_floor_bytes / 2**20:.0f} MiB)"
+    )
+
+    # ------------------------------------------------------------------
+    # SignGuard feature extraction (streamed pairwise-median fallbacks)
+    # ------------------------------------------------------------------
+    feature_benches = {}
+    feature_peaks = {}
+    for similarity in ("euclidean", "cosine"):
+        feature_benches[similarity] = run_benchmark(
+            lambda sim=similarity: extract_features(
+                batch, similarity=sim, rng=np.random.default_rng(3)
+            ),
+            name=f"large_cohort/signguard_features/{similarity}",
+            repeats=repeats,
+            warmup=0,
+        )
+        feature_peaks[similarity] = traced_peak_bytes(
+            lambda sim=similarity: extract_features(
+                batch, similarity=sim, rng=np.random.default_rng(3)
+            )
+        )
+        require(
+            feature_peaks[similarity] < memory_floor_bytes,
+            f"streamed SignGuard features ({similarity}) traced "
+            f"{feature_peaks[similarity] / 2**20:.0f} MiB peak, above the "
+            f"{memory_floor_bytes / 2**20:.0f} MiB no-dense-matrix floor",
+        )
+        feature_benches[similarity].extra.update(
+            {"peak_traced_bytes": feature_peaks[similarity]}
+        )
+        results.append(feature_benches[similarity])
+        print(
+            f"signguard_features/{similarity}: "
+            f"{feature_benches[similarity].best_s:.2f} s, traced peak "
+            f"{feature_peaks[similarity] / 2**20:.0f} MiB"
+        )
+
+    # ------------------------------------------------------------------
+    # Mean-Shift bandwidth: subsampled at n=10k, speedup floor at a bridge
+    # size where the dense estimator is still tractable
+    # ------------------------------------------------------------------
+    bandwidth_large = run_benchmark(
+        lambda: estimate_bandwidth(gradients, quantile=0.3),
+        name="large_cohort/bandwidth/subsampled",
+        repeats=repeats,
+        warmup=0,
+    )
+    first = estimate_bandwidth(gradients, quantile=0.3)
+    second = estimate_bandwidth(gradients, quantile=0.3)
+    require(
+        first == second,
+        "subsampled bandwidth is not deterministic across repeated calls: "
+        f"{first!r} != {second!r}",
+    )
+    bridge = gradients[:bridge_n]
+    dense_bandwidth_bench = run_benchmark(
+        lambda: estimate_bandwidth(bridge, quantile=0.3),
+        name=f"large_cohort/bandwidth/dense_n{bridge_n}",
+        repeats=repeats,
+        warmup=0,
+    )
+    subsampled_bandwidth_bench = run_benchmark(
+        lambda: estimate_bandwidth(
+            bridge, quantile=0.3, max_pairs=BANDWIDTH_MAX_PAIRS
+        ),
+        name=f"large_cohort/bandwidth/subsampled_n{bridge_n}",
+        repeats=repeats,
+        warmup=0,
+    )
+    bandwidth_speedup = speedup(
+        dense_bandwidth_bench, subsampled_bandwidth_bench
+    )
+    require(
+        bandwidth_speedup >= BANDWIDTH_SPEEDUP_FLOOR,
+        f"subsampled bandwidth speedup regressed: {bandwidth_speedup:.2f}x "
+        f"< {BANDWIDTH_SPEEDUP_FLOOR:.1f}x at n={bridge_n}",
+    )
+    dense_value = estimate_bandwidth(bridge, quantile=0.3)
+    subsampled_value = estimate_bandwidth(
+        bridge, quantile=0.3, max_pairs=BANDWIDTH_MAX_PAIRS
+    )
+    require(
+        abs(subsampled_value - dense_value)
+        <= BANDWIDTH_RELATIVE_TOLERANCE * dense_value,
+        "subsampled bandwidth diverged from the dense estimate at "
+        f"n={bridge_n}: {subsampled_value:.4f} vs {dense_value:.4f}",
+    )
+    subsampled_bandwidth_bench.extra.update(
+        {
+            "speedup_vs_dense": bandwidth_speedup,
+            "bandwidth_subsampled": subsampled_value,
+            "bandwidth_dense": dense_value,
+        }
+    )
+    results.extend(
+        [bandwidth_large, dense_bandwidth_bench, subsampled_bandwidth_bench]
+    )
+    print(
+        f"bandwidth: n={n} subsampled {bandwidth_large.best_s * 1e3:.0f} ms; "
+        f"bridge n={bridge_n} dense {dense_bandwidth_bench.best_s:.2f} s -> "
+        f"subsampled {subsampled_bandwidth_bench.best_s * 1e3:.0f} ms "
+        f"({bandwidth_speedup:.1f}x, quantile {subsampled_value:.3f} vs "
+        f"dense {dense_value:.3f})"
+    )
+
+    # ------------------------------------------------------------------
+    # DnC: power iteration vs full SVD
+    # ------------------------------------------------------------------
+    # DnC's spectral cost scales with its coordinate-subsample width, so
+    # the comparison runs at the aggregator's native subsample_dim on a
+    # population whose spectral gap survives every removal iteration (see
+    # make_spectral_population) — at dim far below subsample_dim the shared
+    # sampling/centering overhead hides the SVD cost entirely.
+    dnc_dim = 512
+    dnc_gradients = make_spectral_population(n, dnc_dim)
+    dnc_full = DivideAndConquerAggregator(num_byzantine=f, svd="full")
+    dnc_power = DivideAndConquerAggregator(num_byzantine=f, svd="power")
+    dnc_full_bench = run_benchmark(
+        lambda: dnc_full(dnc_gradients, ServerContext.make(rng=0)),
+        name="large_cohort/dnc/full",
+        repeats=repeats,
+        warmup=0,
+    )
+    dnc_power_bench = run_benchmark(
+        lambda: dnc_power(dnc_gradients, ServerContext.make(rng=0)),
+        name="large_cohort/dnc/power",
+        repeats=repeats,
+        warmup=0,
+    )
+    dnc_speedup = speedup(dnc_full_bench, dnc_power_bench)
+    require(
+        dnc_speedup >= DNC_POWER_SPEEDUP_FLOOR,
+        f"DnC power-iteration speedup regressed: {dnc_speedup:.2f}x "
+        f"< {DNC_POWER_SPEEDUP_FLOOR:.1f}x at n={n}",
+    )
+    selected_full = dnc_full(
+        dnc_gradients, ServerContext.make(rng=0)
+    ).selected_indices
+    selected_power = dnc_power(
+        dnc_gradients, ServerContext.make(rng=0)
+    ).selected_indices
+    jaccard = len(np.intersect1d(selected_full, selected_power)) / len(
+        np.union1d(selected_full, selected_power)
+    )
+    require(
+        jaccard >= DNC_SELECTION_JACCARD_FLOOR,
+        "DnC power-iteration selection diverged from full SVD: Jaccard "
+        f"{jaccard:.3f} < {DNC_SELECTION_JACCARD_FLOOR:.2f} under identical "
+        "rng streams",
+    )
+    dnc_full_bench.extra.update({"dim": dnc_dim})
+    dnc_power_bench.extra.update(
+        {
+            "dim": dnc_dim,
+            "speedup_vs_full_svd": dnc_speedup,
+            "selection_jaccard": jaccard,
+        }
+    )
+    results.extend([dnc_full_bench, dnc_power_bench])
+    print(
+        f"dnc: full {dnc_full_bench.best_s:.2f} s -> power "
+        f"{dnc_power_bench.best_s * 1e3:.0f} ms ({dnc_speedup:.1f}x, "
+        f"selection Jaccard {jaccard:.3f})"
+    )
+
+    for bench in results:
+        bench.extra.setdefault("n_clients", n)
+        bench.extra.setdefault("dim", dim)
+
+    metadata = {
+        "n_clients": n,
+        "dim": dim,
+        "dnc_dim": dnc_dim,
+        "num_byzantine": f,
+        "bridge_n": bridge_n,
+        "dense_matrix_bytes": dense_matrix_bytes,
+        "memory_floor_bytes": memory_floor_bytes,
+        "traced_peak_bytes": {
+            "krum_scoring": krum_peak,
+            "signguard_features_euclidean": feature_peaks["euclidean"],
+            "signguard_features_cosine": feature_peaks["cosine"],
+        },
+        "speedups": {
+            "bandwidth_subsampled_vs_dense": bandwidth_speedup,
+            "dnc_power_vs_full_svd": dnc_speedup,
+        },
+        "dnc_selection_jaccard": jaccard,
+        "bandwidth": {
+            "max_pairs": BANDWIDTH_MAX_PAIRS,
+            "dense_quantile_value": dense_value,
+            "subsampled_quantile_value": subsampled_value,
+            "deterministic": True,
+        },
+    }
+    print("large cohort: all memory and speedup floors met")
+    return results, metadata
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=(
+            "optionally write a standalone JSON (the checked-in rows live "
+            "in BENCH_round_engine.json via perf_smoke.py)"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller dim / repeats / bridge size (CI smoke)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: run at --quick sizes, enforce floors, never write",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        args.quick = True
+    results, metadata = run_large_cohort(quick=args.quick)
+    if args.output is not None and not args.check:
+        write_bench_json(
+            args.output,
+            results,
+            metadata={"suite": "large_cohort", **metadata},
+        )
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except LargeCohortFailure as failure:
+        print(f"LARGE COHORT FAILURE: {failure}", file=sys.stderr)
+        sys.exit(1)

@@ -57,6 +57,16 @@ repo's round-level speedups:
 * ``profiled_round``       — per-stage timings of real federated rounds via
   :class:`repro.perf.RoundProfiler`, including per-worker collect stages
   (context, not a speedup claim).
+* ``large_cohort/*``       — the n=10,000 tier from ``large_cohort.py``:
+  blocked Krum scoring, streamed SignGuard features, subsampled Mean-Shift
+  bandwidth, and DnC power iteration, each under its memory floor (no
+  n x n allocation, proved by ``tracemalloc``) and speedup floors.
+  Recorded on full/``--quick`` runs; ``--check`` skips it because CI
+  enforces the same floors in a dedicated ``large_cohort.py --check``
+  step.
+
+Every bench row additionally records ``peak_rss_bytes``, the process
+high-water-mark RSS at measurement time (stamped by ``run_benchmark``).
 
 The script **fails loudly** (non-zero exit) when an optimized path stops
 using the cache (detected via ``GradientBatch.compute_counts``), when the
@@ -112,6 +122,8 @@ from repro.perf import (  # noqa: E402
 from repro.perf import reference as ref  # noqa: E402
 from repro.utils.batch import GradientBatch  # noqa: E402
 from repro.utils.rng import RngFactory  # noqa: E402
+
+import large_cohort  # noqa: E402  (sibling module in benchmarks/)
 
 
 class SmokeFailure(RuntimeError):
@@ -660,6 +672,19 @@ def main(argv=None) -> int:
         f"per-worker collect stages: {worker_stages}"
     )
 
+    # ------------------------------------------------------------------
+    # Large-cohort tier (n=10,000): blocked/streamed/subsampled defenses
+    # under memory + speedup floors.  Skipped under --check because CI
+    # enforces the identical floors in a dedicated large_cohort.py --check
+    # step; recording runs embed the rows in BENCH_round_engine.json.
+    # ------------------------------------------------------------------
+    large_cohort_metadata = None
+    if not args.check:
+        large_results, large_cohort_metadata = large_cohort.run_large_cohort(
+            quick=args.quick, require=_require
+        )
+        results.extend(large_results)
+
     collect_extra = {
         "n_clients": collect_clients,
         "n_workers": collect_workers,
@@ -773,6 +798,7 @@ def main(argv=None) -> int:
             "bit_identical_to_sequential": True,
         },
         "round_profile": profile["stages"],
+        "large_cohort": large_cohort_metadata,
         "speedups": {
             "signguard_pipeline": pipeline_speedup,
             "krum_scoring_round": krum_speedup,

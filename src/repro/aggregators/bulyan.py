@@ -12,6 +12,14 @@ pairwise squared-distance matrix once (via the round-level
 :class:`~repro.utils.batch.GradientBatch` cache) and re-scores each shrinking
 subset from an O(n²) slice — turning the selection stage from
 O(theta · n² · d) into O(n² · d + theta · n²).
+
+Bulyan's selection is *inherently* dense in cohort size: every iteration
+re-scores an arbitrary shrinking subset, so the ``theta`` sub-matrix slices
+cannot be streamed one row-block at a time.  Above the batch's
+``max_dense_pairwise`` threshold the ``sq_distances()`` call below therefore
+raises :class:`~repro.utils.batch.PairwiseMemoryError` with a clear message
+instead of silently allocating an ``O(n²)`` matrix — for 10k+ cohorts use a
+streaming-capable rule (Krum/Multi-Krum, DnC, geometric median, SignGuard).
 """
 
 from __future__ import annotations

@@ -23,8 +23,19 @@ def geometric_median(
     """Weiszfeld iteration for the point minimizing the sum of Euclidean distances.
 
     The iteration is started from the coordinate-wise mean and smoothed with
-    ``epsilon`` to remain well-defined when the estimate coincides with one
-    of the input points.
+    a distance floor to remain well-defined when the estimate coincides with
+    one of the input points — with exact-duplicate rows (every Byzantine
+    client replaying one crafted gradient) entire distance entries are
+    exactly zero, and the floor is what keeps the ``1 / distance`` weights
+    finite instead of dividing by zero.
+
+    Both the floor and the early-exit tolerance are *scaled to the input
+    norm* (the median row norm, floored at 1 so unit-scale inputs keep the
+    historical absolute semantics): raw gradients can be O(1e3) while
+    normalized ones are O(1), and an absolute ``1e-7`` step tolerance that
+    is loose for the former spins uselessly for the latter — at large
+    cohort sizes those wasted O(n · d) sweeps dominate the aggregation
+    cost.
 
     Distances are deliberately computed directly from the difference matrix:
     the expanded quadratic form ``||p||² - 2 p·e + ||e||²`` cancels
@@ -34,11 +45,14 @@ def geometric_median(
     """
     points = np.atleast_2d(np.asarray(points, dtype=np.float64))
     estimate = points.mean(axis=0)
+    scale = max(float(np.median(np.linalg.norm(points, axis=1))), 1.0)
+    step_tolerance = tolerance * scale
+    distance_floor = epsilon * scale
     for _ in range(max_iterations):
         distances = np.linalg.norm(points - estimate, axis=1)
-        weights = 1.0 / np.maximum(distances, epsilon)
+        weights = 1.0 / np.maximum(distances, distance_floor)
         new_estimate = (weights[:, None] * points).sum(axis=0) / weights.sum()
-        if np.linalg.norm(new_estimate - estimate) <= tolerance:
+        if np.linalg.norm(new_estimate - estimate) <= step_tolerance:
             return new_estimate
         estimate = new_estimate
     return estimate

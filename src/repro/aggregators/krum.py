@@ -48,11 +48,18 @@ def krum_scores(
 
     When ``batch`` is provided (the round-level compute cache) its memoized
     pairwise squared distances are reused instead of rebuilding the
-    O(n² · d) Gram matrix.
+    O(n² · d) Gram matrix.  Above the batch's ``max_dense_pairwise``
+    threshold the scores are computed from streamed row-block tiles
+    (:meth:`~repro.utils.batch.GradientBatch.k_smallest_neighbor_sums`),
+    so large cohorts never materialize the ``(n, n)`` distance matrix;
+    below it the dense cache path is bit-identical to the historical
+    implementation.
     """
     if batch is None or batch.matrix is not gradients:
         batch = GradientBatch.wrap(gradients, validate=False)
-    return krum_scores_from_sq_distances(batch.sq_distances(), num_byzantine)
+    n = batch.n_clients
+    num_neighbors = max(n - num_byzantine - 2, 1)
+    return batch.k_smallest_neighbor_sums(num_neighbors)
 
 
 class KrumAggregator(Aggregator):

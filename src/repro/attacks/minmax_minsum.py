@@ -23,10 +23,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack, AttackContext
+from repro.utils.batch import MAX_DENSE_PAIRWISE, GradientBatch
 
 
 def max_pairwise_sq_distance(gradients: np.ndarray) -> float:
-    """Maximum squared distance between any two rows."""
+    """Maximum squared distance between any two rows.
+
+    At or below :data:`~repro.utils.batch.MAX_DENSE_PAIRWISE` rows this is
+    the historical dense quadratic form, kept verbatim for bit-compatible
+    stealth bounds; larger benign populations stream row-block tiles
+    through :class:`~repro.utils.batch.GradientBatch` instead of
+    materializing ``(n, n)``.
+    """
+    gradients = np.asarray(gradients)
+    if len(gradients) > MAX_DENSE_PAIRWISE:
+        return GradientBatch(gradients, validate=False).max_pairwise_sq_distance()
     sq_norms = np.sum(gradients**2, axis=1)
     squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
     np.maximum(squared, 0.0, out=squared)
@@ -34,7 +45,16 @@ def max_pairwise_sq_distance(gradients: np.ndarray) -> float:
 
 
 def max_sum_sq_distance(gradients: np.ndarray) -> float:
-    """Maximum over rows of the sum of squared distances to all other rows."""
+    """Maximum over rows of the sum of squared distances to all other rows.
+
+    Same dense/streamed split as :func:`max_pairwise_sq_distance`.  (The
+    streamed tiles zero the self-distance exactly, while the dense form
+    leaves the clamped ~0 diagonal in its row sums — a few-ulp difference
+    that only exists above the threshold.)
+    """
+    gradients = np.asarray(gradients)
+    if len(gradients) > MAX_DENSE_PAIRWISE:
+        return GradientBatch(gradients, validate=False).max_sum_sq_distance()
     sq_norms = np.sum(gradients**2, axis=1)
     squared = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (gradients @ gradients.T)
     np.maximum(squared, 0.0, out=squared)

@@ -134,15 +134,13 @@ def cosine_similarity_feature(
         return (batch.matrix @ reference) / (
             np.maximum(norms, epsilon) * np.linalg.norm(reference)
         )
-    # Pairwise-median fallback.
+    # Pairwise-median fallback.  The batch delegates to its dense cache at
+    # small n (bit-identical to the historical fill_diagonal + nanmedian
+    # implementation) and streams row-block tiles above its
+    # max_dense_pairwise threshold.
     if batch.n_clients == 1:
         return np.ones(1)
-    # cosine_similarities() returns a fresh (uncached) matrix — safe to mutate.
-    similarity = batch.cosine_similarities(epsilon=epsilon).astype(
-        np.float64, copy=False
-    )
-    np.fill_diagonal(similarity, np.nan)
-    return np.nanmedian(similarity, axis=1)
+    return batch.median_cosine_similarities(epsilon=epsilon)
 
 
 def euclidean_distance_feature(
@@ -165,9 +163,9 @@ def euclidean_distance_feature(
     elif batch.n_clients == 1:
         return np.zeros(1, dtype=np.float64)
     else:
-        pairwise = np.array(batch.distances(), dtype=np.float64)
-        np.fill_diagonal(pairwise, np.nan)
-        distances = np.nanmedian(pairwise, axis=1)
+        # Dense-cache delegation at small n, streamed tiles above the
+        # batch's max_dense_pairwise threshold (see median_cosine above).
+        distances = batch.median_distances()
     scale = np.median(distances)
     if scale > 0:
         distances = distances / scale

@@ -18,6 +18,7 @@ speedup instead of asserting it:
 
 from repro.perf.bench import (
     BenchResult,
+    peak_rss_bytes,
     read_bench_json,
     run_benchmark,
     speedup,
@@ -28,6 +29,7 @@ from repro.perf.timers import StageTimings, Timer, monotonic
 
 __all__ = [
     "BenchResult",
+    "peak_rss_bytes",
     "run_benchmark",
     "speedup",
     "read_bench_json",

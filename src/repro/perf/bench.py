@@ -21,6 +21,27 @@ import numpy as np
 
 from repro.perf.timers import monotonic
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """Process-lifetime high-water-mark resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; 0 on platforms
+    without the ``resource`` module.  The value is monotone over the
+    process lifetime (it cannot be reset), so it is an *upper bound* on
+    any single benchmark's footprint — memory *floors* are enforced with
+    a resettable tracer (``tracemalloc``), while this number is recorded
+    per bench row as deployment-planning context.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX hosts
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak if sys.platform == "darwin" else peak * 1024)
+
 
 @dataclass
 class BenchResult:
@@ -64,13 +85,17 @@ def run_benchmark(
         start = monotonic()
         fn()
         samples.append(monotonic() - start)
+    # Every bench row carries the process peak RSS observed by the time the
+    # row was measured (callers can override by passing their own value).
+    merged_extra = dict(extra or {})
+    merged_extra.setdefault("peak_rss_bytes", peak_rss_bytes())
     return BenchResult(
         name=name,
         repeats=repeats,
         best_s=min(samples),
         mean_s=sum(samples) / len(samples),
         total_s=sum(samples),
-        extra=dict(extra or {}),
+        extra=merged_extra,
     )
 
 

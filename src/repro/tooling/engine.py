@@ -158,6 +158,16 @@ class LintConfig:
     )
     #: Module prefixes allowed to read the wall clock.
     wallclock_allowed: Tuple[str, ...] = ("repro.perf",)
+    #: Modules audited to call the dense O(n²) GradientBatch accessors
+    #: (``gram``/``sq_distances``/``distances``/``cosine_similarities``):
+    #: the batch itself (internal memoization) and Bulyan, whose iterative
+    #: sub-matrix selection is inherently dense and documented to refuse
+    #: above the streaming threshold.  Everything else must use the
+    #: blocked primitives (see the pairwise-discipline rule).
+    pairwise_allowlist: Tuple[str, ...] = (
+        "repro.utils.batch",
+        "repro.aggregators.bulyan",
+    )
     #: Module defining the transport's ``MSG_*`` constants.
     protocol_module: str = "repro.fl.transport.codec"
     #: Modules that must dispatch every message type (worker side).

@@ -10,6 +10,7 @@ baseline file):
 ``pickle-boundary``       pickle importable only on the transport allowlist
 ``dtype-discipline``      hot-path array allocations pin an explicit dtype
 ``wallclock-ban``         wall-clock reads stay behind ``repro.perf``
+``pairwise-discipline``   dense O(n²) batch accessors only in audited modules
 ``exception-hygiene``     no bare ``except:`` / swallowed broad excepts
 ``protocol-exhaustive``   every ``MSG_*`` handled on both transport sides
 ``export-consistency``    ``__all__`` complete + no private deep imports
@@ -24,6 +25,7 @@ from repro.tooling.engine import Rule
 from repro.tooling.rules.dtype import DtypeDisciplineRule
 from repro.tooling.rules.exceptions import ExceptionHygieneRule
 from repro.tooling.rules.exports import ExportConsistencyRule
+from repro.tooling.rules.pairwise import PairwiseDisciplineRule
 from repro.tooling.rules.pickle_boundary import PickleBoundaryRule
 from repro.tooling.rules.protocol import ProtocolExhaustiveRule
 from repro.tooling.rules.rng import RngHygieneRule
@@ -33,6 +35,7 @@ __all__ = [
     "DtypeDisciplineRule",
     "ExceptionHygieneRule",
     "ExportConsistencyRule",
+    "PairwiseDisciplineRule",
     "PickleBoundaryRule",
     "ProtocolExhaustiveRule",
     "RngHygieneRule",
@@ -46,6 +49,7 @@ _RULE_CLASSES = (
     PickleBoundaryRule,
     DtypeDisciplineRule,
     WallclockBanRule,
+    PairwiseDisciplineRule,
     ExceptionHygieneRule,
     ProtocolExhaustiveRule,
     ExportConsistencyRule,

@@ -1,0 +1,79 @@
+"""``pairwise-discipline``: dense ``(n, n)`` caches stay behind an audited allowlist.
+
+The large-cohort story (ISSUE 9) rests on one invariant: no defense hot
+path materializes an ``O(n²)`` pairwise matrix, because at ``n=10_000``
+the float64 distance matrix alone is 800 MB.  The four dense
+:class:`~repro.utils.batch.GradientBatch` accessors — ``gram()``,
+``sq_distances()``, ``distances()``, ``cosine_similarities()`` — already
+refuse at runtime above the ``max_dense_pairwise`` threshold, but a
+refusal only fires on the cohort size that triggers it; this rule makes
+the regression visible at lint time, on every cohort size.
+
+Calls to those four methods inside the package tree are findings unless
+the calling module is on ``LintConfig.pairwise_allowlist`` (the batch's
+own memoization internals, plus Bulyan, whose iterative sub-matrix
+selection is inherently dense and documented to refuse at scale).
+Streaming consumers use the blocked primitives instead
+(``sq_distances_block`` / ``k_smallest_neighbor_sums`` /
+``median_cosine_similarities`` / ``median_distances`` /
+``max_pairwise_sq_distance`` / ``max_sum_sq_distance``), which bound
+peak memory at ``O(block_rows · n)``.
+
+The check is name-based (any ``<receiver>.sq_distances()`` attribute
+call): static analysis cannot see the receiver's type, and the four
+names are unique to the batch API in this repository.  A false positive
+on a new, unrelated method of the same name is silenced with an inline
+suppression naming the receiver type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.tooling.engine import Finding, LintConfig, Rule, SourceFile
+
+#: The dense GradientBatch accessors that materialize ``(n, n)``.
+_DENSE_PAIRWISE_METHODS = {
+    "gram",
+    "sq_distances",
+    "distances",
+    "cosine_similarities",
+}
+
+
+class PairwiseDisciplineRule(Rule):
+    name = "pairwise-discipline"
+    description = (
+        "dense GradientBatch gram/sq_distances/distances/"
+        "cosine_similarities calls only in audited modules; everything "
+        "else streams via the blocked primitives"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig) -> List[Finding]:
+        if config.module_in(source.module, config.pairwise_allowlist):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _DENSE_PAIRWISE_METHODS:
+                continue
+            findings.append(
+                Finding(
+                    source.rel,
+                    node.lineno,
+                    self.name,
+                    f".{func.attr}() materializes an O(n²) pairwise "
+                    "matrix outside the audited allowlist; use the "
+                    "blocked GradientBatch primitives "
+                    "(sq_distances_block / k_smallest_neighbor_sums / "
+                    "median_* / max_*_sq_distance) or extend "
+                    "LintConfig.pairwise_allowlist with a documented "
+                    "audit",
+                )
+            )
+        return findings

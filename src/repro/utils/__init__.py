@@ -5,7 +5,13 @@ that every other subsystem (clustering, neural networks, federated
 simulation) can build on them without import cycles.
 """
 
-from repro.utils.batch import GradientBatch, as_batch, resolve_batch
+from repro.utils.batch import (
+    MAX_DENSE_PAIRWISE,
+    GradientBatch,
+    PairwiseMemoryError,
+    as_batch,
+    resolve_batch,
+)
 from repro.utils.config import (
     AttackConfig,
     DataConfig,
@@ -25,7 +31,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "MAX_DENSE_PAIRWISE",
     "GradientBatch",
+    "PairwiseMemoryError",
     "as_batch",
     "resolve_batch",
     "AttackConfig",

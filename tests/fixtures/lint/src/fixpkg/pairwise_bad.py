@@ -1,0 +1,15 @@
+"""pairwise-discipline violations and the streaming calls that must NOT fire."""
+
+
+def dense_scores(batch, f):
+    return batch.sq_distances()[f]  # line 5
+
+
+def dense_features(batch):
+    return batch.cosine_similarities()  # line 9
+
+
+def streaming_ok(batch, k):
+    sums = batch.k_smallest_neighbor_sums(k)
+    tile = batch.sq_distances_block(range(4))
+    return sums, tile, batch.median_distances()

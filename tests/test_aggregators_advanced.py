@@ -10,6 +10,7 @@ from repro.aggregators import (
     SignSGDMajorityAggregator,
 )
 from repro.aggregators.base import ServerContext
+from repro.aggregators.dnc import power_iteration_top_direction
 
 
 @pytest.fixture
@@ -94,6 +95,80 @@ class TestDnC:
         expected = ref.dnc_reference(gradients, 3, np.random.default_rng(123))
         np.testing.assert_array_equal(
             result.selected_indices, expected["selected_indices"]
+        )
+
+
+class TestDnCPower:
+    """The subquadratic ``svd="power"`` backend."""
+
+    @staticmethod
+    def spectral_population(n=60, dim=24, rank=4, seed=3):
+        # Low-rank honest heterogeneity with geometrically decaying scales
+        # keeps a spectral gap through every removal iteration, so the
+        # power method's top direction is well defined at each step.
+        rng = np.random.default_rng(seed)
+        basis, _ = np.linalg.qr(rng.normal(size=(dim, rank)))
+        scales = 2.0 ** -np.arange(rank)
+        signal = rng.normal(0.05, 1.0, size=dim)
+        n_malicious = n // 5
+        n_honest = n - n_malicious
+        honest = (
+            signal
+            + (rng.normal(size=(n_honest, rank)) * scales) @ basis.T
+            + rng.normal(0, 0.05, size=(n_honest, dim))
+        )
+        malicious = -signal + rng.normal(0, 0.05, size=(n_malicious, dim))
+        return np.vstack([honest, malicious])
+
+    def test_svd_parameter_validation(self):
+        with pytest.raises(ValueError, match="svd"):
+            DivideAndConquerAggregator(svd="qr")
+
+    def test_power_iteration_matches_full_svd_direction(self):
+        x = self.spectral_population()
+        centered = x - x.mean(axis=0)
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        direction = power_iteration_top_direction(centered)
+        assert np.linalg.norm(direction) == pytest.approx(1.0, abs=1e-12)
+        assert abs(float(direction @ vt[0])) == pytest.approx(1.0, abs=1e-6)
+
+    def test_power_iteration_zero_matrix_returns_unit_vector(self):
+        direction = power_iteration_top_direction(np.zeros((5, 8)))
+        assert direction.shape == (8,)
+        assert np.linalg.norm(direction) == pytest.approx(1.0)
+
+    def test_power_iteration_preserves_dtype(self):
+        x = self.spectral_population().astype(np.float32)
+        centered = x - x.mean(axis=0)
+        assert power_iteration_top_direction(centered).dtype == np.float32
+
+    def test_power_selection_matches_full_svd(self):
+        gradients = self.spectral_population()
+        full = DivideAndConquerAggregator(
+            num_byzantine=12, subsample_dim=24, svd="full"
+        )(gradients, ServerContext.make(rng=0))
+        power = DivideAndConquerAggregator(
+            num_byzantine=12, subsample_dim=24, svd="power"
+        )(gradients, ServerContext.make(rng=0))
+        np.testing.assert_array_equal(
+            power.selected_indices, full.selected_indices
+        )
+        assert full.info["svd"] == "full"
+        assert power.info["svd"] == "power"
+
+    def test_modes_consume_identical_rng_streams(self):
+        # The power path must not draw extra randomness: with coordinate
+        # subsampling active (subsample_dim < dim) both modes see the same
+        # sampled coordinates, so the selections still agree.
+        gradients = self.spectral_population(dim=48)
+        full = DivideAndConquerAggregator(
+            num_byzantine=12, subsample_dim=24, svd="full"
+        )(gradients, ServerContext.make(rng=7))
+        power = DivideAndConquerAggregator(
+            num_byzantine=12, subsample_dim=24, svd="power"
+        )(gradients, ServerContext.make(rng=7))
+        np.testing.assert_array_equal(
+            power.selected_indices, full.selected_indices
         )
 
 

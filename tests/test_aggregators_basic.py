@@ -90,6 +90,32 @@ class TestGeometricMedian:
         result = GeometricMedianAggregator()(point, context)
         np.testing.assert_allclose(result.gradient, point[0], atol=1e-6)
 
+    def test_exact_duplicate_rows_stay_finite(self):
+        # Regression: a duplicated majority point puts the estimate exactly
+        # on a data point mid-iteration.  The scaled distance floor keeps
+        # the Weiszfeld weights finite instead of dividing by zero, and
+        # the estimate lands on the majority point.
+        point = np.array([2.0, -1.0, 0.5])
+        points = np.vstack([np.tile(point, (6, 1)), [[10.0, 10.0, 10.0]]])
+        estimate = geometric_median(points)
+        assert np.all(np.isfinite(estimate))
+        np.testing.assert_allclose(estimate, point, atol=1e-4)
+
+    def test_all_rows_identical(self):
+        points = np.tile([1.0, 2.0], (5, 1))
+        np.testing.assert_allclose(
+            geometric_median(points), [1.0, 2.0], atol=1e-8
+        )
+
+    def test_scale_invariance(self):
+        # The distance floor is scaled to the data (median row norm), so
+        # huge-magnitude gradients converge exactly like unit-scale ones.
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 4))
+        small = geometric_median(points)
+        large = geometric_median(points * 1e6)
+        np.testing.assert_allclose(large, small * 1e6, rtol=1e-6)
+
 
 class TestNormUtilities:
     def test_median_norm(self):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.clustering import MeanShift, estimate_bandwidth, get_bin_seeds
+from repro.utils.batch import MAX_DENSE_PAIRWISE
 
 
 @pytest.fixture
@@ -40,6 +41,82 @@ class TestEstimateBandwidth:
     def test_invalid_quantile_rejected(self, feature_blobs):
         with pytest.raises(ValueError):
             estimate_bandwidth(feature_blobs, quantile=0.0)
+
+
+class TestBandwidthSubsampling:
+    """Subquadratic row-subset sampling behind ``max_pairs``."""
+
+    @staticmethod
+    def blobs(n=400, seed=5):
+        rng = np.random.default_rng(seed)
+        half = n // 2
+        return np.vstack(
+            [
+                rng.normal(0.0, 0.05, size=(half, 3)),
+                rng.normal(1.0, 0.05, size=(n - half, 3)),
+            ]
+        )
+
+    def test_deterministic_across_repeated_calls(self):
+        # The sampler reseeds its own named stream per call: no hidden
+        # state, identical inputs give identical bandwidths.
+        x = self.blobs()
+        first = estimate_bandwidth(x, max_pairs=1_000)
+        assert estimate_bandwidth(x, max_pairs=1_000) == first
+
+    def test_explicit_rng_is_honoured(self):
+        x = self.blobs()
+        a = estimate_bandwidth(x, max_pairs=1_000, rng=np.random.default_rng(9))
+        b = estimate_bandwidth(x, max_pairs=1_000, rng=np.random.default_rng(9))
+        c = estimate_bandwidth(x, max_pairs=1_000, rng=np.random.default_rng(10))
+        assert a == b
+        assert a != c
+
+    def test_subsampled_close_to_dense_quantile(self):
+        x = self.blobs(600)
+        dense = estimate_bandwidth(x)
+        subsampled = estimate_bandwidth(x, max_pairs=20_000)
+        assert subsampled == pytest.approx(dense, rel=0.15)
+
+    def test_budget_covering_all_pairs_stays_dense(self):
+        # With the budget at (or above) the true pair count the sampler
+        # never engages, so the result is exactly the dense estimate.
+        x = self.blobs(60)
+        dense = estimate_bandwidth(x)
+        assert estimate_bandwidth(x, max_pairs=60 * 59 // 2) == dense
+
+    def test_auto_engages_above_dense_threshold(self):
+        # n > MAX_DENSE_PAIRWISE: the sampler engages without an explicit
+        # budget and the result stays deterministic.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(MAX_DENSE_PAIRWISE + 8, 3))
+        bandwidth = estimate_bandwidth(x)
+        assert bandwidth > 0
+        assert estimate_bandwidth(x) == bandwidth
+
+    def test_invalid_max_pairs_rejected(self):
+        with pytest.raises(ValueError, match="max_pairs"):
+            estimate_bandwidth(np.zeros((3, 2)), max_pairs=0)
+
+    def test_coincident_subset_hits_exact_floor(self):
+        # Every sampled distance is zero, so the 1e-3 hard floor applies
+        # just like on the dense path.
+        assert estimate_bandwidth(np.ones((50, 3)), max_pairs=10) == 1e-3
+
+    def test_meanshift_validates_bandwidth_max_pairs(self):
+        with pytest.raises(ValueError, match="bandwidth_max_pairs"):
+            MeanShift(bandwidth_max_pairs=0)
+
+    def test_meanshift_full_budget_matches_default_fit(self, feature_blobs):
+        n = len(feature_blobs)
+        baseline = MeanShift(quantile=0.5).fit(feature_blobs)
+        capped = MeanShift(
+            quantile=0.5, bandwidth_max_pairs=n * (n - 1) // 2
+        ).fit(feature_blobs)
+        np.testing.assert_array_equal(capped.labels_, baseline.labels_)
+        np.testing.assert_array_equal(
+            capped.cluster_centers_, baseline.cluster_centers_
+        )
 
 
 class TestMeanShift:

@@ -127,7 +127,11 @@ class TestBenchRunner:
         assert payload["schema"] == "repro.perf/bench-v1"
         assert payload["metadata"]["suite"] == "unit"
         assert payload["results"][0]["name"] == "noop"
-        assert payload["results"][0]["extra"] == {"n": 3}
+        extra = payload["results"][0]["extra"]
+        assert extra["n"] == 3
+        # Every row records the process peak RSS (deployment-planning
+        # context, stamped by run_benchmark itself).
+        assert extra["peak_rss_bytes"] > 0
         # File is valid JSON with a trailing newline (checked-in artifact).
         text = path.read_text()
         assert text.endswith("\n")

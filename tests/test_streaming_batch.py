@@ -1,0 +1,279 @@
+"""Equivalence tests for the streaming (blocked) GradientBatch primitives.
+
+Three regimes are pinned down:
+
+* **Dense delegation** — at or below ``max_dense_pairwise`` every blocked
+  primitive must be *bit-identical* to the historical dense formulas (it
+  delegates to the dense caches; on this platform a row-block matmul is
+  not bitwise equal to slicing the full matmul, so delegation is the only
+  way to keep small-n results bit-exact).
+* **Streamed agreement** — with streaming forced (threshold below n), the
+  tiled results must agree with the dense ones to tight tolerances, and
+  selection-level decisions (Krum's argmin) must be identical.
+* **Refusal** — above the threshold the four dense accessors raise
+  :class:`PairwiseMemoryError` instead of allocating ``O(n²)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.krum import krum_scores, krum_scores_from_sq_distances
+from repro.attacks.minmax_minsum import (
+    max_pairwise_sq_distance,
+    max_sum_sq_distance,
+)
+from repro.utils.batch import (
+    MAX_DENSE_PAIRWISE,
+    PAIRWISE_BLOCK_ROWS,
+    GradientBatch,
+    PairwiseMemoryError,
+)
+
+
+def attack_population(n=96, dim=17, seed=0, dtype=np.float64):
+    """Honest cluster + sign-inverted malicious tail, in the given dtype."""
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(0.1, 1.0, size=dim)
+    honest = signal + rng.normal(0, 0.3, size=(n - n // 5, dim))
+    malicious = -signal + rng.normal(0, 0.05, size=(n // 5, dim))
+    return np.vstack([honest, malicious]).astype(dtype)
+
+
+def streaming_pair(matrix, *, block_rows=17):
+    """(dense batch, forced-streaming batch) over the same matrix."""
+    dense = GradientBatch(matrix)
+    streamed = GradientBatch(
+        matrix, max_dense_pairwise=2, block_rows=block_rows
+    )
+    return dense, streamed
+
+
+class TestDefaults:
+    def test_module_defaults(self):
+        batch = GradientBatch(np.ones((3, 4)))
+        assert batch.max_dense_pairwise == MAX_DENSE_PAIRWISE
+        assert batch.block_rows == PAIRWISE_BLOCK_ROWS
+        assert batch.dense_pairwise_allowed
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_dense_pairwise"):
+            GradientBatch(np.ones((2, 3)), max_dense_pairwise=0)
+        with pytest.raises(ValueError, match="block_rows"):
+            GradientBatch(np.ones((2, 3)), block_rows=0)
+
+    def test_iterator_rejects_bad_block_rows(self):
+        batch = GradientBatch(np.ones((4, 3)), max_dense_pairwise=2)
+        with pytest.raises(ValueError, match="block_rows"):
+            list(batch.iter_sq_distance_blocks(block_rows=0))
+        with pytest.raises(ValueError, match="num_neighbors"):
+            batch.k_smallest_neighbor_sums(0)
+
+
+class TestRefusal:
+    @pytest.fixture
+    def batch(self):
+        return GradientBatch(attack_population(24, 8), max_dense_pairwise=8)
+
+    @pytest.mark.parametrize(
+        "accessor",
+        ["gram", "sq_distances", "distances", "cosine_similarities"],
+    )
+    def test_dense_accessors_refuse(self, batch, accessor):
+        assert not batch.dense_pairwise_allowed
+        with pytest.raises(PairwiseMemoryError, match="max_dense_pairwise"):
+            getattr(batch, accessor)()
+
+    def test_error_names_the_blocked_primitives(self, batch):
+        with pytest.raises(PairwiseMemoryError, match="k_smallest_neighbor"):
+            batch.gram()
+
+    def test_blocked_primitives_still_work(self, batch):
+        n = batch.n_clients
+        assert batch.k_smallest_neighbor_sums(5).shape == (n,)
+        assert batch.median_distances().shape == (n,)
+        assert batch.median_cosine_similarities().shape == (n,)
+        assert batch.max_pairwise_sq_distance() > 0
+        assert batch.max_sum_sq_distance() > 0
+
+    def test_nothing_was_cached_densely(self, batch):
+        batch.k_smallest_neighbor_sums(5)
+        assert batch.compute_count("gram") == 0
+        assert batch.compute_count("sq_distances") == 0
+
+
+class TestDenseDelegation:
+    """Below the threshold, blocked primitives == historical dense formulas,
+    bit for bit."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_sq_distances_block_is_a_dense_slice(self, dtype):
+        batch = GradientBatch(attack_population(dtype=dtype))
+        rows = np.array([0, 3, 95, 4])
+        np.testing.assert_array_equal(
+            batch.sq_distances_block(rows), batch.sq_distances()[rows]
+        )
+        contiguous = np.arange(5, 20)
+        np.testing.assert_array_equal(
+            batch.sq_distances_block(contiguous),
+            batch.sq_distances()[contiguous],
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_neighbor_sums_match_historical_sort(self, dtype):
+        matrix = attack_population(dtype=dtype)
+        batch = GradientBatch(matrix)
+        k = 7
+        full_sort = np.sort(batch.sq_distances(), axis=1)
+        historical = full_sort[:, 1 : k + 1].sum(axis=1)
+        np.testing.assert_array_equal(
+            batch.k_smallest_neighbor_sums(k), historical
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_median_distances_match_historical_nanmedian(self, dtype):
+        batch = GradientBatch(attack_population(dtype=dtype))
+        pairwise = np.array(batch.distances(), dtype=np.float64)
+        np.fill_diagonal(pairwise, np.nan)
+        np.testing.assert_array_equal(
+            batch.median_distances(), np.nanmedian(pairwise, axis=1)
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_median_cosines_match_historical_nanmedian(self, dtype):
+        batch = GradientBatch(attack_population(dtype=dtype))
+        similarity = batch.cosine_similarities().astype(np.float64)
+        np.fill_diagonal(similarity, np.nan)
+        np.testing.assert_array_equal(
+            batch.median_cosine_similarities(),
+            np.nanmedian(similarity, axis=1),
+        )
+
+    def test_max_reductions_match_dense(self):
+        batch = GradientBatch(attack_population())
+        assert batch.max_pairwise_sq_distance() == float(
+            batch.sq_distances().max()
+        )
+        assert batch.max_sum_sq_distance() == float(
+            batch.sq_distances().sum(axis=1).max()
+        )
+
+    def test_non_contiguous_input(self):
+        base = attack_population(192, 17)
+        view = base[::2]
+        assert not view.flags["C_CONTIGUOUS"]
+        batch = GradientBatch(view)
+        rows = np.array([1, 0, 90])
+        np.testing.assert_array_equal(
+            batch.sq_distances_block(rows), batch.sq_distances()[rows]
+        )
+
+
+class TestStreamedAgreement:
+    """Forced streaming vs dense over the same matrix."""
+
+    @pytest.mark.parametrize("block_rows", [1, 7, 96, 200])
+    def test_tiles_assemble_to_the_dense_matrix(self, block_rows):
+        matrix = attack_population()
+        dense, streamed = streaming_pair(matrix, block_rows=block_rows)
+        seen = []
+        assembled = np.empty((96, 96))
+        for rows, tile in streamed.iter_sq_distance_blocks():
+            seen.extend(rows.tolist())
+            assembled[rows] = tile
+        assert seen == list(range(96))
+        np.testing.assert_allclose(
+            assembled, dense.sq_distances(), rtol=1e-9, atol=1e-9
+        )
+        # Self-distances are exactly zero, like the dense diagonal.
+        assert (np.diag(assembled) == 0.0).all()
+
+    def test_neighbor_sums_and_krum_selection_agree(self):
+        matrix = attack_population()
+        dense, streamed = streaming_pair(matrix)
+        k = max(96 - 96 // 5 - 2, 1)
+        dense_scores = dense.k_smallest_neighbor_sums(k)
+        streamed_scores = streamed.k_smallest_neighbor_sums(k)
+        np.testing.assert_allclose(
+            streamed_scores, dense_scores, rtol=1e-9, atol=1e-9
+        )
+        assert int(np.argmin(streamed_scores)) == int(np.argmin(dense_scores))
+
+    def test_krum_scores_entrypoint_streams_above_threshold(self):
+        matrix = attack_population()
+        f = 96 // 5
+        reference = krum_scores_from_sq_distances(
+            GradientBatch(matrix).sq_distances(), f
+        )
+        streamed_batch = GradientBatch(matrix, max_dense_pairwise=2)
+        streamed = krum_scores(matrix, f, batch=streamed_batch)
+        np.testing.assert_allclose(streamed, reference, rtol=1e-9, atol=1e-9)
+        assert streamed_batch.compute_count("sq_distances") == 0
+
+    def test_median_distances_agree(self):
+        dense, streamed = streaming_pair(attack_population())
+        np.testing.assert_allclose(
+            streamed.median_distances(),
+            dense.median_distances(),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize(
+        "dtype,atol", [(np.float64, 1e-12), (np.float32, 1e-6)]
+    )
+    def test_median_cosines_agree(self, dtype, atol):
+        # float32 tiles keep the dense op order (divide in float32, then
+        # widen) but the block matmul itself rounds differently, so the
+        # per-row medians can land on a neighbouring ulp.
+        dense, streamed = streaming_pair(attack_population(dtype=dtype))
+        np.testing.assert_allclose(
+            streamed.median_cosine_similarities(),
+            dense.median_cosine_similarities(),
+            rtol=1e-6,
+            atol=atol,
+        )
+
+    def test_max_reductions_agree(self):
+        dense, streamed = streaming_pair(attack_population())
+        assert streamed.max_pairwise_sq_distance() == pytest.approx(
+            dense.max_pairwise_sq_distance(), rel=1e-12
+        )
+        assert streamed.max_sum_sq_distance() == pytest.approx(
+            dense.max_sum_sq_distance(), rel=1e-12
+        )
+
+    def test_streamed_paths_are_counted(self):
+        _, streamed = streaming_pair(attack_population())
+        streamed.k_smallest_neighbor_sums(5)
+        streamed.median_distances()
+        streamed.median_cosine_similarities()
+        assert streamed.compute_count("sq_distances_block") > 0
+        assert streamed.compute_count("median_distances") == 1
+        assert streamed.compute_count("median_cosine_similarities") == 1
+
+
+class TestMinMaxAttackHelpers:
+    def test_helpers_match_dense_formula_at_small_n(self):
+        gradients = attack_population(40, 9)
+        diffs = gradients[:, None, :] - gradients[None, :, :]
+        sq = np.sum(diffs**2, axis=-1)
+        assert max_pairwise_sq_distance(gradients) == pytest.approx(
+            float(sq.max()), rel=1e-12
+        )
+        assert max_sum_sq_distance(gradients) == pytest.approx(
+            float(sq.sum(axis=1).max()), rel=1e-12
+        )
+
+    def test_helpers_route_through_batch_above_threshold(self, monkeypatch):
+        import repro.attacks.minmax_minsum as mm
+
+        gradients = attack_population(40, 9)
+        dense_pairwise = max_pairwise_sq_distance(gradients)
+        dense_sum = max_sum_sq_distance(gradients)
+        monkeypatch.setattr(mm, "MAX_DENSE_PAIRWISE", 8)
+        assert max_pairwise_sq_distance(gradients) == pytest.approx(
+            dense_pairwise, rel=1e-12
+        )
+        assert max_sum_sq_distance(gradients) == pytest.approx(
+            dense_sum, rel=1e-12
+        )

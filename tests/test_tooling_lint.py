@@ -40,6 +40,7 @@ def fixture_config(**overrides):
         pickle_allowlist=("fixpkg.pickle_ok",),
         dtype_modules=("fixpkg",),
         wallclock_allowed=("fixpkg.perf",),
+        pairwise_allowlist=("fixpkg.pairwise_ok",),
         protocol_module="fixpkg.proto.codec",
         protocol_worker_modules=("fixpkg.proto.worker",),
         protocol_caller_modules=("fixpkg.proto.client",),
@@ -82,6 +83,14 @@ class TestRuleFixtures:
             ("src/fixpkg/wallclock_bad.py", 9, "wallclock-ban"),
             ("src/fixpkg/wallclock_bad.py", 13, "wallclock-ban"),
             ("src/fixpkg/wallclock_bad.py", 17, "wallclock-ban"),
+        ]
+
+    def test_pairwise_discipline_fires_and_spares_streaming(self):
+        # The two dense accessor calls fire; the blocked primitives in
+        # streaming_ok() and the allowlisted pairwise_ok module do not.
+        assert findings_for("pairwise-discipline") == [
+            ("src/fixpkg/pairwise_bad.py", 5, "pairwise-discipline"),
+            ("src/fixpkg/pairwise_bad.py", 9, "pairwise-discipline"),
         ]
 
     def test_exception_hygiene_fires_and_spares_handlers(self):
